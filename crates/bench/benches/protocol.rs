@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the protocol building blocks plus
+//! reduced-scale end-to-end runs of each figure workload, so `cargo
+//! bench` exercises every code path the paper's evaluation uses.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mpiio::twophase::domains::compute_file_domains;
+use mpiio::twophase::reqs::calc_my_req;
+use mpiio::{AccessPlan, Datatype, Ext, FileView};
+use simfs::RangeSet;
+use workloads::btio::BtIo;
+use workloads::flashio::FlashIo;
+use workloads::ior::Ior;
+use workloads::runner::{run_workload, IoMode, RunConfig};
+use workloads::tileio::TileIo;
+
+fn bench_datatype_flatten(c: &mut Criterion) {
+    c.bench_function("flatten tile 1024x768", |b| {
+        let t = Datatype::tile_2d(768 * 8, 1024 * 8, 768, 1024, 768 * 3, 1024 * 5, 64);
+        b.iter(|| t.flatten());
+    });
+    c.bench_function("flatten bt cell struct (q=8)", |b| {
+        let w = BtIo::with_grid(64, 64, 1);
+        let (_, ft) = workloads::Workload::view(&w, 17);
+        b.iter(|| ft.flatten());
+    });
+}
+
+fn bench_view_extents(c: &mut Criterion) {
+    let t = Datatype::tile_2d(768 * 8, 1024 * 8, 768, 1024, 768 * 3, 1024 * 5, 64);
+    let view = FileView::new(0, &t);
+    c.bench_function("view extents 48MB tile", |b| {
+        b.iter(|| view.extents(0, 768 * 1024 * 64));
+    });
+}
+
+fn bench_domains_and_reqs(c: &mut Criterion) {
+    c.bench_function("file domains 1024 aggs", |b| {
+        b.iter(|| compute_file_domains(0, 48 << 30, 1024));
+    });
+    let plan = AccessPlan::from_extents((0..768).map(|i| Ext::new(i << 20, 65536)).collect());
+    let domains = compute_file_domains(0, 768 << 20, 256);
+    c.bench_function("calc_my_req 768 runs x 256 domains", |b| {
+        b.iter(|| calc_my_req(&plan, &domains));
+    });
+}
+
+fn bench_rangeset(c: &mut Criterion) {
+    c.bench_function("rangeset 10k inserts", |b| {
+        b.iter_batched(
+            RangeSet::new,
+            |mut rs| {
+                for i in 0..10_000u64 {
+                    let s = (i * 7919) % 1_000_000;
+                    rs.insert(s, s + 64);
+                }
+                rs
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end-to-end (reduced scale)");
+    g.sample_size(10);
+    g.bench_function("ior 16p baseline", |b| {
+        b.iter(|| run_workload(Ior::tiny(16), RunConfig::paper(IoMode::Collective)))
+    });
+    g.bench_function("ior 16p parcoll-4", |b| {
+        b.iter(|| run_workload(Ior::tiny(16), RunConfig::paper(IoMode::Parcoll { groups: 4 })))
+    });
+    g.bench_function("tileio 16p baseline", |b| {
+        b.iter(|| run_workload(TileIo::tiny(16), RunConfig::paper(IoMode::Collective)))
+    });
+    g.bench_function("tileio 16p parcoll-4", |b| {
+        b.iter(|| run_workload(TileIo::tiny(16), RunConfig::paper(IoMode::Parcoll { groups: 4 })))
+    });
+    g.bench_function("btio 16p parcoll-4 (iview)", |b| {
+        b.iter(|| run_workload(BtIo::tiny(16), RunConfig::paper(IoMode::Parcoll { groups: 4 })))
+    });
+    g.bench_function("flash 16p parcoll-4", |b| {
+        b.iter(|| {
+            let mut w = FlashIo::checkpoint(16);
+            w.blocks_per_proc = 4;
+            run_workload(w, RunConfig::paper(IoMode::Parcoll { groups: 4 }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_datatype_flatten,
+    bench_view_extents,
+    bench_domains_and_reqs,
+    bench_rangeset,
+    bench_end_to_end
+);
+criterion_main!(benches);

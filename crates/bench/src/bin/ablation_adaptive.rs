@@ -1,0 +1,49 @@
+//! Ablation — adaptive group-size selection (the paper's §6 future work,
+//! implemented in `parcoll::adaptive`): on a repetitive IOR-style
+//! workload, the controller probes group counts over the first calls and
+//! commits to the fastest, landing near the best fixed choice without
+//! any offline tuning.
+
+use bench::{emit_json, print_table, Row, Scale};
+use workloads::ior::Ior;
+use workloads::runner::{run_workload, IoMode, RunConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (p, block, calls) = match scale {
+        Scale::Paper => (256usize, 256u64 << 20, Some(48)),
+        Scale::Quick => (16, 1 << 20, Some(8)),
+    };
+    let make = || Ior {
+        nprocs: p,
+        block_size: block,
+        transfer_size: 4 << 20,
+        max_calls: calls,
+    };
+    let mut rows = Vec::new();
+    for groups in [1usize, 4, 16, 32] {
+        if groups > p / 8 && groups > 1 {
+            continue;
+        }
+        let mode = if groups == 1 {
+            IoMode::Collective
+        } else {
+            IoMode::Parcoll { groups }
+        };
+        let r = run_workload(make(), RunConfig::paper(mode));
+        rows.push(Row::new(format!("fixed G={groups}"), p as f64, r.write_mbps, "MB/s"));
+    }
+    // Adaptive: hint-driven, no explicit group count.
+    let mut cfg = RunConfig::paper(IoMode::Parcoll { groups: 1 });
+    cfg.info.set("parcoll_adaptive", "true");
+    cfg.info.set("parcoll_min_group", 8);
+    let r = run_workload(make(), cfg);
+    rows.push(Row::new("adaptive", p as f64, r.write_mbps, "MB/s"));
+
+    print_table(
+        "Ablation: adaptive group-size selection vs fixed choices (IOR)",
+        "procs",
+        &rows,
+    );
+    emit_json("ablation_adaptive", &rows);
+}

@@ -1,0 +1,27 @@
+//! Ablation — group-size sweep across process counts (the paper's §4
+//! trade-off and its "future work" on adaptively choosing the best group
+//! size): for each process count, sweep the subgroup count and report the
+//! full curve, exposing where the balance between aggregation benefit and
+//! synchronization cost lands.
+
+use bench::figures::tileio_group_sweep;
+use bench::{emit_json, print_table, Row, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let procs: &[usize] = scale.pick(&[128, 256, 512], &[16]);
+    let mut rows: Vec<Row> = Vec::new();
+    for &p in procs {
+        let groups: Vec<usize> = [1usize, 4, 16, 64, 128]
+            .iter()
+            .copied()
+            .filter(|&g| g <= p / 2)
+            .collect();
+        for mut r in tileio_group_sweep(p, &groups, scale == Scale::Paper) {
+            r.series = format!("{p} procs");
+            rows.push(r);
+        }
+    }
+    print_table("Ablation: best subgroup count per process count", "groups", &rows);
+    emit_json("ablation_groupsize", &rows);
+}

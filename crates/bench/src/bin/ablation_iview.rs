@@ -1,0 +1,43 @@
+//! Ablation — intermediate-view strategies (paper §4.1): on the BT-IO
+//! pattern, compare (a) ParColl with reordering intermediate views (the
+//! default: the file is stored in logical order), (b) ParColl with
+//! physical-layout-preserving scatter, and (c) ParColl with view
+//! switching disabled (degenerates to one group). Shows both why view
+//! switching is needed for pattern (c) and why the logical layout is the
+//! only fast way to materialize it.
+
+use bench::figures::BASELINE;
+use bench::{emit_json, print_table, Row, Scale};
+use workloads::btio::BtIo;
+use workloads::runner::{run_workload, IoMode, RunConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (p, grid, steps, groups) = match scale {
+        Scale::Paper => (256, 162, 4, 32),
+        Scale::Quick => (16, 24, 2, 4),
+    };
+    let mut rows = Vec::new();
+
+    let base = run_workload(BtIo::with_grid(p, grid, steps), RunConfig::paper(IoMode::Collective));
+    rows.push(Row::new(BASELINE, p as f64, base.write_mbps, "MB/s"));
+
+    let reorder = run_workload(
+        BtIo::with_grid(p, grid, steps),
+        RunConfig::paper(IoMode::Parcoll { groups }),
+    );
+    rows.push(Row::new("ParColl (reordering iview)", p as f64, reorder.write_mbps, "MB/s"));
+
+    let mut cfg = RunConfig::paper(IoMode::Parcoll { groups });
+    cfg.info.set("parcoll_iview_scatter", "true");
+    let scatter = run_workload(BtIo::with_grid(p, grid, steps), cfg);
+    rows.push(Row::new("ParColl (scatter iview)", p as f64, scatter.write_mbps, "MB/s"));
+
+    let mut cfg = RunConfig::paper(IoMode::Parcoll { groups });
+    cfg.info.set("parcoll_force_iview", "false");
+    let noview = run_workload(BtIo::with_grid(p, grid, steps), cfg);
+    rows.push(Row::new("ParColl (view switching off)", p as f64, noview.write_mbps, "MB/s"));
+
+    print_table("Ablation: intermediate-view strategies on BT-IO", "procs", &rows);
+    emit_json("ablation_iview", &rows);
+}

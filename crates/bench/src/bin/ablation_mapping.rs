@@ -1,0 +1,36 @@
+//! Ablation — process placement under NIC injection serialization: both
+//! cores of a Cray XT PE share one SeaStar, so which ranks are co-located
+//! matters once injection is a bottleneck. The paper's Figure 5 uses
+//! block and cyclic mappings for aggregator distribution; here we measure
+//! the mapping's effect on the exchange phase directly by enabling the
+//! per-node injection port in the network model.
+
+use bench::figures::tileio_at;
+use bench::{emit_json, print_table, Row, Scale};
+use simnet::Mapping;
+use workloads::runner::{run_workload_with_net, IoMode, RunConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let procs = scale.pick(256, 16);
+    let mut rows = Vec::new();
+    for (label, mapping) in [("block mapping", Mapping::Block), ("cyclic mapping", Mapping::Cyclic)] {
+        for (nic, nic_label) in [(false, "shared-nothing"), (true, "shared NIC")] {
+            let mut cfg = RunConfig::paper(IoMode::Parcoll { groups: (procs / 16).max(2) });
+            cfg.mapping = mapping;
+            let r = run_workload_with_net(tileio_at(procs, scale == Scale::Paper), cfg, move |net| {
+                net.nic_serialize = nic;
+            });
+            rows.push(
+                Row::new(format!("{label}, {nic_label}"), procs as f64, r.write_mbps, "MB/s")
+                    .with("p2p_s", r.profile_avg.p2p.as_secs()),
+            );
+        }
+    }
+    print_table(
+        "Ablation: rank placement x NIC injection serialization (tile-io, ParColl)",
+        "procs",
+        &rows,
+    );
+    emit_json("ablation_mapping", &rows);
+}

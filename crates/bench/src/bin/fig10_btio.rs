@@ -1,0 +1,27 @@
+//! Figure 10 — "The Performance of BT-IO with ParColl": NAS BT-IO class C
+//! (162³ grid, diagonal multi-partitioning, full MPI-IO mode) bandwidth
+//! versus (square) process counts. BT-IO is the paper's pattern-(c)
+//! workload: its file views spread across the whole record and require
+//! ParColl's intermediate file views. "ParColl is beneficial ... for any
+//! number of processes."
+//!
+//! 10 of the 40 write steps are issued (steady state; `--quick` shrinks
+//! the grid).
+
+use bench::figures::btio_bandwidth;
+use bench::{emit_json, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (procs, grid, steps): (&[usize], usize, usize) = match scale {
+        Scale::Paper => (&[256, 324, 400, 484, 576], 162, 10),
+        Scale::Quick => (&[16, 36], 24, 2),
+    };
+    let rows = btio_bandwidth(procs, grid, steps, 64);
+    print_table(
+        "Figure 10: BT-IO class C bandwidth, baseline vs ParColl",
+        "procs",
+        &rows,
+    );
+    emit_json("fig10_btio", &rows);
+}

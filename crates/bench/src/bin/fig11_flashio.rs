@@ -1,0 +1,24 @@
+//! Figure 11 — "The Performance of Flash IO": checkpoint-write bandwidth
+//! of the Flash-IO kernel at 1024 processes under the default aggregator
+//! selection and under an explicit 64-aggregator hint, baseline vs
+//! ParColl-64, plus independent I/O ("Cray w/o Coll"). The paper: ParColl
+//! improves the default case by 38.5%; without collective I/O the
+//! checkpoint collapses to ~60 MB/s.
+
+use bench::figures::flashio_variants;
+use bench::{emit_json, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (procs, blocks, groups) = match scale {
+        Scale::Paper => (1024, 80, 64),
+        Scale::Quick => (16, 4, 4),
+    };
+    let rows = flashio_variants(procs, blocks, groups);
+    print_table(
+        "Figure 11: Flash-IO checkpoint bandwidth (1024 procs)",
+        "procs",
+        &rows,
+    );
+    emit_json("fig11_flashio", &rows);
+}

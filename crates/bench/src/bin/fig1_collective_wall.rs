@@ -1,0 +1,19 @@
+//! Figure 1 — "The Collective Wall in Collective IO": the share of
+//! MPI-Tile-IO collective-write time spent in global synchronization as
+//! the process count grows under the baseline extended two-phase
+//! protocol. The paper measures 72% at 512 processes.
+
+use bench::figures::collective_wall;
+use bench::{emit_json, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let procs: &[usize] = scale.pick(&[16, 32, 64, 128, 256, 512], &[8, 16, 32]);
+    let rows = collective_wall(procs, scale == Scale::Paper);
+    print_table(
+        "Figure 1: the collective wall — % of MPI-Tile-IO time in global sync",
+        "procs",
+        &rows,
+    );
+    emit_json("fig1_collective_wall", &rows);
+}

@@ -1,0 +1,32 @@
+//! Figure 2 — "Collective I/O Time Breakdown": absolute per-rank seconds
+//! in synchronization, point-to-point exchange and file I/O for
+//! MPI-Tile-IO under the baseline protocol. The paper's observation:
+//! "the processing time spent in synchronization grows much faster
+//! compared to the time spent on point-to-point communication and file
+//! I/O", overtaking them by 512 processes.
+
+use bench::figures::collective_wall;
+use bench::{emit_json, print_table, Row, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let procs: &[usize] = scale.pick(&[16, 32, 64, 128, 256, 512], &[8, 16, 32]);
+    let rows = collective_wall(procs, scale == Scale::Paper);
+    // Re-shape into one series per component, as the paper plots them.
+    let mut out = Vec::new();
+    for r in &rows {
+        for (series, key) in [
+            ("sync", "sync_s"),
+            ("point-to-point", "p2p_s"),
+            ("file I/O", "io_s"),
+        ] {
+            out.push(Row::new(series, r.x, r.extra[key], "s"));
+        }
+    }
+    print_table(
+        "Figure 2: collective I/O time breakdown (per-rank seconds, baseline)",
+        "procs",
+        &out,
+    );
+    emit_json("fig2_breakdown", &out);
+}

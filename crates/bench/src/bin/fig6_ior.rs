@@ -1,0 +1,34 @@
+//! Figure 6 — "Benefits of ParColl to IOR collective I/O": aggregate
+//! write bandwidth of IOR (each process collectively writing a contiguous
+//! 512 MB block in 4 MB transfers to a shared file) at 128 and 512
+//! processes, baseline vs ParColl-N with a least group size of 8. The
+//! paper reports 380 MB/s for the baseline at 512 processes and up to
+//! 5301 MB/s (12.8x) for ParColl.
+//!
+//! The full 128-transfer sequence is issued at 512 processes; pass
+//! `--quick` for a short smoke run.
+
+use bench::figures::ior_bandwidth;
+use bench::{emit_json, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (procs, groups, block, transfer, calls): (&[usize], &[usize], u64, u64, Option<usize>) =
+        match scale {
+            Scale::Paper => (
+                &[128, 512],
+                &[2, 4, 8, 16, 32, 64],
+                512 << 20,
+                4 << 20,
+                Some(64), // 64 of 128 transfers: steady state at half the host time
+            ),
+            Scale::Quick => (&[32], &[2, 4], 64 << 10, 16 << 10, None),
+        };
+    let rows = ior_bandwidth(procs, groups, block, transfer, calls);
+    print_table(
+        "Figure 6: IOR collective write bandwidth, baseline vs ParColl-N",
+        "procs",
+        &rows,
+    );
+    emit_json("fig6_ior", &rows);
+}

@@ -1,0 +1,23 @@
+//! Figure 7 — "Performance of MPI-Tile-IO": collective write and read
+//! bandwidth at 512 processes as the number of ParColl subgroups varies.
+//! The paper's best point is 64 subgroups (+210% write, +180% read over
+//! the baseline); beyond it, over-partitioning collapses ("fine-grained
+//! I/O relinquishes the benefits of aggregation").
+
+use bench::figures::tileio_group_sweep;
+use bench::{emit_json, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (procs, groups): (usize, &[usize]) = match scale {
+        Scale::Paper => (512, &[1, 2, 4, 8, 16, 32, 64, 128, 256]),
+        Scale::Quick => (16, &[1, 2, 4]),
+    };
+    let rows = tileio_group_sweep(procs, groups, scale == Scale::Paper);
+    print_table(
+        "Figure 7: MPI-Tile-IO bandwidth vs number of subgroups (512 procs)",
+        "groups",
+        &rows,
+    );
+    emit_json("fig7_tileio_groups", &rows);
+}

@@ -1,0 +1,29 @@
+//! Figure 8 — "Reduction of Synchronization Cost": the synchronization
+//! time of the Figure 7 sweep, in absolute seconds and as a share of the
+//! total, versus the subgroup count. The paper: "the synchronization cost
+//! is significantly reduced by both absolute value and relative ratio."
+
+use bench::figures::tileio_group_sweep;
+use bench::{emit_json, print_table, Row, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let (procs, groups): (usize, &[usize]) = match scale {
+        Scale::Paper => (512, &[1, 2, 4, 8, 16, 32, 64]),
+        Scale::Quick => (16, &[1, 2, 4]),
+    };
+    let rows = tileio_group_sweep(procs, groups, scale == Scale::Paper);
+    let mut out = Vec::new();
+    for r in &rows {
+        out.push(
+            Row::new("sync seconds (avg rank)", r.x, r.extra["sync_s_avg"], "s")
+                .with("sync_ratio", r.extra["sync_ratio"]),
+        );
+    }
+    print_table(
+        "Figure 8: synchronization cost vs subgroups (MPI-Tile-IO, 512 procs)",
+        "groups",
+        &out,
+    );
+    emit_json("fig8_sync_reduction", &out);
+}

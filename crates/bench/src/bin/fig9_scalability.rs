@@ -1,0 +1,20 @@
+//! Figure 9 — "The Improved Scalability of MPI-Tile-IO": collective-write
+//! bandwidth versus process count, baseline vs ParColl at its best group
+//! count. The paper: at 1024 processes ParColl reaches 11.4 GB/s, 416% of
+//! the baseline's 2.7 GB/s, with improvement "nearly proportional to the
+//! number of processes".
+
+use bench::figures::tileio_scalability;
+use bench::{emit_json, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let procs: &[usize] = scale.pick(&[64, 128, 256, 512, 1024], &[8, 16]);
+    let rows = tileio_scalability(procs, |p| (p / 8).min(64), scale == Scale::Paper);
+    print_table(
+        "Figure 9: MPI-Tile-IO write scalability, baseline vs ParColl(best)",
+        "procs",
+        &rows,
+    );
+    emit_json("fig9_scalability", &rows);
+}

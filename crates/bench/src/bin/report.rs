@@ -1,0 +1,80 @@
+//! `report` — render the JSON series under `bench_results/` as markdown
+//! tables (one per figure), so EXPERIMENTS.md numbers are regenerable
+//! with two commands: run the figure binaries, then `report`.
+
+use bench::Row;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+fn main() {
+    let dir = Path::new("bench_results");
+    let mut entries: Vec<_> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(e) => {
+            eprintln!("no bench_results directory ({e}); run the figure binaries first");
+            std::process::exit(1);
+        }
+    };
+    entries.sort();
+    for path in entries {
+        let name = path.file_stem().unwrap().to_string_lossy().to_string();
+        let rows: Vec<Row> = match std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok())
+        {
+            Some(r) => r,
+            None => {
+                eprintln!("skipping {name}: unreadable");
+                continue;
+            }
+        };
+        println!("\n### {name}\n");
+        print_markdown(&rows);
+    }
+}
+
+/// Pivot rows into series × x markdown.
+fn print_markdown(rows: &[Row]) {
+    let mut xs: Vec<String> = Vec::new();
+    let mut series: Vec<String> = Vec::new();
+    let mut cell: BTreeMap<(String, String), f64> = BTreeMap::new();
+    let unit = rows.first().map(|r| r.unit.clone()).unwrap_or_default();
+    for r in rows {
+        let x = if r.x.fract() == 0.0 {
+            format!("{}", r.x as i64)
+        } else {
+            format!("{:.2}", r.x)
+        };
+        if !xs.contains(&x) {
+            xs.push(x.clone());
+        }
+        if !series.contains(&r.series) {
+            series.push(r.series.clone());
+        }
+        cell.insert((r.series.clone(), x), r.y);
+    }
+    print!("| series ({unit}) |");
+    for x in &xs {
+        print!(" {x} |");
+    }
+    println!();
+    print!("|---|");
+    for _ in &xs {
+        print!("---|");
+    }
+    println!();
+    for s in &series {
+        print!("| {s} |");
+        for x in &xs {
+            match cell.get(&(s.clone(), x.clone())) {
+                Some(v) => print!(" {v:.1} |"),
+                None => print!(" — |"),
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,41 @@
+//! # bench — the figure-reproduction harness
+//!
+//! One binary per figure of the paper's evaluation (§5), each printing
+//! the same series the paper plots and emitting machine-readable JSON
+//! under `bench_results/`:
+//!
+//! | binary | paper figure | content |
+//! |---|---|---|
+//! | `fig5_aggregators` | Fig. 5 | the aggregator-distribution table, verbatim |
+//! | `fig1_collective_wall` | Fig. 1 | % of MPI-Tile-IO time in global sync vs process count |
+//! | `fig2_breakdown` | Fig. 2 | absolute sync / p2p / file-I/O time vs process count |
+//! | `fig6_ior` | Fig. 6 | IOR collective-write bandwidth, baseline vs ParColl-N |
+//! | `fig7_tileio_groups` | Fig. 7 | MPI-Tile-IO read/write bandwidth vs subgroup count |
+//! | `fig8_sync_reduction` | Fig. 8 | synchronization time (abs and ratio) vs subgroup count |
+//! | `fig9_scalability` | Fig. 9 | MPI-Tile-IO write bandwidth vs process count |
+//! | `fig10_btio` | Fig. 10 | BT-IO class C bandwidth vs process count |
+//! | `fig11_flashio` | Fig. 11 | Flash-IO checkpoint bandwidth, aggregator variants |
+//! | `ablation_alltoall` | §1 claim | pairwise vs Bruck alltoall: the wall survives |
+//! | `ablation_groupsize` | §4 trade-off | group-size sweep across process counts |
+//! | `ablation_iview` | §4.1 | reordering vs scatter vs disabled intermediate views |
+//! | `ablation_adaptive` | §6 future work | adaptive group-size controller vs fixed choices |
+//! | `ablation_mapping` | Fig. 5 context | block vs cyclic placement under shared-NIC injection |
+//!
+//! Also here: `parcoll_sim`, a command-line driver for any workload ×
+//! mode × scale; `report`, which renders `bench_results/*.json` as
+//! markdown; and `calibrate`, which re-checks every headline number
+//! against its paper target.
+//!
+//! Binaries accept `--quick` to run a reduced-scale version (smaller
+//! process counts and data) for smoke testing; the default is the paper's
+//! scale. Criterion micro-benchmarks of the protocol building blocks live
+//! in `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod scale;
+pub mod table;
+
+pub use scale::Scale;
+pub use table::{emit_json, print_table, Row};

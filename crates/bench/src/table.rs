@@ -1,0 +1,131 @@
+//! Result rows, console tables and JSON emission.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// One measured point of a figure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Row {
+    /// Series label (e.g. "ParColl-64", "Cray/ext2ph baseline").
+    pub series: String,
+    /// X coordinate label (e.g. process count, subgroup count).
+    pub x: f64,
+    /// Primary Y value.
+    pub y: f64,
+    /// Unit of `y` (e.g. "MB/s", "s", "%").
+    pub unit: String,
+    /// Additional named values (profile components etc.).
+    pub extra: BTreeMap<String, f64>,
+}
+
+impl Row {
+    /// Construct a row.
+    pub fn new(series: impl Into<String>, x: f64, y: f64, unit: impl Into<String>) -> Self {
+        Row {
+            series: series.into(),
+            x,
+            y,
+            unit: unit.into(),
+            extra: BTreeMap::new(),
+        }
+    }
+
+    /// Attach a named extra value.
+    pub fn with(mut self, key: &str, value: f64) -> Self {
+        self.extra.insert(key.to_string(), value);
+        self
+    }
+}
+
+/// Print rows as an aligned console table, grouped by series.
+pub fn print_table(title: &str, xlabel: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    let extra_keys: Vec<String> = {
+        let mut keys: Vec<String> = rows
+            .iter()
+            .flat_map(|r| r.extra.keys().cloned())
+            .collect();
+        keys.sort();
+        keys.dedup();
+        keys
+    };
+    print!("{:<28} {:>10} {:>14}", "series", xlabel, "value");
+    for k in &extra_keys {
+        print!(" {k:>14}");
+    }
+    println!();
+    for r in rows {
+        print!(
+            "{:<28} {:>10} {:>10.1} {:>3}",
+            r.series,
+            format_x(r.x),
+            r.y,
+            r.unit
+        );
+        for k in &extra_keys {
+            match r.extra.get(k) {
+                Some(v) => print!(" {v:>14.4}"),
+                None => print!(" {:>14}", "-"),
+            }
+        }
+        println!();
+    }
+}
+
+fn format_x(x: f64) -> String {
+    if x.fract() == 0.0 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Write rows as JSON to `bench_results/<name>.json` (creating the
+/// directory), so EXPERIMENTS.md numbers are regenerable.
+pub fn emit_json(name: &str, rows: &[Row]) {
+    let dir = Path::new("bench_results");
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {dir:?}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(rows) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: cannot write {path:?}: {e}");
+            } else {
+                println!("[wrote {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialize rows: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_builder() {
+        let r = Row::new("s", 1.0, 2.0, "MB/s").with("sync", 0.5);
+        assert_eq!(r.series, "s");
+        assert_eq!(r.extra["sync"], 0.5);
+    }
+
+    #[test]
+    fn table_prints_without_panic() {
+        let rows = vec![
+            Row::new("a", 128.0, 100.0, "MB/s").with("sync_s", 1.0),
+            Row::new("b", 512.0, 4000.0, "MB/s"),
+        ];
+        print_table("test", "procs", &rows);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let rows = vec![Row::new("a", 1.0, 2.0, "s")];
+        let json = serde_json::to_string(&rows).unwrap();
+        assert!(json.contains("\"series\":\"a\""));
+    }
+}

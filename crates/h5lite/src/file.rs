@@ -1,0 +1,222 @@
+//! The container file: collective create/open/close, dataset registry,
+//! attributes.
+
+use crate::dataset::Dataset;
+use crate::meta::{AttrValue, DatasetInfo, Metadata, DATA_REGION_START};
+use mpiio::PhaseProfile;
+use parcoll::ParcollFile;
+use simfs::FileSystem;
+use simmpi::{Communicator, Info};
+use simnet::IoBuffer;
+
+/// An open h5lite container.
+///
+/// All metadata operations (`create_dataset`, `set_attr`, `close`) are
+/// collective, like HDF5's; dataset payload I/O goes through the wrapped
+/// [`ParcollFile`], so the same `MPI_Info` hints that tune ParColl for a
+/// raw MPI-IO file tune it here.
+pub struct H5File<'ep> {
+    file: ParcollFile<'ep>,
+    meta: Metadata,
+    writable: bool,
+}
+
+impl<'ep> H5File<'ep> {
+    /// Collectively create a new container (truncating any previous one).
+    pub fn create(
+        comm: &Communicator<'ep>,
+        fs: &FileSystem,
+        path: &str,
+        info: &Info,
+    ) -> H5File<'ep> {
+        // One rank truncates; everyone opens the fresh entry afterwards
+        // (racing unlinks would orphan other ranks' handles).
+        if comm.rank() == 0 {
+            fs.unlink(path);
+        }
+        comm.barrier();
+        let file = ParcollFile::open(comm, fs, path, info);
+        H5File {
+            file,
+            meta: Metadata::default(),
+            writable: true,
+        }
+    }
+
+    /// Collectively open an existing container read-only. Panics if the
+    /// metadata region is not a valid h5lite header.
+    pub fn open(
+        comm: &Communicator<'ep>,
+        fs: &FileSystem,
+        path: &str,
+        info: &Info,
+    ) -> H5File<'ep> {
+        let mut file = ParcollFile::open(comm, fs, path, info);
+        let blob = file.read_at(0, DATA_REGION_START);
+        let meta = Metadata::decode(blob.as_slice().expect("metadata is real data"))
+            .expect("not an h5lite file");
+        H5File {
+            file,
+            meta,
+            writable: false,
+        }
+    }
+
+    /// The metadata (datasets and attributes).
+    pub fn metadata(&self) -> &Metadata {
+        &self.meta
+    }
+
+    /// Collectively create a dataset. Every rank passes identical
+    /// arguments (HDF5's rule), so the descriptor — including the payload
+    /// offset — is computed locally and identically everywhere with no
+    /// communication.
+    pub fn create_dataset(
+        &mut self,
+        name: &str,
+        dims: &[u64],
+        elem_size: u64,
+    ) -> Dataset {
+        assert!(self.writable, "container opened read-only");
+        assert!(
+            self.meta.dataset(name).is_none(),
+            "dataset {name:?} already exists"
+        );
+        assert!(!dims.is_empty() && dims.iter().all(|&d| d > 0), "bad dims");
+        let info = DatasetInfo {
+            name: name.to_string(),
+            elem_size,
+            dims: dims.to_vec(),
+            data_offset: self.meta.next_data_offset(),
+        };
+        self.meta.datasets.push(info.clone());
+        Dataset::new(info)
+    }
+
+    /// Open an existing dataset by name.
+    pub fn dataset(&self, name: &str) -> Dataset {
+        Dataset::new(
+            self.meta
+                .dataset(name)
+                .unwrap_or_else(|| panic!("no dataset {name:?}"))
+                .clone(),
+        )
+    }
+
+    /// Set an attribute on a dataset (`""` = the file root). Collective;
+    /// all ranks pass identical values.
+    pub fn set_attr(&mut self, dataset: &str, key: &str, value: AttrValue) {
+        assert!(self.writable, "container opened read-only");
+        self.meta
+            .attrs
+            .insert((dataset.to_string(), key.to_string()), value);
+    }
+
+    /// Read an attribute.
+    pub fn attr(&self, dataset: &str, key: &str) -> Option<&AttrValue> {
+        self.meta.attrs.get(&(dataset.to_string(), key.to_string()))
+    }
+
+    /// The wrapped ParColl file (for hyperslab I/O — see
+    /// [`Dataset`]).
+    pub fn raw(&mut self) -> &mut ParcollFile<'ep> {
+        &mut self.file
+    }
+
+    /// Collectively close. On a writable container rank 0 flushes the
+    /// metadata region first (HDF5's header flush at `H5Fclose`).
+    pub fn close(mut self) -> PhaseProfile {
+        if self.writable {
+            let comm = self.file.inner().comm().clone();
+            // Dataset I/O leaves a subarray view installed; metadata is
+            // addressed in raw bytes.
+            self.file.set_view(0, &mpiio::Datatype::contiguous_bytes(1));
+            if comm.rank() == 0 {
+                let blob = self.meta.encode();
+                self.file.write_at(0, &IoBuffer::from_slice(&blob));
+            }
+            comm.barrier();
+        }
+        self.file.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simfs::FsConfig;
+    use simnet::{run_cluster, ClusterConfig, Mapping};
+
+    #[test]
+    fn create_write_reopen_read() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::cray_xt(4, Mapping::Block), move |ep| {
+            let comm = Communicator::world(&ep);
+            let rank = comm.rank();
+            let info = Info::new().with("parcoll_groups", 2).with("parcoll_min_group", 1);
+            {
+                let mut h5 = H5File::create(&comm, &fs2, "/chk.h5", &info);
+                let ds = h5.create_dataset("dens", &[4, 8], 2); // 4 rows x 8 cols, 2B
+                // Each rank writes its row collectively.
+                let row: Vec<u8> = (0..16).map(|i| (rank * 16 + i) as u8).collect();
+                ds.write_slab_all(h5.raw(), &[rank as u64, 0], &[1, 8], &IoBuffer::from_slice(&row));
+                h5.set_attr("dens", "time", AttrValue::Float(0.5));
+                h5.set_attr("", "nstep", AttrValue::Int(7));
+                h5.close();
+            }
+            comm.barrier();
+            {
+                let mut h5 = H5File::open(&comm, &fs2, "/chk.h5", &info);
+                assert_eq!(h5.attr("dens", "time"), Some(&AttrValue::Float(0.5)));
+                assert_eq!(h5.attr("", "nstep"), Some(&AttrValue::Int(7)));
+                let ds = h5.dataset("dens");
+                assert_eq!(ds.info().dims, vec![4, 8]);
+                // Read back the next rank's row.
+                let peer = (rank + 1) % 4;
+                let got = ds.read_slab_all(h5.raw(), &[peer as u64, 0], &[1, 8]);
+                let expect: Vec<u8> = (0..16).map(|i| (peer * 16 + i) as u8).collect();
+                assert_eq!(got.as_slice().unwrap(), expect.as_slice());
+                h5.close();
+            }
+            let _ = ep;
+        });
+    }
+
+    #[test]
+    fn multiple_datasets_do_not_overlap() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::cray_xt(2, Mapping::Block), move |ep| {
+            let comm = Communicator::world(&ep);
+            let mut h5 = H5File::create(&comm, &fs2, "/multi.h5", &Info::new());
+            let a = h5.create_dataset("a", &[2, 4], 1);
+            let b = h5.create_dataset("b", &[2, 4], 1);
+            assert_eq!(b.info().data_offset, a.info().data_offset + 8);
+            let fill = |v: u8| IoBuffer::from_slice(&[v; 4]);
+            a.write_slab_all(h5.raw(), &[comm.rank() as u64, 0], &[1, 4], &fill(1));
+            b.write_slab_all(h5.raw(), &[comm.rank() as u64, 0], &[1, 4], &fill(2));
+            comm.barrier();
+            let got_a = a.read_slab_all(h5.raw(), &[comm.rank() as u64, 0], &[1, 4]);
+            let got_b = b.read_slab_all(h5.raw(), &[comm.rank() as u64, 0], &[1, 4]);
+            assert_eq!(got_a.as_slice().unwrap(), &[1; 4]);
+            assert_eq!(got_b.as_slice().unwrap(), &[2; 4]);
+            let _ = ep;
+            h5.close();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_dataset_rejected() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::cray_xt(1, Mapping::Block), move |ep| {
+            let comm = Communicator::world(&ep);
+            let mut h5 = H5File::create(&comm, &fs2, "/dup.h5", &Info::new());
+            let _ = h5.create_dataset("x", &[4], 1);
+            let _ = ep;
+            let _ = h5.create_dataset("x", &[4], 1);
+        });
+    }
+}

@@ -1,0 +1,259 @@
+//! On-disk metadata: superblock, dataset table, attributes.
+//!
+//! Everything is little-endian and length-prefixed; the whole metadata
+//! region is (de)serialized as one blob so rank 0 can write it with a
+//! single independent I/O at close, the way HDF5 flushes its object
+//! headers.
+
+use std::collections::BTreeMap;
+
+/// File magic, version 1.
+pub const MAGIC: &[u8; 4] = b"H5L1";
+
+/// First byte of the dataset payload region; the metadata region is
+/// everything before it.
+pub const DATA_REGION_START: u64 = 64 * 1024;
+
+/// One dataset's descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetInfo {
+    /// Dataset name (unique within the file).
+    pub name: String,
+    /// Bytes per element.
+    pub elem_size: u64,
+    /// Dimensions, slowest-varying first.
+    pub dims: Vec<u64>,
+    /// Absolute file offset of the payload.
+    pub data_offset: u64,
+}
+
+impl DatasetInfo {
+    /// Total payload bytes.
+    pub fn nbytes(&self) -> u64 {
+        self.dims.iter().product::<u64>() * self.elem_size
+    }
+}
+
+/// An attribute value: small typed metadata attached to a dataset (or
+/// the file root, keyed by the empty dataset name).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Integer attribute.
+    Int(i64),
+    /// Floating-point attribute.
+    Float(f64),
+    /// Text attribute.
+    Text(String),
+}
+
+/// The file's full metadata: dataset table plus attributes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metadata {
+    /// Datasets in creation order.
+    pub datasets: Vec<DatasetInfo>,
+    /// Attributes keyed by `(dataset name, key)`.
+    pub attrs: BTreeMap<(String, String), AttrValue>,
+}
+
+impl Metadata {
+    /// Look up a dataset by name.
+    pub fn dataset(&self, name: &str) -> Option<&DatasetInfo> {
+        self.datasets.iter().find(|d| d.name == name)
+    }
+
+    /// The next free payload offset.
+    pub fn next_data_offset(&self) -> u64 {
+        self.datasets
+            .last()
+            .map(|d| d.data_offset + d.nbytes())
+            .unwrap_or(DATA_REGION_START)
+    }
+
+    /// Serialize to the metadata blob.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1024);
+        out.extend_from_slice(MAGIC);
+        put_u64(&mut out, self.datasets.len() as u64);
+        for d in &self.datasets {
+            put_str(&mut out, &d.name);
+            put_u64(&mut out, d.elem_size);
+            put_u64(&mut out, d.dims.len() as u64);
+            for &dim in &d.dims {
+                put_u64(&mut out, dim);
+            }
+            put_u64(&mut out, d.data_offset);
+        }
+        put_u64(&mut out, self.attrs.len() as u64);
+        for ((ds, key), val) in &self.attrs {
+            put_str(&mut out, ds);
+            put_str(&mut out, key);
+            match val {
+                AttrValue::Int(v) => {
+                    out.push(0);
+                    put_u64(&mut out, *v as u64);
+                }
+                AttrValue::Float(v) => {
+                    out.push(1);
+                    put_u64(&mut out, v.to_bits());
+                }
+                AttrValue::Text(s) => {
+                    out.push(2);
+                    put_str(&mut out, s);
+                }
+            }
+        }
+        assert!(
+            out.len() as u64 <= DATA_REGION_START,
+            "metadata region overflow: {} bytes (max {DATA_REGION_START})",
+            out.len()
+        );
+        out
+    }
+
+    /// Parse a metadata blob. Returns `None` on bad magic or truncation.
+    pub fn decode(bytes: &[u8]) -> Option<Metadata> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        if cur.take(4)? != MAGIC.as_slice() {
+            return None;
+        }
+        let ndatasets = cur.u64()?;
+        let mut datasets = Vec::with_capacity(ndatasets as usize);
+        for _ in 0..ndatasets {
+            let name = cur.string()?;
+            let elem_size = cur.u64()?;
+            let ndims = cur.u64()?;
+            let dims = (0..ndims).map(|_| cur.u64()).collect::<Option<Vec<_>>>()?;
+            let data_offset = cur.u64()?;
+            datasets.push(DatasetInfo {
+                name,
+                elem_size,
+                dims,
+                data_offset,
+            });
+        }
+        let nattrs = cur.u64()?;
+        let mut attrs = BTreeMap::new();
+        for _ in 0..nattrs {
+            let ds = cur.string()?;
+            let key = cur.string()?;
+            let tag = cur.take(1)?[0];
+            let val = match tag {
+                0 => AttrValue::Int(cur.u64()? as i64),
+                1 => AttrValue::Float(f64::from_bits(cur.u64()?)),
+                2 => AttrValue::Text(cur.string()?),
+                _ => return None,
+            };
+            attrs.insert((ds, key), val);
+        }
+        Some(Metadata { datasets, attrs })
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let out = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(out)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn string(&mut self) -> Option<String> {
+        let n = self.u64()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Metadata {
+        let mut m = Metadata::default();
+        m.datasets.push(DatasetInfo {
+            name: "dens".into(),
+            elem_size: 8,
+            dims: vec![160, 32, 32, 32],
+            data_offset: DATA_REGION_START,
+        });
+        m.datasets.push(DatasetInfo {
+            name: "pres".into(),
+            elem_size: 8,
+            dims: vec![160, 32, 32, 32],
+            data_offset: m.next_data_offset(),
+        });
+        m.attrs
+            .insert(("".into(), "nstep".into()), AttrValue::Int(42));
+        m.attrs
+            .insert(("dens".into(), "time".into()), AttrValue::Float(0.125));
+        m.attrs.insert(
+            ("pres".into(), "unit".into()),
+            AttrValue::Text("dyn/cm^2".into()),
+        );
+        m
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let m = sample();
+        let blob = m.encode();
+        let back = Metadata::decode(&blob).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn offsets_are_sequential() {
+        let m = sample();
+        let d0 = &m.datasets[0];
+        let d1 = &m.datasets[1];
+        assert_eq!(d0.data_offset, DATA_REGION_START);
+        assert_eq!(d1.data_offset, d0.data_offset + d0.nbytes());
+        assert_eq!(d0.nbytes(), 160 * 32 * 32 * 32 * 8);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut blob = sample().encode();
+        blob[0] = b'X';
+        assert!(Metadata::decode(&blob).is_none());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let blob = sample().encode();
+        for cut in [3, 11, blob.len() - 1] {
+            assert!(Metadata::decode(&blob[..cut]).is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn empty_metadata_round_trips() {
+        let m = Metadata::default();
+        assert_eq!(Metadata::decode(&m.encode()).unwrap(), m);
+        assert_eq!(m.next_data_offset(), DATA_REGION_START);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let m = sample();
+        assert!(m.dataset("dens").is_some());
+        assert!(m.dataset("nope").is_none());
+    }
+}

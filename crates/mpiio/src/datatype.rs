@@ -1,0 +1,597 @@
+//! MPI-style derived datatypes and their flattened form.
+//!
+//! Scientific applications describe non-contiguous file layouts with
+//! derived datatypes (the paper's workloads: MPI-Tile-IO uses subarrays,
+//! BT-IO uses nested struct/indexed types). Implementations do not
+//! interpret the type tree on every access; they *flatten* it once into a
+//! sorted list of `(offset, length)` runs (`ADIOI_Flatten` in ROMIO) and
+//! work with runs from then on. We model datatypes in bytes — an "element
+//! type" is just its size — which loses no generality for I/O.
+
+use std::sync::Arc;
+
+/// A contiguous byte run within a datatype's extent or within a file:
+/// `[off, off + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Ext {
+    /// Start offset in bytes.
+    pub off: u64,
+    /// Length in bytes (> 0 in normalized lists).
+    pub len: u64,
+}
+
+impl Ext {
+    /// Construct a run.
+    pub fn new(off: u64, len: u64) -> Self {
+        Ext { off, len }
+    }
+
+    /// One-past-the-end offset.
+    pub fn end(&self) -> u64 {
+        self.off + self.len
+    }
+
+    /// True if the runs share at least one byte.
+    pub fn overlaps(&self, other: &Ext) -> bool {
+        self.off < other.end() && other.off < self.end()
+    }
+}
+
+/// An MPI-like derived datatype over bytes.
+///
+/// # Examples
+///
+/// ```
+/// use mpiio::{Datatype, Ext};
+///
+/// // One 2x3 tile of a 4x6 array of 2-byte pixels:
+/// let tile = Datatype::tile_2d(4, 6, 2, 3, 1, 2, 2);
+/// let flat = tile.flatten();
+/// assert_eq!(flat.segs, vec![Ext::new(16, 6), Ext::new(28, 6)]);
+/// assert_eq!(flat.size, 12);          // data bytes per repetition
+/// assert_eq!(flat.extent, 4 * 6 * 2); // tiling stride
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Datatype {
+    /// `len` contiguous bytes (the elementary type).
+    Bytes(u64),
+    /// `count` copies of `inner`, laid end to end at `inner.extent()`.
+    Contiguous {
+        /// Repetition count.
+        count: usize,
+        /// Replicated type.
+        inner: Box<Datatype>,
+    },
+    /// `count` blocks of `blocklen` copies of `inner`, consecutive blocks
+    /// `stride` inner-extents apart (`MPI_Type_vector`).
+    Vector {
+        /// Number of blocks.
+        count: usize,
+        /// Inner copies per block.
+        blocklen: usize,
+        /// Block-to-block distance in units of `inner.extent()`.
+        stride: usize,
+        /// Element type.
+        inner: Box<Datatype>,
+    },
+    /// Blocks of `inner` at explicit byte displacements
+    /// (`MPI_Type_create_hindexed`): `(byte_disp, inner_count)`.
+    HIndexed {
+        /// (displacement in bytes, number of consecutive inner copies).
+        blocks: Vec<(u64, usize)>,
+        /// Element type.
+        inner: Box<Datatype>,
+    },
+    /// Heterogeneous fields at byte displacements
+    /// (`MPI_Type_create_struct`).
+    Struct {
+        /// (displacement in bytes, field type).
+        fields: Vec<(u64, Datatype)>,
+    },
+    /// Override the extent (`MPI_Type_create_resized`); used to tile
+    /// types at strides other than their natural span.
+    Resized {
+        /// New extent in bytes.
+        extent: u64,
+        /// Underlying type.
+        inner: Box<Datatype>,
+    },
+    /// An n-dimensional subarray of a row-major array of `elem`-byte
+    /// elements (`MPI_Type_create_subarray`) — the natural description of
+    /// a tile in a global 2-D dataset or a block in a 3-D mesh.
+    Subarray {
+        /// Full array dimensions, slowest-varying first.
+        sizes: Vec<usize>,
+        /// Sub-block dimensions.
+        subsizes: Vec<usize>,
+        /// Sub-block start coordinates.
+        starts: Vec<usize>,
+        /// Element size in bytes.
+        elem: u64,
+    },
+}
+
+impl Datatype {
+    /// Convenience: a contiguous type of `n` bytes.
+    pub fn contiguous_bytes(n: u64) -> Datatype {
+        Datatype::Bytes(n)
+    }
+
+    /// Convenience: a 2-D subarray (tile) of a `rows`×`cols` array.
+    pub fn tile_2d(
+        rows: usize,
+        cols: usize,
+        tile_rows: usize,
+        tile_cols: usize,
+        start_row: usize,
+        start_col: usize,
+        elem: u64,
+    ) -> Datatype {
+        Datatype::Subarray {
+            sizes: vec![rows, cols],
+            subsizes: vec![tile_rows, tile_cols],
+            starts: vec![start_row, start_col],
+            elem,
+        }
+    }
+
+    /// Convenience: `MPI_Type_create_indexed_block` — equal-size blocks of
+    /// `inner` at element displacements (in units of `inner.extent()`).
+    pub fn indexed_block(displacements: &[u64], blocklen: usize, inner: Datatype) -> Datatype {
+        let ext = inner.extent();
+        Datatype::HIndexed {
+            blocks: displacements.iter().map(|&d| (d * ext, blocklen)).collect(),
+            inner: Box::new(inner),
+        }
+    }
+
+    /// Convenience: a Fortran-order (column-major) subarray, expressed by
+    /// reversing the dimension order of the row-major representation —
+    /// the layout BT's Fortran arrays use on disk.
+    pub fn subarray_fortran(
+        sizes: &[usize],
+        subsizes: &[usize],
+        starts: &[usize],
+        elem: u64,
+    ) -> Datatype {
+        let rev = |v: &[usize]| v.iter().rev().copied().collect::<Vec<_>>();
+        Datatype::Subarray {
+            sizes: rev(sizes),
+            subsizes: rev(subsizes),
+            starts: rev(starts),
+            elem,
+        }
+    }
+
+    /// Total data bytes (sum of leaf bytes) — `MPI_Type_size`.
+    pub fn size(&self) -> u64 {
+        match self {
+            Datatype::Bytes(n) => *n,
+            Datatype::Contiguous { count, inner } => *count as u64 * inner.size(),
+            Datatype::Vector {
+                count, blocklen, inner, ..
+            } => (*count * *blocklen) as u64 * inner.size(),
+            Datatype::HIndexed { blocks, inner } => {
+                blocks.iter().map(|&(_, c)| c as u64).sum::<u64>() * inner.size()
+            }
+            Datatype::Struct { fields } => fields.iter().map(|(_, t)| t.size()).sum(),
+            Datatype::Resized { inner, .. } => inner.size(),
+            Datatype::Subarray { subsizes, elem, .. } => {
+                subsizes.iter().map(|&s| s as u64).product::<u64>() * elem
+            }
+        }
+    }
+
+    /// Span from 0 to the last byte used — `MPI_Type_extent` (lower bound
+    /// is always 0 in this model).
+    pub fn extent(&self) -> u64 {
+        match self {
+            Datatype::Bytes(n) => *n,
+            Datatype::Contiguous { count, inner } => *count as u64 * inner.extent(),
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                inner,
+            } => {
+                if *count == 0 {
+                    0
+                } else {
+                    ((*count - 1) * *stride + *blocklen) as u64 * inner.extent()
+                }
+            }
+            Datatype::HIndexed { blocks, inner } => blocks
+                .iter()
+                .map(|&(d, c)| d + c as u64 * inner.extent())
+                .max()
+                .unwrap_or(0),
+            Datatype::Struct { fields } => fields
+                .iter()
+                .map(|(d, t)| d + t.extent())
+                .max()
+                .unwrap_or(0),
+            Datatype::Resized { extent, .. } => *extent,
+            Datatype::Subarray { sizes, elem, .. } => {
+                sizes.iter().map(|&s| s as u64).product::<u64>() * elem
+            }
+        }
+    }
+
+    /// Flatten to sorted, coalesced `(offset, length)` runs plus the
+    /// extent — the representation all I/O code operates on.
+    ///
+    /// Panics if the type self-overlaps (illegal for file views, which is
+    /// the only use here).
+    pub fn flatten(&self) -> FlatType {
+        let mut segs = Vec::new();
+        self.emit(0, &mut segs);
+        segs.retain(|e| e.len > 0);
+        segs.sort_by_key(|e| e.off);
+        for w in segs.windows(2) {
+            assert!(
+                w[0].end() <= w[1].off,
+                "datatype self-overlaps at {:?}/{:?} — invalid as a file view",
+                w[0],
+                w[1]
+            );
+        }
+        let coalesced = coalesce(segs);
+        FlatType {
+            size: coalesced.iter().map(|e| e.len).sum(),
+            extent: self.extent(),
+            segs: coalesced,
+        }
+    }
+
+    fn emit(&self, base: u64, out: &mut Vec<Ext>) {
+        match self {
+            Datatype::Bytes(n) => out.push(Ext::new(base, *n)),
+            Datatype::Contiguous { count, inner } => {
+                let ext = inner.extent();
+                for i in 0..*count {
+                    inner.emit(base + i as u64 * ext, out);
+                }
+            }
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                inner,
+            } => {
+                let ext = inner.extent();
+                for b in 0..*count {
+                    let block_base = base + (b * stride) as u64 * ext;
+                    for i in 0..*blocklen {
+                        inner.emit(block_base + i as u64 * ext, out);
+                    }
+                }
+            }
+            Datatype::HIndexed { blocks, inner } => {
+                let ext = inner.extent();
+                for &(disp, count) in blocks {
+                    for i in 0..count {
+                        inner.emit(base + disp + i as u64 * ext, out);
+                    }
+                }
+            }
+            Datatype::Struct { fields } => {
+                for (disp, t) in fields {
+                    t.emit(base + disp, out);
+                }
+            }
+            Datatype::Resized { inner, .. } => inner.emit(base, out),
+            Datatype::Subarray {
+                sizes,
+                subsizes,
+                starts,
+                elem,
+            } => {
+                assert_eq!(sizes.len(), subsizes.len());
+                assert_eq!(sizes.len(), starts.len());
+                assert!(!sizes.is_empty(), "subarray needs at least one dim");
+                for (d, (&sub, (&size, &start))) in subsizes
+                    .iter()
+                    .zip(sizes.iter().zip(starts.iter()))
+                    .enumerate()
+                {
+                    assert!(
+                        start + sub <= size,
+                        "subarray dim {d}: start {start} + subsize {sub} exceeds size {size}"
+                    );
+                }
+                // Row-major: iterate all leading coordinates; the last
+                // dimension contributes one contiguous run per row.
+                let ndim = sizes.len();
+                let run_len = subsizes[ndim - 1] as u64 * elem;
+                let mut coord = vec![0usize; ndim - 1];
+                'outer: loop {
+                    // Offset of this row in elements.
+                    let mut off_elems = 0u64;
+                    let mut stride = 1u64;
+                    // Build the row offset from the innermost dimension out.
+                    for d in (0..ndim).rev() {
+                        let idx = if d == ndim - 1 {
+                            starts[d] as u64
+                        } else {
+                            (starts[d] + coord[d]) as u64
+                        };
+                        off_elems += idx * stride;
+                        stride *= sizes[d] as u64;
+                    }
+                    out.push(Ext::new(base + off_elems * elem, run_len));
+                    // Increment the mixed-radix counter over leading dims.
+                    if ndim == 1 {
+                        break;
+                    }
+                    let mut d = ndim - 2;
+                    loop {
+                        coord[d] += 1;
+                        if coord[d] < subsizes[d] {
+                            break;
+                        }
+                        coord[d] = 0;
+                        if d == 0 {
+                            break 'outer;
+                        }
+                        d -= 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn coalesce(sorted: Vec<Ext>) -> Vec<Ext> {
+    let mut out: Vec<Ext> = Vec::with_capacity(sorted.len());
+    for e in sorted {
+        match out.last_mut() {
+            Some(last) if last.end() == e.off => last.len += e.len,
+            _ => out.push(e),
+        }
+    }
+    out
+}
+
+/// A flattened datatype: sorted, disjoint, coalesced byte runs within an
+/// extent. Shared (`Arc`) because views tile one flat type many times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatType {
+    /// The runs, sorted by offset, non-overlapping, non-adjacent.
+    pub segs: Vec<Ext>,
+    /// Data bytes per tile (sum of run lengths).
+    pub size: u64,
+    /// Tile stride: the next repetition starts at `extent`.
+    pub extent: u64,
+}
+
+impl FlatType {
+    /// A flat type representing `n` contiguous bytes.
+    pub fn contiguous(n: u64) -> Arc<FlatType> {
+        Arc::new(FlatType {
+            segs: if n > 0 { vec![Ext::new(0, n)] } else { vec![] },
+            size: n,
+            extent: n,
+        })
+    }
+
+    /// True if the type is one contiguous run starting at 0 whose size
+    /// equals its extent (tiling it yields a contiguous stream).
+    pub fn is_contiguous(&self) -> bool {
+        self.segs.len() <= 1
+            && self.size == self.extent
+            && self.segs.first().is_none_or(|e| e.off == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_flatten() {
+        let f = Datatype::Bytes(16).flatten();
+        assert_eq!(f.segs, vec![Ext::new(0, 16)]);
+        assert_eq!(f.size, 16);
+        assert_eq!(f.extent, 16);
+        assert!(f.is_contiguous());
+    }
+
+    #[test]
+    fn contiguous_coalesces_to_one_run() {
+        let t = Datatype::Contiguous {
+            count: 4,
+            inner: Box::new(Datatype::Bytes(8)),
+        };
+        let f = t.flatten();
+        assert_eq!(f.segs, vec![Ext::new(0, 32)]);
+        assert_eq!(t.size(), 32);
+        assert_eq!(t.extent(), 32);
+    }
+
+    #[test]
+    fn vector_produces_strided_runs() {
+        // 3 blocks of 2 elements (4B each), stride 5 elements.
+        let t = Datatype::Vector {
+            count: 3,
+            blocklen: 2,
+            stride: 5,
+            inner: Box::new(Datatype::Bytes(4)),
+        };
+        let f = t.flatten();
+        assert_eq!(
+            f.segs,
+            vec![Ext::new(0, 8), Ext::new(20, 8), Ext::new(40, 8)]
+        );
+        assert_eq!(t.size(), 24);
+        assert_eq!(t.extent(), (2 * 5 + 2) * 4);
+    }
+
+    #[test]
+    fn hindexed_at_displacements() {
+        let t = Datatype::HIndexed {
+            blocks: vec![(100, 2), (0, 1), (50, 1)],
+            inner: Box::new(Datatype::Bytes(10)),
+        };
+        let f = t.flatten();
+        assert_eq!(
+            f.segs,
+            vec![Ext::new(0, 10), Ext::new(50, 10), Ext::new(100, 20)]
+        );
+        assert_eq!(t.extent(), 120);
+        assert_eq!(t.size(), 40);
+    }
+
+    #[test]
+    fn struct_mixes_field_types() {
+        let t = Datatype::Struct {
+            fields: vec![
+                (0, Datatype::Bytes(4)),
+                (
+                    16,
+                    Datatype::Vector {
+                        count: 2,
+                        blocklen: 1,
+                        stride: 2,
+                        inner: Box::new(Datatype::Bytes(4)),
+                    },
+                ),
+            ],
+        };
+        let f = t.flatten();
+        assert_eq!(
+            f.segs,
+            vec![Ext::new(0, 4), Ext::new(16, 4), Ext::new(24, 4)]
+        );
+    }
+
+    #[test]
+    fn resized_changes_only_extent() {
+        let t = Datatype::Resized {
+            extent: 100,
+            inner: Box::new(Datatype::Bytes(4)),
+        };
+        let f = t.flatten();
+        assert_eq!(f.segs, vec![Ext::new(0, 4)]);
+        assert_eq!(f.extent, 100);
+        assert!(!f.is_contiguous());
+    }
+
+    #[test]
+    fn tile_2d_matches_manual_offsets() {
+        // 4x6 array of 2-byte elems; 2x3 tile at (1,2).
+        let t = Datatype::tile_2d(4, 6, 2, 3, 1, 2, 2);
+        let f = t.flatten();
+        // Row 1: elems (1,2..5) -> elem idx 8..11 -> bytes 16..22.
+        // Row 2: elems (2,2..5) -> elem idx 14..17 -> bytes 28..34.
+        assert_eq!(f.segs, vec![Ext::new(16, 6), Ext::new(28, 6)]);
+        assert_eq!(f.size, 12);
+        assert_eq!(f.extent, 48);
+    }
+
+    #[test]
+    fn subarray_3d_runs() {
+        // 2x2x4 array, 1x2x2 sub at (1,0,1), 1-byte elems.
+        let t = Datatype::Subarray {
+            sizes: vec![2, 2, 4],
+            subsizes: vec![1, 2, 2],
+            starts: vec![1, 0, 1],
+            elem: 1,
+        };
+        let f = t.flatten();
+        // Plane 1 rows: (1,0,1..3) -> idx 9..10; (1,1,1..3) -> idx 13..14.
+        assert_eq!(f.segs, vec![Ext::new(9, 2), Ext::new(13, 2)]);
+    }
+
+    #[test]
+    fn full_subarray_is_contiguous() {
+        let t = Datatype::Subarray {
+            sizes: vec![3, 4],
+            subsizes: vec![3, 4],
+            starts: vec![0, 0],
+            elem: 8,
+        };
+        let f = t.flatten();
+        assert_eq!(f.segs, vec![Ext::new(0, 96)]);
+        assert!(f.is_contiguous());
+    }
+
+    #[test]
+    fn adjacent_rows_coalesce() {
+        // Tile spanning full columns: rows are adjacent in the file.
+        let t = Datatype::tile_2d(8, 10, 2, 10, 3, 0, 4);
+        let f = t.flatten();
+        assert_eq!(f.segs, vec![Ext::new(120, 80)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-overlaps")]
+    fn overlapping_type_rejected() {
+        let t = Datatype::HIndexed {
+            blocks: vec![(0, 1), (5, 1)],
+            inner: Box::new(Datatype::Bytes(10)),
+        };
+        t.flatten();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds size")]
+    fn subarray_out_of_bounds_rejected() {
+        Datatype::tile_2d(4, 4, 2, 2, 3, 0, 1).flatten();
+    }
+
+    #[test]
+    fn nested_contiguous_of_vector() {
+        let v = Datatype::Vector {
+            count: 2,
+            blocklen: 1,
+            stride: 2,
+            inner: Box::new(Datatype::Bytes(1)),
+        };
+        // v = runs {0, 2} within extent 3... extent = (1*2+1)*1 = 3.
+        let t = Datatype::Contiguous {
+            count: 2,
+            inner: Box::new(v),
+        };
+        let f = t.flatten();
+        assert_eq!(
+            f.segs,
+            vec![Ext::new(0, 1), Ext::new(2, 2), Ext::new(5, 1)]
+        );
+    }
+
+    #[test]
+    fn indexed_block_places_equal_blocks() {
+        let t = Datatype::indexed_block(&[0, 5, 2], 1, Datatype::Bytes(4));
+        let f = t.flatten();
+        assert_eq!(
+            f.segs,
+            vec![Ext::new(0, 4), Ext::new(8, 4), Ext::new(20, 4)]
+        );
+    }
+
+    #[test]
+    fn fortran_subarray_reverses_dims() {
+        // A 2x3 Fortran array (2 rows, 3 cols, column-major): selecting
+        // column 1 = elements (0,1) and (1,1) which are contiguous on
+        // disk at positions 2..4.
+        let t = Datatype::subarray_fortran(&[2, 3], &[2, 1], &[0, 1], 1);
+        let f = t.flatten();
+        assert_eq!(f.segs, vec![Ext::new(2, 2)]);
+    }
+
+    #[test]
+    fn ext_overlap_predicate() {
+        assert!(Ext::new(0, 10).overlaps(&Ext::new(9, 1)));
+        assert!(!Ext::new(0, 10).overlaps(&Ext::new(10, 1)));
+        assert!(Ext::new(5, 10).overlaps(&Ext::new(0, 6)));
+    }
+
+    #[test]
+    fn zero_sized_pieces_dropped() {
+        let t = Datatype::Struct {
+            fields: vec![(0, Datatype::Bytes(0)), (8, Datatype::Bytes(4))],
+        };
+        let f = t.flatten();
+        assert_eq!(f.segs, vec![Ext::new(8, 4)]);
+    }
+}

@@ -1,0 +1,525 @@
+//! The MPI-IO file object: open / set_view / read / write / close.
+
+use crate::aggsel::select_aggregators;
+use crate::datatype::Datatype;
+use crate::hints::Hints;
+use crate::independent;
+use crate::profile::{Phase, PhaseProfile, PhaseTimer};
+use crate::space::DirectSpace;
+use crate::twophase::{self, CollConfig};
+use crate::view::{AccessPlan, FileView};
+use simfs::{FileHandle, FileSystem};
+use simmpi::{Communicator, Info};
+use simnet::IoBuffer;
+
+/// An open MPI-IO file, mirroring `MPI_File`.
+///
+/// All `*_all` operations are collective over the opening communicator and
+/// must be called by every member with consistent arguments, exactly as in
+/// MPI. Offsets are in *view data space* (bytes of visible data, as with
+/// an `MPI_BYTE` etype).
+///
+/// # Examples
+///
+/// ```
+/// use mpiio::File;
+/// use simfs::{FileSystem, FsConfig};
+/// use simmpi::{Communicator, Info};
+/// use simnet::{run_cluster, ClusterConfig, IoBuffer};
+///
+/// let fs = FileSystem::new(FsConfig::tiny());
+/// let fs2 = fs.clone();
+/// run_cluster(ClusterConfig::ideal(4), move |ep| {
+///     let comm = Communicator::world(&ep);
+///     let mut f = File::open(&comm, &fs2, "/shared", &Info::new());
+///     // Each rank collectively writes its 1 KiB block...
+///     let mine = vec![comm.rank() as u8; 1024];
+///     f.write_at_all((comm.rank() * 1024) as u64, &IoBuffer::from_slice(&mine));
+///     comm.barrier();
+///     // ...and reads its neighbour's back.
+///     let peer = (comm.rank() + 1) % 4;
+///     let got = f.read_at((peer * 1024) as u64, 1024);
+///     assert!(got.as_slice().unwrap().iter().all(|&b| b == peer as u8));
+///     f.close();
+/// });
+/// ```
+pub struct File<'ep> {
+    comm: Communicator<'ep>,
+    fh: FileHandle,
+    view: FileView,
+    hints: Hints,
+    profile: PhaseProfile,
+    individual_ptr: u64,
+}
+
+impl<'ep> File<'ep> {
+    /// Collectively open (creating if needed) with default striping.
+    pub fn open(
+        comm: &Communicator<'ep>,
+        fs: &FileSystem,
+        path: &str,
+        info: &Info,
+    ) -> File<'ep> {
+        let cfg = fs.config();
+        let (sc, ss) = (cfg.default_stripe_count, cfg.default_stripe_size);
+        Self::open_with_layout(comm, fs, path, info, sc, ss)
+    }
+
+    /// Collectively open with explicit striping (applies on create only).
+    pub fn open_with_layout(
+        comm: &Communicator<'ep>,
+        fs: &FileSystem,
+        path: &str,
+        info: &Info,
+        stripe_count: usize,
+        stripe_size: u64,
+    ) -> File<'ep> {
+        let ep = comm.endpoint();
+        let mut profile = PhaseProfile::new();
+        // Every client performs its own open against the MDS...
+        let t = PhaseTimer::start(Phase::Io, ep.now());
+        let (fh, done) = fs.open_with_layout(path, stripe_count, stripe_size, ep.now());
+        ep.clock().advance_to(done);
+        t.stop(ep.now(), &mut profile);
+        // ...and MPI_File_open is collective.
+        let t = PhaseTimer::start(Phase::Sync, ep.now());
+        comm.barrier();
+        t.stop(ep.now(), &mut profile);
+        File {
+            comm: comm.clone(),
+            fh,
+            view: FileView::contiguous(0),
+            hints: Hints::from_info(info),
+            profile,
+            individual_ptr: 0,
+        }
+    }
+
+    pub(crate) fn individual_ptr(&self) -> u64 {
+        self.individual_ptr
+    }
+
+    pub(crate) fn set_individual_ptr(&mut self, v: u64) {
+        self.individual_ptr = v;
+    }
+
+    /// Set the file view (`MPI_File_set_view`). Collective; datatype
+    /// flattening is local, agreement costs a barrier. Resets the
+    /// individual file pointer, as MPI requires.
+    pub fn set_view(&mut self, displacement: u64, filetype: &Datatype) {
+        self.individual_ptr = 0;
+        self.view = FileView::new(displacement, filetype);
+        let ep = self.comm.endpoint();
+        let t = PhaseTimer::start(Phase::Sync, ep.now());
+        self.comm.barrier();
+        t.stop(ep.now(), &mut self.profile);
+    }
+
+    /// The current view.
+    pub fn view(&self) -> &FileView {
+        &self.view
+    }
+
+    /// The communicator the file was opened on.
+    pub fn comm(&self) -> &Communicator<'ep> {
+        &self.comm
+    }
+
+    /// The underlying file-system handle.
+    pub fn handle(&self) -> &FileHandle {
+        &self.fh
+    }
+
+    /// Parsed hints in force.
+    pub fn hints(&self) -> &Hints {
+        &self.hints
+    }
+
+    /// The collective configuration derived from hints and topology —
+    /// exposed so the ParColl layer can redistribute the same aggregator
+    /// list over its subgroups.
+    pub fn coll_config(&self) -> CollConfig {
+        CollConfig {
+            aggregators: select_aggregators(&self.comm, &self.hints),
+            cb_buffer_size: self.hints.cb_buffer_size,
+            align: self.hints.cb_align,
+        }
+    }
+
+    /// Build the access plan for `[offset, offset + nbytes)` of the view.
+    pub fn plan(&self, offset: u64, nbytes: u64) -> AccessPlan {
+        AccessPlan::from_view(&self.view, offset, nbytes)
+    }
+
+    /// Collective write at a view offset (`MPI_File_write_at_all`).
+    pub fn write_at_all(&mut self, offset: u64, buf: &IoBuffer) {
+        let plan = self.plan(offset, buf.len() as u64);
+        let cfg = self.coll_config();
+        twophase::write_all(
+            &self.comm,
+            &self.fh,
+            &DirectSpace,
+            &plan,
+            buf,
+            &cfg,
+            &mut self.profile,
+        );
+    }
+
+    /// Collective read at a view offset (`MPI_File_read_at_all`).
+    pub fn read_at_all(&mut self, offset: u64, nbytes: u64) -> IoBuffer {
+        let plan = self.plan(offset, nbytes);
+        let cfg = self.coll_config();
+        twophase::read_all(
+            &self.comm,
+            &self.fh,
+            &DirectSpace,
+            &plan,
+            &cfg,
+            &mut self.profile,
+        )
+    }
+
+    /// Independent write at a view offset (`MPI_File_write_at`). With the
+    /// `romio_ds_write` hint enabled, non-contiguous writes are data-
+    /// sieved (read-modify-write over the span).
+    pub fn write_at(&mut self, offset: u64, buf: &IoBuffer) {
+        let plan = self.plan(offset, buf.len() as u64);
+        if self.hints.ds_write && plan.extents.len() > 1 {
+            independent::write_plan_sieved(
+                self.comm.endpoint(),
+                &self.fh,
+                &plan,
+                buf,
+                &mut self.profile,
+            );
+        } else {
+            independent::write_plan(
+                self.comm.endpoint(),
+                &self.fh,
+                &plan,
+                buf,
+                &mut self.profile,
+            );
+        }
+    }
+
+    /// Independent read at a view offset (`MPI_File_read_at`).
+    pub fn read_at(&mut self, offset: u64, nbytes: u64) -> IoBuffer {
+        let plan = self.plan(offset, nbytes);
+        let sieve = if self.hints.ds_read && plan.extents.len() > 1 {
+            self.hints.ind_rd_buffer_size
+        } else {
+            0
+        };
+        independent::read_plan(self.comm.endpoint(), &self.fh, &plan, sieve, &mut self.profile)
+    }
+
+    /// This rank's accumulated phase profile.
+    pub fn profile(&self) -> &PhaseProfile {
+        &self.profile
+    }
+
+    /// Mutable access for protocol layers stacked on top (ParColl).
+    pub fn profile_mut(&mut self) -> &mut PhaseProfile {
+        &mut self.profile
+    }
+
+    /// Current file size (`MPI_File_get_size`).
+    pub fn get_size(&self) -> u64 {
+        self.fh.size()
+    }
+
+    /// Collectively set the file size (`MPI_File_set_size`): truncation or
+    /// sparse extension.
+    pub fn set_size(&mut self, size: u64) {
+        let ep = self.comm.endpoint();
+        let done = self.fh.truncate(size, ep.now());
+        ep.clock().advance_to(done);
+        let t = PhaseTimer::start(Phase::Sync, ep.now());
+        self.comm.barrier();
+        t.stop(ep.now(), &mut self.profile);
+    }
+
+    /// Collectively preallocate storage up to `size`
+    /// (`MPI_File_preallocate`): charged as a synthetic write of the
+    /// missing tail by rank 0.
+    pub fn preallocate(&mut self, size: u64) {
+        let ep = self.comm.endpoint();
+        if self.comm.rank() == 0 {
+            let current = self.fh.size();
+            if size > current {
+                let t = PhaseTimer::start(Phase::Io, ep.now());
+                let done = self.fh.write_at(
+                    current,
+                    &IoBuffer::synthetic((size - current) as usize),
+                    ep.now(),
+                );
+                ep.clock().advance_to(done);
+                t.stop(ep.now(), &mut self.profile);
+            }
+        }
+        let t = PhaseTimer::start(Phase::Sync, ep.now());
+        self.comm.barrier();
+        t.stop(ep.now(), &mut self.profile);
+    }
+
+    /// Collectively close, returning this rank's profile ("when a file is
+    /// closed, a summary is reported", paper §2.2).
+    pub fn close(mut self) -> PhaseProfile {
+        let ep = self.comm.endpoint();
+        let t = PhaseTimer::start(Phase::Sync, ep.now());
+        self.comm.barrier();
+        t.stop(ep.now(), &mut self.profile);
+        self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::Datatype;
+    use simfs::FsConfig;
+    use simnet::{run_cluster, ClusterConfig};
+
+    fn fill(rank: usize, n: usize) -> Vec<u8> {
+        (0..n).map(|i| (rank * 37 + i * 11 % 251) as u8).collect()
+    }
+
+    /// Each of 4 ranks collectively writes a contiguous 1KB block; read
+    /// back independently and verify byte-exactness.
+    #[test]
+    fn collective_contiguous_write_round_trip() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::ideal(4), move |ep| {
+            let comm = Communicator::world(&ep);
+            let mut f = File::open(&comm, &fs2, "/coll", &Info::new());
+            let n = 1024usize;
+            let mine = fill(comm.rank(), n);
+            f.write_at_all((comm.rank() * n) as u64, &IoBuffer::from_slice(&mine));
+            comm.barrier();
+            // Every rank reads its neighbour's block independently.
+            let peer = (comm.rank() + 1) % comm.size();
+            let got = f.read_at((peer * n) as u64, n as u64);
+            assert_eq!(got.as_slice().unwrap(), fill(peer, n).as_slice());
+            f.close();
+        });
+    }
+
+    /// Interleaved strided pattern: rank r owns every 4th block of 64B.
+    /// The two-phase exchange must reassemble perfectly.
+    #[test]
+    fn collective_strided_write_round_trip() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::ideal(4), move |ep| {
+            let comm = Communicator::world(&ep);
+            let mut f = File::open(&comm, &fs2, "/strided", &Info::new());
+            let blocks = 8usize;
+            let bs = 64usize;
+            // View: my blocks at stride 4, starting at my rank.
+            let ft = Datatype::Vector {
+                count: blocks,
+                blocklen: 1,
+                stride: 4,
+                inner: Box::new(Datatype::Bytes(bs as u64)),
+            };
+            f.set_view((comm.rank() * bs) as u64, &ft);
+            let mine = fill(comm.rank(), blocks * bs);
+            f.write_at_all(0, &IoBuffer::from_slice(&mine));
+            comm.barrier();
+
+            // Collective read back through the same view.
+            let got = f.read_at_all(0, (blocks * bs) as u64);
+            assert_eq!(got.as_slice().unwrap(), mine.as_slice());
+
+            // And the physical file interleaves all ranks.
+            if comm.rank() == 0 {
+                let (raw, _) = f.handle().read_at(0, 4 * bs, ep.now());
+                let raw = raw.as_slice().unwrap().to_vec();
+                for r in 0..4 {
+                    assert_eq!(
+                        &raw[r * bs..(r + 1) * bs],
+                        &fill(r, blocks * bs)[0..bs],
+                        "rank {r} block misplaced"
+                    );
+                }
+            }
+            f.close();
+        });
+    }
+
+    /// Small cb_buffer forces multiple exchange rounds; data must still be
+    /// exact and the round counter must show it.
+    #[test]
+    fn multi_round_exchange_is_correct() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::ideal(4), move |ep| {
+            let comm = Communicator::world(&ep);
+            let info = Info::new().with("cb_buffer_size", 256).with("cb_nodes", 2);
+            let mut f = File::open(&comm, &fs2, "/rounds", &Info::new());
+            f.hints = crate::hints::Hints::from_info(&info);
+            let n = 2048usize;
+            let mine = fill(comm.rank(), n);
+            f.write_at_all((comm.rank() * n) as u64, &IoBuffer::from_slice(&mine));
+            assert!(
+                f.profile().rounds >= 4,
+                "expected multiple rounds, got {}",
+                f.profile().rounds
+            );
+            comm.barrier();
+            let got = f.read_at((comm.rank() * n) as u64, n as u64);
+            assert_eq!(got.as_slice().unwrap(), mine.as_slice());
+            f.close();
+        });
+    }
+
+    /// Holes in the collective pattern trigger read-modify-write and must
+    /// not clobber pre-existing bytes.
+    #[test]
+    fn rmw_preserves_unwritten_gaps() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::ideal(2), move |ep| {
+            let comm = Communicator::world(&ep);
+            // Pre-fill the file with a sentinel pattern.
+            let mut f = File::open(&comm, &fs2, "/rmw", &Info::new());
+            if comm.rank() == 0 {
+                f.write_at(0, &IoBuffer::from_slice(&[0xEE; 1000]));
+            }
+            comm.barrier();
+            // Sparse collective write: rank r writes 10B at r*100 + 50.
+            let ft = Datatype::HIndexed {
+                blocks: vec![((comm.rank() * 100 + 50) as u64, 1)],
+                inner: Box::new(Datatype::Bytes(10)),
+            };
+            f.set_view(0, &ft);
+            f.write_at_all(0, &IoBuffer::from_slice(&[comm.rank() as u8 + 1; 10]));
+            comm.barrier();
+            if comm.rank() == 0 {
+                let (raw, _) = f.handle().read_at(0, 300, ep.now());
+                let raw = raw.as_slice().unwrap();
+                assert_eq!(&raw[50..60], &[1; 10]);
+                assert_eq!(&raw[150..160], &[2; 10]);
+                // Sentinels around the writes survive.
+                assert_eq!(&raw[40..50], &[0xEE; 10]);
+                assert_eq!(&raw[60..70], &[0xEE; 10]);
+                assert_eq!(&raw[160..170], &[0xEE; 10]);
+            }
+            f.close();
+        });
+    }
+
+    /// A collective call where only some ranks contribute data.
+    #[test]
+    fn partial_participation() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::ideal(4), move |ep| {
+            let comm = Communicator::world(&ep);
+            let mut f = File::open(&comm, &fs2, "/partial", &Info::new());
+            let buf = if comm.rank() < 2 {
+                IoBuffer::from_slice(&fill(comm.rank(), 256))
+            } else {
+                IoBuffer::empty()
+            };
+            f.write_at_all((comm.rank() * 256) as u64, &buf);
+            comm.barrier();
+            if comm.rank() == 3 {
+                let (raw, _) = f.handle().read_at(0, 512, ep.now());
+                let raw = raw.as_slice().unwrap();
+                assert_eq!(&raw[0..256], fill(0, 256).as_slice());
+                assert_eq!(&raw[256..512], fill(1, 256).as_slice());
+            }
+            f.close();
+        });
+    }
+
+    /// All ranks pass empty buffers: the collective must return without
+    /// touching storage.
+    #[test]
+    fn all_empty_collective_is_a_noop() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::ideal(3), move |ep| {
+            let comm = Communicator::world(&ep);
+            let mut f = File::open(&comm, &fs2, "/none", &Info::new());
+            f.write_at_all(0, &IoBuffer::empty());
+            let got = f.read_at_all(0, 0);
+            assert!(got.is_empty());
+            assert_eq!(f.handle().size(), 0);
+            f.close();
+        });
+    }
+
+    /// Collective read of data written independently.
+    #[test]
+    fn collective_read_after_independent_write() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::ideal(4), move |ep| {
+            let comm = Communicator::world(&ep);
+            let mut f = File::open(&comm, &fs2, "/cr", &Info::new());
+            let n = 512usize;
+            f.write_at((comm.rank() * n) as u64, &IoBuffer::from_slice(&fill(comm.rank(), n)));
+            comm.barrier();
+            // Everyone collectively reads the rank-reversed block.
+            let peer = comm.size() - 1 - comm.rank();
+            let ft = Datatype::HIndexed {
+                blocks: vec![((peer * n) as u64, 1)],
+                inner: Box::new(Datatype::Bytes(n as u64)),
+            };
+            f.set_view(0, &ft);
+            let got = f.read_at_all(0, n as u64);
+            assert_eq!(got.as_slice().unwrap(), fill(peer, n).as_slice());
+            f.close();
+        });
+    }
+
+    /// Profile accounting: a collective write attributes time to sync,
+    /// p2p and io, and close reports it.
+    #[test]
+    fn profile_phases_are_populated() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        let profs = run_cluster(ClusterConfig::cray_xt(8, simnet::Mapping::Block), move |ep| {
+            let comm = Communicator::world(&ep);
+            let mut f = File::open(&comm, &fs2, "/prof", &Info::new());
+            let n = 4096usize;
+            f.write_at_all((comm.rank() * n) as u64, &IoBuffer::synthetic(n));
+            let _ = ep; // clocks advanced inside
+            f.close()
+        });
+        let total: PhaseProfile = {
+            let mut acc = PhaseProfile::new();
+            for p in &profs {
+                acc.merge(p);
+            }
+            acc
+        };
+        assert!(total.sync > simnet::SimTime::ZERO, "sync time recorded");
+        assert!(total.io > simnet::SimTime::ZERO, "io time recorded");
+        assert_eq!(profs[0].calls, 1);
+        assert!(profs[0].rounds >= 1);
+    }
+
+    /// Synthetic buffers flow end to end through the collective path.
+    #[test]
+    fn synthetic_collective_write_marks_file() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::ideal(4), move |ep| {
+            let comm = Communicator::world(&ep);
+            let mut f = File::open(&comm, &fs2, "/synth", &Info::new());
+            let n = 100_000usize;
+            f.write_at_all((comm.rank() * n) as u64, &IoBuffer::synthetic(n));
+            comm.barrier();
+            assert_eq!(f.handle().size(), 4 * n as u64);
+            let (data, _) = f.handle().read_at(0, 64, ep.now());
+            assert!(!data.is_real(), "synthetic data stays synthetic");
+            f.close();
+        });
+    }
+}

@@ -1,0 +1,107 @@
+//! Collective-buffering hints.
+
+use simmpi::Info;
+
+/// Parsed MPI-IO hints relevant to this layer. Unknown keys are ignored
+/// (MPI semantics); the raw [`Info`] is preserved for higher layers (the
+/// `parcoll` crate parses its own `parcoll_*` keys from the same object).
+#[derive(Debug, Clone)]
+pub struct Hints {
+    /// Number of I/O aggregators (`cb_nodes`). Defaults to one per
+    /// physical node, the ROMIO default on Cray XT.
+    pub cb_nodes: Option<usize>,
+    /// Collective buffer size per aggregator per round
+    /// (`cb_buffer_size`); ROMIO stages large exchanges through a buffer
+    /// of this size, which sets the round count.
+    pub cb_buffer_size: u64,
+    /// Explicit aggregator list (`cb_config_list` as ranks), paper §4.2
+    /// hint (b): "a list of physical nodes to use as I/O aggregators".
+    pub cb_aggregator_list: Option<Vec<usize>>,
+    /// Independent-read data sieving buffer (`ind_rd_buffer_size`).
+    pub ind_rd_buffer_size: u64,
+    /// Enable data sieving for independent non-contiguous reads
+    /// (`romio_ds_read`).
+    pub ds_read: bool,
+    /// Enable data sieving for independent non-contiguous writes
+    /// (`romio_ds_write`); off by default, as in ROMIO on Lustre (the
+    /// read-modify-write needs whole-span locking).
+    pub ds_write: bool,
+    /// Align collective file domains to this boundary (`striping_unit`):
+    /// the Lustre-aware refinement Cray later shipped — aligned domains
+    /// keep each stripe's writes on a single aggregator, avoiding
+    /// extent-lock ping-pong at domain seams. `None` = even split.
+    pub cb_align: Option<u64>,
+    /// The raw hint dictionary as supplied.
+    pub raw: Info,
+}
+
+impl Default for Hints {
+    fn default() -> Self {
+        Hints::from_info(&Info::new())
+    }
+}
+
+impl Hints {
+    /// Parse from an [`Info`] dictionary.
+    pub fn from_info(info: &Info) -> Self {
+        Hints {
+            cb_nodes: info.get_usize("cb_nodes"),
+            cb_buffer_size: info
+                .get_usize("cb_buffer_size")
+                .map(|v| v as u64)
+                .unwrap_or(4 << 20),
+            cb_aggregator_list: info.get_usize_list("cb_config_list"),
+            ind_rd_buffer_size: info
+                .get_usize("ind_rd_buffer_size")
+                .map(|v| v as u64)
+                .unwrap_or(4 << 20),
+            ds_read: info.get_bool("romio_ds_read").unwrap_or(true),
+            ds_write: info.get_bool("romio_ds_write").unwrap_or(false),
+            cb_align: info.get_usize("striping_unit").map(|v| v as u64),
+            raw: info.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_cray_romio() {
+        let h = Hints::default();
+        assert_eq!(h.cb_nodes, None);
+        assert_eq!(h.cb_buffer_size, 4 << 20);
+        assert!(h.ds_read);
+        assert!(!h.ds_write);
+        assert_eq!(h.cb_align, None);
+        assert!(h.cb_aggregator_list.is_none());
+    }
+
+    #[test]
+    fn parses_all_keys() {
+        let info = Info::new()
+            .with("cb_nodes", 16)
+            .with("cb_buffer_size", 1 << 20)
+            .with("cb_config_list", "0,2,4")
+            .with("ind_rd_buffer_size", 65536)
+            .with("romio_ds_read", "disable")
+            .with("romio_ds_write", "enable")
+            .with("striping_unit", 4 << 20);
+        let h = Hints::from_info(&info);
+        assert_eq!(h.cb_nodes, Some(16));
+        assert_eq!(h.cb_buffer_size, 1 << 20);
+        assert_eq!(h.cb_aggregator_list, Some(vec![0, 2, 4]));
+        assert_eq!(h.ind_rd_buffer_size, 65536);
+        assert!(!h.ds_read);
+        assert!(h.ds_write);
+        assert_eq!(h.cb_align, Some(4 << 20));
+        assert_eq!(h.raw.get_usize("cb_nodes"), Some(16));
+    }
+
+    #[test]
+    fn malformed_values_fall_back() {
+        let info = Info::new().with("cb_buffer_size", "huge");
+        assert_eq!(Hints::from_info(&info).cb_buffer_size, 4 << 20);
+    }
+}

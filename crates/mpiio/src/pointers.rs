@@ -1,0 +1,192 @@
+//! Individual and shared file pointers, and ordered collective writes.
+//!
+//! MPI-IO exposes three addressing modes: explicit offsets
+//! (`*_at` — the primary mode in this repository), an *individual file
+//! pointer* per process (`MPI_File_seek` / `read` / `write`), and a
+//! *shared file pointer* advanced atomically by any process
+//! (`MPI_File_*_shared`, plus the deterministic rank-ordered
+//! `MPI_File_write_ordered` built from an exclusive scan of sizes).
+
+use crate::file::File;
+use simmpi::ReduceOp;
+use simnet::IoBuffer;
+
+/// Seek origin (`MPI_SEEK_*`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Whence {
+    /// Absolute view offset.
+    Set,
+    /// Relative to the current individual pointer.
+    Current,
+    /// Relative to the end of the file's data (view space ≈ file size for
+    /// the byte-stream view; callers with struct views manage their own
+    /// end-of-data).
+    End,
+}
+
+impl<'ep> File<'ep> {
+    /// Move the individual file pointer (`MPI_File_seek`).
+    pub fn seek(&mut self, offset: i64, whence: Whence) {
+        let base = match whence {
+            Whence::Set => 0,
+            Whence::Current => self.individual_ptr() as i64,
+            Whence::End => self.handle().size() as i64,
+        };
+        let target = base + offset;
+        assert!(target >= 0, "seek before start of file");
+        self.set_individual_ptr(target as u64);
+    }
+
+    /// Current individual pointer (`MPI_File_get_position`).
+    pub fn position(&self) -> u64 {
+        self.individual_ptr()
+    }
+
+    /// Independent write at the individual pointer (`MPI_File_write`),
+    /// advancing it.
+    pub fn write(&mut self, buf: &IoBuffer) {
+        let at = self.individual_ptr();
+        self.write_at(at, buf);
+        self.set_individual_ptr(at + buf.len() as u64);
+    }
+
+    /// Independent read at the individual pointer (`MPI_File_read`),
+    /// advancing it.
+    pub fn read(&mut self, nbytes: u64) -> IoBuffer {
+        let at = self.individual_ptr();
+        let out = self.read_at(at, nbytes);
+        self.set_individual_ptr(at + nbytes);
+        out
+    }
+
+    /// Independent write at the *shared* pointer
+    /// (`MPI_File_write_shared`): the pointer is fetched-and-advanced
+    /// atomically across all processes of the file; ordering between
+    /// concurrent callers is unspecified, as in MPI.
+    pub fn write_shared(&mut self, buf: &IoBuffer) {
+        let at = self.handle().shared_fetch_add(buf.len() as u64);
+        self.write_at(at, buf);
+    }
+
+    /// Independent read at the shared pointer (`MPI_File_read_shared`).
+    pub fn read_shared(&mut self, nbytes: u64) -> IoBuffer {
+        let at = self.handle().shared_fetch_add(nbytes);
+        self.read_at(at, nbytes)
+    }
+
+    /// Collective rank-ordered write at the shared pointer
+    /// (`MPI_File_write_ordered`): rank r's data lands after ranks
+    /// `0..r`'s, deterministically. Implemented, as in ROMIO, with an
+    /// exclusive scan of contribution sizes followed by explicit-offset
+    /// writes and a shared-pointer bump.
+    pub fn write_ordered(&mut self, buf: &IoBuffer) {
+        let comm = self.comm().clone();
+        let mine = buf.len() as u64;
+        let before = comm.exscan_u64(&[mine], ReduceOp::Sum)[0];
+        let before = if comm.rank() == 0 { 0 } else { before };
+        let total = comm.allreduce_u64(&[mine], ReduceOp::Sum)[0];
+        // All ranks agree on the base before anyone writes past it.
+        let base = self.handle().shared_load();
+        self.write_at(base + before, buf);
+        comm.barrier();
+        if comm.rank() == 0 {
+            self.handle().shared_fetch_add(total);
+        }
+        comm.barrier();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simfs::{FileSystem, FsConfig};
+    use simmpi::{Communicator, Info};
+    use simnet::{run_cluster, ClusterConfig};
+
+    #[test]
+    fn seek_and_individual_pointer_io() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::ideal(1), move |ep| {
+            let comm = Communicator::world(&ep);
+            let mut f = File::open(&comm, &fs2, "/ptr", &Info::new());
+            f.write(&IoBuffer::from_slice(b"hello "));
+            f.write(&IoBuffer::from_slice(b"world"));
+            assert_eq!(f.position(), 11);
+            f.seek(0, Whence::Set);
+            assert_eq!(f.read(11).as_slice().unwrap(), b"hello world");
+            f.seek(-5, Whence::End);
+            assert_eq!(f.read(5).as_slice().unwrap(), b"world");
+            f.seek(-5, Whence::Current);
+            assert_eq!(f.position(), 6);
+            let _ = ep;
+            f.close();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "seek before start")]
+    fn seek_before_start_panics() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::ideal(1), move |ep| {
+            let comm = Communicator::world(&ep);
+            let mut f = File::open(&comm, &fs2, "/bad", &Info::new());
+            let _ = ep;
+            f.seek(-1, Whence::Set);
+        });
+    }
+
+    #[test]
+    fn shared_pointer_claims_disjoint_regions() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::ideal(4), move |ep| {
+            let comm = Communicator::world(&ep);
+            let mut f = File::open(&comm, &fs2, "/shared", &Info::new());
+            // Every rank appends 8 identical bytes via the shared pointer.
+            f.write_shared(&IoBuffer::from_slice(&[comm.rank() as u8 + 1; 8]));
+            comm.barrier();
+            if comm.rank() == 0 {
+                let (raw, _) = f.handle().read_at(0, 32, ep.now());
+                let raw = raw.as_slice().unwrap();
+                // Order is unspecified, but regions are disjoint: each
+                // 8-byte slot holds one rank's value, and all values
+                // appear exactly once.
+                let mut seen: Vec<u8> = raw.chunks(8).map(|c| c[0]).collect();
+                for (i, c) in raw.chunks(8).enumerate() {
+                    assert!(c.iter().all(|&b| b == c[0]), "slot {i} mixed: {c:?}");
+                }
+                seen.sort_unstable();
+                assert_eq!(seen, vec![1, 2, 3, 4]);
+            }
+            f.close();
+        });
+    }
+
+    #[test]
+    fn write_ordered_is_rank_ordered() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::ideal(4), move |ep| {
+            let comm = Communicator::world(&ep);
+            let mut f = File::open(&comm, &fs2, "/ordered", &Info::new());
+            // Variable-length contributions: rank r writes r+1 bytes of r.
+            let mine = vec![comm.rank() as u8; comm.rank() + 1];
+            f.write_ordered(&IoBuffer::from_slice(&mine));
+            // A second round appends after the first.
+            f.write_ordered(&IoBuffer::from_slice(&mine));
+            comm.barrier();
+            if comm.rank() == 0 {
+                let (raw, _) = f.handle().read_at(0, 20, ep.now());
+                let raw = raw.as_slice().unwrap();
+                let expect: Vec<u8> = (0..4u8)
+                    .flat_map(|r| vec![r; r as usize + 1])
+                    .collect();
+                assert_eq!(&raw[..10], expect.as_slice(), "round 1");
+                assert_eq!(&raw[10..20], expect.as_slice(), "round 2");
+            }
+            f.close();
+        });
+    }
+}

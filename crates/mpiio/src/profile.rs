@@ -1,0 +1,226 @@
+//! Phase accounting for collective I/O.
+//!
+//! The paper's dissection (§2.2, Figures 1–2) instruments the collective
+//! I/O code path at run time and classifies every interval as global
+//! synchronization, point-to-point data exchange, or file I/O; "when a
+//! file is closed, a summary is reported". This module reproduces that
+//! instrumentation: protocol code brackets each operation with
+//! [`PhaseProfile::charge`], and [`PhaseProfile::reduce_max`] /
+//! [`summary`](PhaseProfile::reduce_avg) aggregate across ranks at close.
+
+use simmpi::{Communicator, ReduceOp};
+use simnet::SimTime;
+
+/// The phase a time interval is attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Global collective operations, including waiting for stragglers —
+    /// the component that builds the collective wall.
+    Sync,
+    /// Point-to-point data exchange of the two-phase protocol.
+    P2p,
+    /// File reads/writes.
+    Io,
+    /// Local memory movement (pack/unpack, request bookkeeping).
+    Local,
+}
+
+/// Per-rank accumulated phase times for one open file.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseProfile {
+    /// Time in global synchronization.
+    pub sync: SimTime,
+    /// Time in point-to-point exchange.
+    pub p2p: SimTime,
+    /// Time in file I/O.
+    pub io: SimTime,
+    /// Time in local data movement.
+    pub local: SimTime,
+    /// Collective-I/O calls observed.
+    pub calls: u64,
+    /// Exchange rounds executed.
+    pub rounds: u64,
+}
+
+impl PhaseProfile {
+    /// Zeroed profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attribute `dt` to `phase`.
+    pub fn charge(&mut self, phase: Phase, dt: SimTime) {
+        debug_assert!(dt.is_valid(), "negative phase charge {dt:?}");
+        match phase {
+            Phase::Sync => self.sync += dt,
+            Phase::P2p => self.p2p += dt,
+            Phase::Io => self.io += dt,
+            Phase::Local => self.local += dt,
+        }
+    }
+
+    /// Total attributed time.
+    pub fn total(&self) -> SimTime {
+        self.sync + self.p2p + self.io + self.local
+    }
+
+    /// Fraction of attributed time spent in synchronization (0 if empty).
+    pub fn sync_fraction(&self) -> f64 {
+        let t = self.total().as_secs();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.sync.as_secs() / t
+        }
+    }
+
+    /// Merge another profile into this one.
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        self.sync += other.sync;
+        self.p2p += other.p2p;
+        self.io += other.io;
+        self.local += other.local;
+        self.calls += other.calls;
+        self.rounds += other.rounds;
+    }
+
+    fn to_micros_vec(self) -> Vec<u64> {
+        [self.sync, self.p2p, self.io, self.local]
+            .iter()
+            .map(|t| t.as_micros().round() as u64)
+            .chain([self.calls, self.rounds])
+            .collect()
+    }
+
+    fn from_micros_vec(v: &[u64]) -> PhaseProfile {
+        PhaseProfile {
+            sync: SimTime::micros(v[0] as f64),
+            p2p: SimTime::micros(v[1] as f64),
+            io: SimTime::micros(v[2] as f64),
+            local: SimTime::micros(v[3] as f64),
+            calls: v[4],
+            rounds: v[5],
+        }
+    }
+
+    /// Element-wise maximum across the communicator (collective). The
+    /// paper reports the slowest rank's times — that is what bounds the
+    /// application.
+    pub fn reduce_max(&self, comm: &Communicator<'_>) -> PhaseProfile {
+        let v = comm.allreduce_u64(&self.to_micros_vec(), ReduceOp::Max);
+        PhaseProfile::from_micros_vec(&v)
+    }
+
+    /// Element-wise mean across the communicator (collective).
+    pub fn reduce_avg(&self, comm: &Communicator<'_>) -> PhaseProfile {
+        let v = comm.allreduce_u64(&self.to_micros_vec(), ReduceOp::Sum);
+        let p = comm.size() as u64;
+        let avg: Vec<u64> = v.iter().map(|x| x / p).collect();
+        PhaseProfile::from_micros_vec(&avg)
+    }
+}
+
+/// Scope helper: measures the clock delta across a protocol step and
+/// charges it to a phase.
+pub struct PhaseTimer {
+    start: SimTime,
+    phase: Phase,
+}
+
+impl PhaseTimer {
+    /// Start timing `phase` at `now`.
+    pub fn start(phase: Phase, now: SimTime) -> Self {
+        PhaseTimer { start: now, phase }
+    }
+
+    /// Stop at `now`, charging the elapsed virtual time.
+    pub fn stop(self, now: SimTime, profile: &mut PhaseProfile) {
+        profile.charge(self.phase, now - self.start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::Communicator;
+    use simnet::{run_cluster, ClusterConfig};
+
+    #[test]
+    fn charge_accumulates_per_phase() {
+        let mut p = PhaseProfile::new();
+        p.charge(Phase::Sync, SimTime::secs(1.0));
+        p.charge(Phase::Sync, SimTime::secs(2.0));
+        p.charge(Phase::Io, SimTime::secs(1.0));
+        assert_eq!(p.sync, SimTime::secs(3.0));
+        assert_eq!(p.io, SimTime::secs(1.0));
+        assert_eq!(p.total(), SimTime::secs(4.0));
+        assert!((p.sync_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile_has_zero_fraction() {
+        assert_eq!(PhaseProfile::new().sync_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_all_fields() {
+        let mut a = PhaseProfile {
+            sync: SimTime::secs(1.0),
+            calls: 2,
+            rounds: 5,
+            ..Default::default()
+        };
+        let b = PhaseProfile {
+            sync: SimTime::secs(0.5),
+            p2p: SimTime::secs(0.25),
+            calls: 1,
+            rounds: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.sync, SimTime::secs(1.5));
+        assert_eq!(a.p2p, SimTime::secs(0.25));
+        assert_eq!(a.calls, 3);
+        assert_eq!(a.rounds, 8);
+    }
+
+    #[test]
+    fn timer_charges_elapsed_interval() {
+        let mut p = PhaseProfile::new();
+        let t = PhaseTimer::start(Phase::P2p, SimTime::secs(10.0));
+        t.stop(SimTime::secs(12.5), &mut p);
+        assert_eq!(p.p2p, SimTime::secs(2.5));
+    }
+
+    #[test]
+    fn reduce_max_takes_slowest_rank() {
+        let out = run_cluster(ClusterConfig::ideal(4), |ep| {
+            let comm = Communicator::world(&ep);
+            let mine = PhaseProfile {
+                sync: SimTime::millis(ep.rank() as f64),
+                calls: ep.rank() as u64,
+                ..Default::default()
+            };
+            mine.reduce_max(&comm)
+        });
+        for p in &out {
+            assert!((p.sync.as_millis() - 3.0).abs() < 1e-6);
+            assert_eq!(p.calls, 3);
+        }
+    }
+
+    #[test]
+    fn reduce_avg_takes_mean() {
+        let out = run_cluster(ClusterConfig::ideal(4), |ep| {
+            let comm = Communicator::world(&ep);
+            let mine = PhaseProfile {
+                io: SimTime::millis(ep.rank() as f64 * 2.0),
+                ..Default::default()
+            };
+            mine.reduce_avg(&comm)
+        });
+        for p in &out {
+            assert!((p.io.as_millis() - 3.0).abs() < 0.01); // mean of 0,2,4,6
+        }
+    }
+}

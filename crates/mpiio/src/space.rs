@@ -1,0 +1,66 @@
+//! The file-space abstraction through which aggregators touch storage.
+//!
+//! The two-phase engine works in a *file coordinate space*: aggregators
+//! own contiguous domains of it and issue large reads/writes against it.
+//! For ordinary collective I/O that space **is** the physical file
+//! ([`DirectSpace`]). ParColl's intermediate file views (paper §4.1,
+//! pattern (c)) introduce a *logical* space in which each process's
+//! scattered segments are virtually concatenated; its `MappedSpace` (in
+//! the `parcoll` crate) implements this trait by translating logical runs
+//! back to the physical runs of the original view at the moment of file
+//! I/O — "data are read or written correctly using the same
+//! representation via an intermediate file view to the original file
+//! view".
+
+use simfs::FileHandle;
+use simnet::{IoBuffer, SimTime};
+
+/// A (possibly virtual) byte space backed by a file.
+pub trait FileSpace: Sync {
+    /// Write `data` at `offset` of the space, starting at virtual time
+    /// `now`; returns the completion instant.
+    fn write(&self, fh: &FileHandle, offset: u64, data: &IoBuffer, now: SimTime) -> SimTime;
+
+    /// Read `len` bytes at `offset` of the space.
+    fn read(&self, fh: &FileHandle, offset: u64, len: u64, now: SimTime)
+        -> (IoBuffer, SimTime);
+}
+
+/// The identity space: offsets are physical file offsets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DirectSpace;
+
+impl FileSpace for DirectSpace {
+    fn write(&self, fh: &FileHandle, offset: u64, data: &IoBuffer, now: SimTime) -> SimTime {
+        fh.write_at(offset, data, now)
+    }
+
+    fn read(
+        &self,
+        fh: &FileHandle,
+        offset: u64,
+        len: u64,
+        now: SimTime,
+    ) -> (IoBuffer, SimTime) {
+        fh.read_at(offset, len as usize, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simfs::{FileSystem, FsConfig};
+
+    #[test]
+    fn direct_space_is_identity() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let (fh, t) = fs.open("/d", SimTime::ZERO);
+        let space = DirectSpace;
+        let t1 = space.write(&fh, 10, &IoBuffer::from_slice(&[1, 2, 3]), t);
+        let (data, _t2) = space.read(&fh, 10, 3, t1);
+        assert_eq!(data.as_slice().unwrap(), &[1, 2, 3]);
+        // And it really landed at physical offset 10.
+        let (raw, _) = fh.read_at(10, 3, t1);
+        assert_eq!(raw.as_slice().unwrap(), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Split collective I/O (`MPI_File_write_at_all_begin` / `_end`).
+//!
+//! Split-phase collective I/O (Dickens & Thakur; paper §2.3) separates
+//! posting a collective transfer from completing it so a thread can
+//! overlap the I/O with computation. The paper's platform point stands:
+//! "the lack of support for application threads on Cray XT imposes
+//! limitations on ... split-phase collective I/O" — Catamount runs one
+//! single-threaded process per PE, so nothing can make progress between
+//! `begin` and `end`. This implementation is faithful to that: `begin`
+//! records the operation, `end` executes it. The API compatibility is
+//! real (codes written for split collectives run unchanged); the overlap
+//! is not, and §2.3 argues overlap would not remove the synchronization
+//! anyway.
+
+use crate::file::File;
+use simnet::IoBuffer;
+
+/// A pending split collective on a [`File`].
+#[derive(Debug)]
+pub enum PendingSplit {
+    /// A posted collective write.
+    Write {
+        /// View offset.
+        offset: u64,
+        /// Data to write.
+        buf: IoBuffer,
+    },
+    /// A posted collective read.
+    Read {
+        /// View offset.
+        offset: u64,
+        /// Bytes to read.
+        nbytes: u64,
+    },
+}
+
+/// Split-collective state carried alongside a [`File`].
+///
+/// MPI allows one outstanding split collective per file handle; this
+/// helper enforces that.
+#[derive(Debug, Default)]
+pub struct SplitColl {
+    pending: Option<PendingSplit>,
+}
+
+impl SplitColl {
+    /// No pending operation.
+    pub fn new() -> Self {
+        SplitColl::default()
+    }
+
+    /// `MPI_File_write_at_all_begin`: post a collective write. Local and
+    /// immediate (no communication happens until `end`, as permitted by
+    /// the MPI standard's split-collective semantics).
+    pub fn write_at_all_begin(&mut self, offset: u64, buf: IoBuffer) {
+        assert!(
+            self.pending.is_none(),
+            "a split collective is already outstanding on this file"
+        );
+        self.pending = Some(PendingSplit::Write { offset, buf });
+    }
+
+    /// `MPI_File_read_at_all_begin`.
+    pub fn read_at_all_begin(&mut self, offset: u64, nbytes: u64) {
+        assert!(
+            self.pending.is_none(),
+            "a split collective is already outstanding on this file"
+        );
+        self.pending = Some(PendingSplit::Read { offset, nbytes });
+    }
+
+    /// True if an operation is outstanding.
+    pub fn is_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// `MPI_File_write_at_all_end`: complete the posted write. On this
+    /// single-threaded-per-PE platform the whole transfer runs here.
+    pub fn write_at_all_end(&mut self, file: &mut File<'_>) {
+        match self.pending.take() {
+            Some(PendingSplit::Write { offset, buf }) => file.write_at_all(offset, &buf),
+            Some(other) => panic!("pending split collective is {other:?}, not a write"),
+            None => panic!("no split collective outstanding"),
+        }
+    }
+
+    /// `MPI_File_read_at_all_end`: complete the posted read.
+    pub fn read_at_all_end(&mut self, file: &mut File<'_>) -> IoBuffer {
+        match self.pending.take() {
+            Some(PendingSplit::Read { offset, nbytes }) => file.read_at_all(offset, nbytes),
+            Some(other) => panic!("pending split collective is {other:?}, not a read"),
+            None => panic!("no split collective outstanding"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simfs::{FileSystem, FsConfig};
+    use simmpi::{Communicator, Info};
+    use simnet::{run_cluster, ClusterConfig, SimTime};
+
+    #[test]
+    fn split_write_then_read_round_trips() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::ideal(4), move |ep| {
+            let comm = Communicator::world(&ep);
+            let mut f = File::open(&comm, &fs2, "/split", &Info::new());
+            let mut sc = SplitColl::new();
+            let mine = vec![comm.rank() as u8; 128];
+            sc.write_at_all_begin((comm.rank() * 128) as u64, IoBuffer::from_slice(&mine));
+            assert!(sc.is_pending());
+            // "Computation" between begin and end costs virtual time but
+            // cannot overlap the transfer on Catamount.
+            ep.compute(SimTime::millis(1.0));
+            sc.write_at_all_end(&mut f);
+            assert!(!sc.is_pending());
+            comm.barrier();
+
+            sc.read_at_all_begin((comm.rank() * 128) as u64, 128);
+            let got = sc.read_at_all_end(&mut f);
+            assert_eq!(got.as_slice().unwrap(), mine.as_slice());
+            f.close();
+        });
+    }
+
+    #[test]
+    fn no_overlap_on_single_threaded_pe() {
+        // The transfer time lands entirely in `end`: begin is free.
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::ideal(2), move |ep| {
+            let comm = Communicator::world(&ep);
+            let mut f = File::open(&comm, &fs2, "/noover", &Info::new());
+            let mut sc = SplitColl::new();
+            let t0 = ep.now();
+            sc.write_at_all_begin(
+                (comm.rank() * 4096) as u64,
+                IoBuffer::synthetic(4096),
+            );
+            assert_eq!(ep.now(), t0, "begin must not advance the clock");
+            sc.write_at_all_end(&mut f);
+            assert!(ep.now() > t0, "end performs the whole transfer");
+            f.close();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "already outstanding")]
+    fn second_begin_rejected() {
+        let mut sc = SplitColl::new();
+        sc.write_at_all_begin(0, IoBuffer::synthetic(8));
+        sc.read_at_all_begin(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "no split collective outstanding")]
+    fn end_without_begin_rejected() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let fs2 = fs.clone();
+        run_cluster(ClusterConfig::ideal(1), move |ep| {
+            let comm = Communicator::world(&ep);
+            let mut f = File::open(&comm, &fs2, "/oops", &Info::new());
+            let _ = ep;
+            SplitColl::new().write_at_all_end(&mut f);
+        });
+    }
+}

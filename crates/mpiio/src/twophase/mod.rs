@@ -1,0 +1,553 @@
+//! The extended two-phase collective I/O protocol (`ext2ph`).
+//!
+//! This is the ROMIO-generic shape of collective buffering (Thakur &
+//! Choudhary's extended two-phase method), the baseline the paper dissects
+//! and then augments:
+//!
+//! 1. **File range gathering** — `MPI_Allgather` of each rank's
+//!    `(start, end)` offsets *(global sync #1)*.
+//! 2. **File domain partitioning** — the touched range is divided evenly
+//!    among the I/O aggregators; every rank computes the division locally
+//!    ([`domains`]).
+//! 3. **Request dissemination** — `MPI_Alltoall` of per-aggregator piece
+//!    counts *(global sync #2)* followed by point-to-point transfers of
+//!    the `(offset, len)` lists ([`reqs`]).
+//! 4. **Round count** — `MPI_Allreduce(MAX)` of each aggregator's
+//!    `⌈touched-domain / cb_buffer_size⌉` *(global sync #3)*.
+//! 5. **Interleaved data exchange and file I/O** — per round: an
+//!    `MPI_Alltoall` of this round's transfer sizes *(global sync, once
+//!    per round — the proximate cause of the collective wall)*, then
+//!    point-to-point data exchange into the aggregators' staging buffers,
+//!    hole detection, optional read-modify-write, and the large file
+//!    access.
+//!
+//! Writes and reads are mirror images and share all the machinery; the
+//! per-aggregator/per-source piece streams advance in lock step on both
+//! sides, so no per-round offset lists need to travel (exactly ROMIO's
+//! trick).
+//!
+//! Every synchronizing step is bracketed with [`PhaseTimer`] so the
+//! profile reproduces the paper's Figure 2 decomposition.
+
+pub mod domains;
+pub mod reqs;
+
+use crate::profile::{Phase, PhaseProfile, PhaseTimer};
+use crate::space::FileSpace;
+use crate::view::AccessPlan;
+use domains::{compute_file_domains, compute_file_domains_aligned};
+use reqs::{bytes_in_window, calc_my_req, pieces_in_window, Piece};
+use simfs::{FileHandle, RangeSet};
+use simmpi::{codec, Communicator, ReduceOp};
+use simnet::buffer::BufferBuilder;
+use simnet::IoBuffer;
+
+/// Tag for request-list metadata messages.
+const TAG_REQ: i32 = 0x7001;
+/// Tag for staged data exchange messages.
+const TAG_DATA: i32 = 0x7002;
+
+/// Configuration of one collective operation.
+#[derive(Debug, Clone)]
+pub struct CollConfig {
+    /// Aggregators as local ranks, ascending.
+    pub aggregators: Vec<usize>,
+    /// Staging buffer bytes per aggregator per round.
+    pub cb_buffer_size: u64,
+    /// Align file-domain boundaries to this unit (Lustre stripe size);
+    /// `None` divides evenly (ROMIO generic).
+    pub align: Option<u64>,
+}
+
+impl CollConfig {
+    /// Validate against a communicator size.
+    fn check(&self, p: usize) {
+        assert!(!self.aggregators.is_empty(), "no aggregators configured");
+        assert!(self.cb_buffer_size > 0, "zero collective buffer");
+        assert!(
+            self.aggregators.iter().all(|&a| a < p),
+            "aggregator rank out of range: {:?} (size {p})",
+            self.aggregators
+        );
+    }
+}
+
+/// Cursor over a sorted piece list that yields clipped sub-pieces in
+/// stream order. Sender and receiver advance matching cursors by equal
+/// byte counts each round, which keeps them consistent without exchanging
+/// offsets.
+struct PieceCursor<'a> {
+    pieces: &'a [Piece],
+    idx: usize,
+    within: u64,
+}
+
+impl<'a> PieceCursor<'a> {
+    fn new(pieces: &'a [Piece]) -> Self {
+        PieceCursor {
+            pieces,
+            idx: 0,
+            within: 0,
+        }
+    }
+
+    /// Yield sub-pieces totaling exactly `n` bytes (panics if the stream
+    /// runs dry first — a protocol invariant violation).
+    fn consume(&mut self, mut n: u64, mut f: impl FnMut(Piece)) {
+        while n > 0 {
+            let p = self
+                .pieces
+                .get(self.idx)
+                .unwrap_or_else(|| panic!("piece stream exhausted with {n} bytes pending"));
+            let avail = p.len - self.within;
+            let take = avail.min(n);
+            f(Piece {
+                file_off: p.file_off + self.within,
+                len: take,
+                buf_off: p.buf_off + self.within,
+            });
+            self.within += take;
+            n -= take;
+            if self.within == p.len {
+                self.idx += 1;
+                self.within = 0;
+            }
+        }
+    }
+}
+
+/// Shared state computed by the setup phase.
+struct Setup {
+    /// Per-aggregator piece lists of *my* access.
+    my_req: Vec<Vec<Piece>>,
+    /// If I am an aggregator: per-source piece lists inside my domain.
+    others_req: Option<Vec<Vec<Piece>>>,
+    /// My index in the aggregator list, if any.
+    my_agg_idx: Option<usize>,
+    /// Start of the touched range in my domain (aggregators only).
+    st_loc: u64,
+    /// Global number of exchange rounds.
+    ntimes: u64,
+}
+
+/// Steps 1–4: range gathering, domain partitioning, request
+/// dissemination, round count. Returns `None` when no rank moves bytes.
+fn setup(
+    comm: &Communicator<'_>,
+    plan: &AccessPlan,
+    cfg: &CollConfig,
+    prof: &mut PhaseProfile,
+) -> Option<Setup> {
+    let ep = comm.endpoint();
+    let p = comm.size();
+    cfg.check(p);
+    let naggs = cfg.aggregators.len();
+    let my_agg_idx = cfg.aggregators.iter().position(|&a| a == comm.rank());
+
+    // (1) Allgather of (start, end) — global sync.
+    let t = PhaseTimer::start(Phase::Sync, ep.now());
+    let my_range: Option<(u64, u64)> = plan.start().map(|s| (s, plan.end().unwrap()));
+    let ranges = comm.allgather_t(my_range, 16);
+    t.stop(ep.now(), prof);
+
+    let min_st = ranges.iter().flatten().map(|r| r.0).min()?;
+    let max_end = ranges.iter().flatten().map(|r| r.1).max().unwrap();
+
+    // (2) File domains, computed identically everywhere.
+    let file_domains = match cfg.align {
+        Some(align) => compute_file_domains_aligned(min_st, max_end, naggs, align),
+        None => compute_file_domains(min_st, max_end, naggs),
+    };
+    let my_req = calc_my_req(plan, &file_domains);
+
+    // (3a) Alltoall of piece counts — global sync.
+    let t = PhaseTimer::start(Phase::Sync, ep.now());
+    let mut counts_row = vec![0u64; p];
+    for (a, pieces) in my_req.iter().enumerate() {
+        counts_row[cfg.aggregators[a]] = pieces.len() as u64;
+    }
+    let counts_from = comm.alltoall_t(counts_row, 8);
+    t.stop(ep.now(), prof);
+
+    // (3b) Point-to-point transfer of the (offset, len) lists.
+    let t = PhaseTimer::start(Phase::P2p, ep.now());
+    let mut others_req: Option<Vec<Vec<Piece>>> = my_agg_idx.map(|_| vec![Vec::new(); p]);
+    for (a, pieces) in my_req.iter().enumerate() {
+        if pieces.is_empty() {
+            continue;
+        }
+        let dst = cfg.aggregators[a];
+        if dst == comm.rank() {
+            // Self-assignment: no message.
+            others_req.as_mut().expect("I am this aggregator")[comm.rank()] = pieces.clone();
+        } else {
+            let pairs: Vec<(u64, u64)> = pieces.iter().map(|p| (p.file_off, p.len)).collect();
+            comm.isend(dst, TAG_REQ, codec::encode_pairs(&pairs));
+        }
+    }
+    if let Some(others) = others_req.as_mut() {
+        let reqs: Vec<(usize, simmpi::RecvRequest)> = (0..p)
+            .filter(|&src| src != comm.rank() && counts_from[src] > 0)
+            .map(|src| (src, comm.irecv(src, TAG_REQ)))
+            .collect();
+        let payloads = comm.waitall(&reqs.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>());
+        for ((src, _), payload) in reqs.iter().zip(payloads) {
+            others[*src] = codec::decode_pairs(&payload)
+                .into_iter()
+                .map(|(off, len)| Piece {
+                    file_off: off,
+                    len,
+                    buf_off: 0, // receiver side never consults buf_off
+                })
+                .collect();
+        }
+    }
+    t.stop(ep.now(), prof);
+
+    // (4) Round count: ceil(touched-range / cb_buffer) per aggregator,
+    // allreduce MAX — global sync.
+    let (st_loc, my_ntimes) = match (&others_req, my_agg_idx) {
+        (Some(others), Some(_)) => {
+            let st = others
+                .iter()
+                .flatten()
+                .map(|p| p.file_off)
+                .min()
+                .unwrap_or(0);
+            let end = others.iter().flatten().map(Piece::end).max().unwrap_or(0);
+            (st, (end - st).div_ceil(cfg.cb_buffer_size))
+        }
+        _ => (0, 0),
+    };
+    let t = PhaseTimer::start(Phase::Sync, ep.now());
+    let ntimes = comm.allreduce_u64(&[my_ntimes], ReduceOp::Max)[0];
+    t.stop(ep.now(), prof);
+
+    Some(Setup {
+        my_req,
+        others_req,
+        my_agg_idx,
+        st_loc,
+        ntimes,
+    })
+}
+
+/// Collective write: every rank contributes `buf` (of `plan.total` bytes)
+/// laid out per `plan`. Completion is collective: the protocol's final
+/// round synchronizes all ranks.
+pub fn write_all(
+    comm: &Communicator<'_>,
+    fh: &FileHandle,
+    space: &dyn FileSpace,
+    plan: &AccessPlan,
+    buf: &IoBuffer,
+    cfg: &CollConfig,
+    prof: &mut PhaseProfile,
+) {
+    assert_eq!(
+        buf.len() as u64,
+        plan.total,
+        "buffer length must match the access plan"
+    );
+    prof.calls += 1;
+    let ep = comm.endpoint();
+    let Some(setup) = setup(comm, plan, cfg, prof) else {
+        return;
+    };
+    let p = comm.size();
+
+    // Per-aggregator send cursors over my pieces; per-source receive
+    // cursors over pieces in my domain.
+    let mut send_cursors: Vec<PieceCursor<'_>> =
+        setup.my_req.iter().map(|v| PieceCursor::new(v)).collect();
+    let mut recv_cursors: Option<Vec<PieceCursor<'_>>> = setup
+        .others_req
+        .as_ref()
+        .map(|o| o.iter().map(|v| PieceCursor::new(v)).collect());
+
+    for round in 0..setup.ntimes {
+        prof.rounds += 1;
+        // Aggregator's window for this round.
+        let window = setup.my_agg_idx.map(|_| {
+            let lo = setup.st_loc + round * cfg.cb_buffer_size;
+            (lo, lo + cfg.cb_buffer_size)
+        });
+
+        // Per-round MPI_Alltoall of transfer sizes — the global sync the
+        // collective wall is made of. The aggregator announces how many
+        // bytes it expects from each source this round.
+        let t = PhaseTimer::start(Phase::Sync, ep.now());
+        let mut row = vec![0u64; p];
+        if let (Some((lo, hi)), Some(others)) = (window, setup.others_req.as_ref()) {
+            for (src, pieces) in others.iter().enumerate() {
+                row[src] = bytes_in_window(pieces, lo, hi);
+            }
+        }
+        let expected = comm.alltoall_sizes(row);
+        t.stop(ep.now(), prof);
+
+        // Senders: pack and post this round's bytes for each aggregator.
+        let mut self_payload: Option<IoBuffer> = None;
+        let t = PhaseTimer::start(Phase::P2p, ep.now());
+        for (a, &agg_rank) in cfg.aggregators.iter().enumerate() {
+            let n = expected[agg_rank];
+            if n == 0 {
+                continue;
+            }
+            let mut payload = BufferBuilder::with_capacity(n as usize);
+            send_cursors[a].consume(n, |piece| {
+                payload.push(&buf.sub(piece.buf_off as usize, piece.len as usize));
+            });
+            ep.charge_memcpy(n as usize);
+            let payload = payload.finish();
+            if agg_rank == comm.rank() {
+                self_payload = Some(payload);
+            } else {
+                comm.isend(agg_rank, TAG_DATA, payload);
+            }
+        }
+
+        // Aggregator: collect this round's payloads.
+        let mut incoming: Vec<(usize, IoBuffer)> = Vec::new();
+        if setup.my_agg_idx.is_some() {
+            let my_expect = {
+                // Recompute my row (what I announced) — cheap and local.
+                let (lo, hi) = window.expect("aggregator has a window");
+                let others = setup.others_req.as_ref().expect("aggregator state");
+                (0..p)
+                    .map(|src| bytes_in_window(&others[src], lo, hi))
+                    .collect::<Vec<u64>>()
+            };
+            let reqs: Vec<(usize, simmpi::RecvRequest)> = (0..p)
+                .filter(|&src| src != comm.rank() && my_expect[src] > 0)
+                .map(|src| (src, comm.irecv(src, TAG_DATA)))
+                .collect();
+            let payloads =
+                comm.waitall(&reqs.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>());
+            for ((src, _), payload) in reqs.iter().zip(payloads) {
+                incoming.push((*src, payload));
+            }
+            if my_expect[comm.rank()] > 0 {
+                incoming.push((
+                    comm.rank(),
+                    self_payload.take().expect("self payload was packed"),
+                ));
+            }
+        }
+        t.stop(ep.now(), prof);
+
+        // Aggregator: assemble the staging buffer and perform file I/O.
+        if let (Some((lo, hi)), Some(cursors)) = (window, recv_cursors.as_mut()) {
+            write_window(comm, fh, space, prof, lo, hi, cursors, incoming);
+        }
+    }
+
+    // No trailing barrier: as in ROMIO, a rank returns once its own
+    // participation ends (its last sends are posted, its windows are
+    // written). The next collective call — or the benchmark harness's
+    // explicit barrier — absorbs any residual skew.
+}
+
+/// Place one round of received pieces and write them out.
+#[allow(clippy::too_many_arguments)]
+fn write_window(
+    comm: &Communicator<'_>,
+    fh: &FileHandle,
+    space: &dyn FileSpace,
+    prof: &mut PhaseProfile,
+    lo: u64,
+    hi: u64,
+    cursors: &mut [PieceCursor<'_>],
+    incoming: Vec<(usize, IoBuffer)>,
+) {
+    let ep = comm.endpoint();
+    if incoming.is_empty() {
+        return;
+    }
+    // Targets: where each payload's bytes land, plus coverage tracking.
+    let mut coverage = RangeSet::new();
+    let mut placements: Vec<(u64, IoBuffer)> = Vec::new(); // (file_off, data)
+    let mut total_bytes = 0u64;
+    for (src, payload) in &incoming {
+        let n = payload.len() as u64;
+        total_bytes += n;
+        let mut consumed = 0u64;
+        cursors[*src].consume(n, |piece| {
+            debug_assert!(piece.file_off >= lo && piece.end() <= hi);
+            coverage.insert(piece.file_off, piece.end());
+            placements.push((
+                piece.file_off,
+                payload.sub(consumed as usize, piece.len as usize),
+            ));
+            consumed += piece.len;
+        });
+    }
+    ep.charge_memcpy(total_bytes as usize); // staging-buffer assembly
+
+    let write_lo = coverage.ranges().first().expect("non-empty round").0;
+    let write_hi = coverage.ranges().last().unwrap().1;
+    let span = write_hi - write_lo;
+    let holes = coverage.covered() != span;
+
+    if holes {
+        // Read-modify-write: fetch the whole span, overlay, write back —
+        // ROMIO's data-sieving write inside the collective path.
+        let t = PhaseTimer::start(Phase::Io, ep.now());
+        let (mut window_buf, done) = space.read(fh, write_lo, span, ep.now());
+        ep.clock().advance_to(done);
+        t.stop(ep.now(), prof);
+        for (off, data) in &placements {
+            window_buf.copy_in((off - write_lo) as usize, data);
+        }
+        ep.charge_memcpy(total_bytes as usize);
+        let t = PhaseTimer::start(Phase::Io, ep.now());
+        let done = space.write(fh, write_lo, &window_buf, ep.now());
+        ep.clock().advance_to(done);
+        t.stop(ep.now(), prof);
+    } else {
+        // Contiguous coverage: one large write per covered run (usually
+        // exactly one). Skip the zero-fill when any payload is synthetic
+        // — the staging buffer will degrade to synthetic anyway.
+        let mut window_buf = if placements.iter().any(|(_, d)| !d.is_real()) {
+            IoBuffer::synthetic(span as usize)
+        } else {
+            IoBuffer::zeroed(span as usize)
+        };
+        for (off, data) in &placements {
+            window_buf.copy_in((off - write_lo) as usize, data);
+        }
+        let t = PhaseTimer::start(Phase::Io, ep.now());
+        let mut now = ep.now();
+        for &(s, e) in coverage.ranges() {
+            let chunk = window_buf.sub((s - write_lo) as usize, (e - s) as usize);
+            now = space.write(fh, s, &chunk, now);
+        }
+        ep.clock().advance_to(now);
+        t.stop(ep.now(), prof);
+    }
+}
+
+/// Collective read: mirror image of [`write_all`]. Returns this rank's
+/// `plan.total` bytes in plan order.
+pub fn read_all(
+    comm: &Communicator<'_>,
+    fh: &FileHandle,
+    space: &dyn FileSpace,
+    plan: &AccessPlan,
+    cfg: &CollConfig,
+    prof: &mut PhaseProfile,
+) -> IoBuffer {
+    prof.calls += 1;
+    let ep = comm.endpoint();
+    let Some(setup) = setup(comm, plan, cfg, prof) else {
+        return IoBuffer::empty();
+    };
+    let p = comm.size();
+
+    let mut user_buf = IoBuffer::zeroed(plan.total as usize);
+    let mut recv_cursors: Vec<PieceCursor<'_>> =
+        setup.my_req.iter().map(|v| PieceCursor::new(v)).collect();
+    let mut send_cursors: Option<Vec<PieceCursor<'_>>> = setup
+        .others_req
+        .as_ref()
+        .map(|o| o.iter().map(|v| PieceCursor::new(v)).collect());
+
+    for round in 0..setup.ntimes {
+        prof.rounds += 1;
+        let window = setup.my_agg_idx.map(|_| {
+            let lo = setup.st_loc + round * cfg.cb_buffer_size;
+            (lo, lo + cfg.cb_buffer_size)
+        });
+
+        // Per-round alltoall of outgoing sizes — global sync.
+        let t = PhaseTimer::start(Phase::Sync, ep.now());
+        let mut row = vec![0u64; p];
+        if let (Some((lo, hi)), Some(others)) = (window, setup.others_req.as_ref()) {
+            for (src, pieces) in others.iter().enumerate() {
+                row[src] = bytes_in_window(pieces, lo, hi);
+            }
+        }
+        let expected = comm.alltoall_sizes(row);
+        t.stop(ep.now(), prof);
+
+        // Aggregator: read the window span once, carve out each source's
+        // pieces, send.
+        let mut self_payload: Option<IoBuffer> = None;
+        if let (Some((lo, hi)), Some(cursors)) = (window, send_cursors.as_mut()) {
+            let others = setup.others_req.as_ref().expect("aggregator state");
+            let in_window: Vec<Vec<Piece>> = (0..p)
+                .map(|src| pieces_in_window(&others[src], lo, hi))
+                .collect();
+            let read_lo = in_window.iter().flatten().map(|p| p.file_off).min();
+            if let Some(read_lo) = read_lo {
+                let read_hi = in_window.iter().flatten().map(Piece::end).max().unwrap();
+                let t = PhaseTimer::start(Phase::Io, ep.now());
+                let (window_buf, done) = space.read(fh, read_lo, read_hi - read_lo, ep.now());
+                ep.clock().advance_to(done);
+                t.stop(ep.now(), prof);
+
+                let t = PhaseTimer::start(Phase::P2p, ep.now());
+                for src in 0..p {
+                    let n: u64 = in_window[src].iter().map(|p| p.len).sum();
+                    if n == 0 {
+                        continue;
+                    }
+                    let mut payload = BufferBuilder::with_capacity(n as usize);
+                    cursors[src].consume(n, |piece| {
+                        payload.push(
+                            &window_buf
+                                .sub((piece.file_off - read_lo) as usize, piece.len as usize),
+                        );
+                    });
+                    ep.charge_memcpy(n as usize);
+                    let payload = payload.finish();
+                    if src == comm.rank() {
+                        self_payload = Some(payload);
+                    } else {
+                        comm.isend(src, TAG_DATA, payload);
+                    }
+                }
+                t.stop(ep.now(), prof);
+            }
+        }
+
+        // Everyone: receive this round's pieces and scatter them into the
+        // user buffer.
+        let t = PhaseTimer::start(Phase::P2p, ep.now());
+        let mut arrived: Vec<(usize, IoBuffer)> = Vec::new();
+        let reqs: Vec<(usize, simmpi::RecvRequest)> = cfg
+            .aggregators
+            .iter()
+            .filter(|&&a| a != comm.rank() && expected[a] > 0)
+            .map(|&a| (a, comm.irecv(a, TAG_DATA)))
+            .collect();
+        let payloads = comm.waitall(&reqs.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>());
+        for ((agg_rank, _), payload) in reqs.iter().zip(payloads) {
+            arrived.push((*agg_rank, payload));
+        }
+        if let Some(selfp) = self_payload.take() {
+            arrived.push((comm.rank(), selfp));
+        }
+        t.stop(ep.now(), prof);
+
+        for (agg_rank, payload) in arrived {
+            let a = cfg
+                .aggregators
+                .iter()
+                .position(|&x| x == agg_rank)
+                .expect("payload from a configured aggregator");
+            let n = payload.len() as u64;
+            let mut consumed = 0u64;
+            recv_cursors[a].consume(n, |piece| {
+                user_buf.copy_in(
+                    piece.buf_off as usize,
+                    &payload.sub(consumed as usize, piece.len as usize),
+                );
+                consumed += piece.len;
+            });
+            ep.charge_memcpy(n as usize);
+        }
+    }
+
+    user_buf
+}

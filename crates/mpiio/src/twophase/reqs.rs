@@ -1,0 +1,209 @@
+//! Request calculation: which pieces of whose access go to which
+//! aggregator (ROMIO's `ADIOI_Calc_my_req` / `ADIOI_Calc_others_req`).
+
+use crate::datatype::Ext;
+use crate::view::AccessPlan;
+
+/// One piece of a rank's access assigned to an aggregator: a contiguous
+/// file run plus where its bytes live in the owning rank's user buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Piece {
+    /// File (or file-space) offset.
+    pub file_off: u64,
+    /// Length in bytes.
+    pub len: u64,
+    /// Offset within the owning rank's contiguous user buffer.
+    pub buf_off: u64,
+}
+
+impl Piece {
+    /// One past the last byte.
+    pub fn end(&self) -> u64 {
+        self.file_off + self.len
+    }
+
+    /// The sub-piece overlapping `[lo, hi)`, if any, with `buf_off`
+    /// adjusted accordingly.
+    pub fn clip(&self, lo: u64, hi: u64) -> Option<Piece> {
+        let s = self.file_off.max(lo);
+        let e = self.end().min(hi);
+        (s < e).then(|| Piece {
+            file_off: s,
+            len: e - s,
+            buf_off: self.buf_off + (s - self.file_off),
+        })
+    }
+}
+
+/// Split a rank's access plan across aggregator domains
+/// (`ADIOI_Calc_my_req`): returns one sorted piece list per aggregator.
+///
+/// Domains must be sorted and contiguous ([`super::domains`] guarantees
+/// it); plan runs are sorted, so one linear merge suffices.
+pub fn calc_my_req(plan: &AccessPlan, domains: &[Ext]) -> Vec<Vec<Piece>> {
+    let mut out: Vec<Vec<Piece>> = vec![Vec::new(); domains.len()];
+    if domains.is_empty() {
+        return out;
+    }
+    let mut d = 0usize;
+    for (buf_off, ext) in plan.with_buffer_offsets() {
+        let mut pos = ext.off;
+        let mut consumed = 0u64;
+        while pos < ext.end() {
+            // Advance to the domain containing `pos`.
+            while d < domains.len() && (domains[d].len == 0 || domains[d].end() <= pos) {
+                d += 1;
+            }
+            assert!(
+                d < domains.len() && domains[d].off <= pos,
+                "access at {pos} outside the aggregated file range"
+            );
+            let take_end = ext.end().min(domains[d].end());
+            out[d].push(Piece {
+                file_off: pos,
+                len: take_end - pos,
+                buf_off: buf_off + consumed,
+            });
+            consumed += take_end - pos;
+            pos = take_end;
+        }
+    }
+    out
+}
+
+/// The sub-list of `pieces` (sorted by `file_off`) overlapping window
+/// `[lo, hi)`, with boundary pieces clipped.
+pub fn pieces_in_window(pieces: &[Piece], lo: u64, hi: u64) -> Vec<Piece> {
+    if lo >= hi {
+        return Vec::new();
+    }
+    let start = pieces.partition_point(|p| p.end() <= lo);
+    let mut out = Vec::new();
+    for p in &pieces[start..] {
+        if p.file_off >= hi {
+            break;
+        }
+        if let Some(c) = p.clip(lo, hi) {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Total bytes of `pieces` overlapping `[lo, hi)`.
+pub fn bytes_in_window(pieces: &[Piece], lo: u64, hi: u64) -> u64 {
+    pieces_in_window(pieces, lo, hi).iter().map(|p| p.len).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::AccessPlan;
+
+    fn plan(extents: &[(u64, u64)]) -> AccessPlan {
+        AccessPlan::from_extents(extents.iter().map(|&(o, l)| Ext::new(o, l)).collect())
+    }
+
+    #[test]
+    fn pieces_land_in_owning_domains() {
+        let domains = vec![Ext::new(0, 50), Ext::new(50, 50)];
+        let p = plan(&[(10, 20), (60, 10)]);
+        let req = calc_my_req(&p, &domains);
+        assert_eq!(
+            req[0],
+            vec![Piece { file_off: 10, len: 20, buf_off: 0 }]
+        );
+        assert_eq!(
+            req[1],
+            vec![Piece { file_off: 60, len: 10, buf_off: 20 }]
+        );
+    }
+
+    #[test]
+    fn straddling_extent_splits_with_buffer_offsets() {
+        let domains = vec![Ext::new(0, 50), Ext::new(50, 50)];
+        let p = plan(&[(40, 20)]);
+        let req = calc_my_req(&p, &domains);
+        assert_eq!(
+            req[0],
+            vec![Piece { file_off: 40, len: 10, buf_off: 0 }]
+        );
+        assert_eq!(
+            req[1],
+            vec![Piece { file_off: 50, len: 10, buf_off: 10 }]
+        );
+    }
+
+    #[test]
+    fn extent_spanning_three_domains() {
+        let domains = vec![Ext::new(0, 10), Ext::new(10, 10), Ext::new(20, 10)];
+        let p = plan(&[(5, 20)]);
+        let req = calc_my_req(&p, &domains);
+        assert_eq!(req[0], vec![Piece { file_off: 5, len: 5, buf_off: 0 }]);
+        assert_eq!(req[1], vec![Piece { file_off: 10, len: 10, buf_off: 5 }]);
+        assert_eq!(req[2], vec![Piece { file_off: 20, len: 5, buf_off: 15 }]);
+    }
+
+    #[test]
+    fn empty_domains_are_skipped() {
+        let domains = vec![Ext::new(0, 0), Ext::new(0, 10), Ext::new(10, 0), Ext::new(10, 10)];
+        let p = plan(&[(0, 20)]);
+        let req = calc_my_req(&p, &domains);
+        assert!(req[0].is_empty());
+        assert_eq!(req[1], vec![Piece { file_off: 0, len: 10, buf_off: 0 }]);
+        assert!(req[2].is_empty());
+        assert_eq!(req[3], vec![Piece { file_off: 10, len: 10, buf_off: 10 }]);
+    }
+
+    #[test]
+    fn empty_plan_yields_empty_lists() {
+        let domains = vec![Ext::new(0, 100)];
+        let req = calc_my_req(&AccessPlan::default(), &domains);
+        assert!(req[0].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the aggregated file range")]
+    fn access_outside_domains_panics() {
+        let domains = vec![Ext::new(0, 10)];
+        calc_my_req(&plan(&[(5, 10)]), &domains);
+    }
+
+    #[test]
+    fn window_clipping() {
+        let pieces = vec![
+            Piece { file_off: 0, len: 10, buf_off: 0 },
+            Piece { file_off: 20, len: 10, buf_off: 10 },
+            Piece { file_off: 40, len: 10, buf_off: 20 },
+        ];
+        // Window [5, 45): clips first and last.
+        let w = pieces_in_window(&pieces, 5, 45);
+        assert_eq!(
+            w,
+            vec![
+                Piece { file_off: 5, len: 5, buf_off: 5 },
+                Piece { file_off: 20, len: 10, buf_off: 10 },
+                Piece { file_off: 40, len: 5, buf_off: 20 },
+            ]
+        );
+        assert_eq!(bytes_in_window(&pieces, 5, 45), 20);
+    }
+
+    #[test]
+    fn window_misses_everything() {
+        let pieces = vec![Piece { file_off: 10, len: 5, buf_off: 0 }];
+        assert!(pieces_in_window(&pieces, 0, 10).is_empty());
+        assert!(pieces_in_window(&pieces, 15, 30).is_empty());
+        assert!(pieces_in_window(&pieces, 20, 10).is_empty()); // inverted
+        assert_eq!(bytes_in_window(&pieces, 0, 100), 5);
+    }
+
+    #[test]
+    fn piece_clip_adjusts_buffer_offset() {
+        let p = Piece { file_off: 100, len: 50, buf_off: 7 };
+        let c = p.clip(120, 130).unwrap();
+        assert_eq!(c, Piece { file_off: 120, len: 10, buf_off: 27 });
+        assert!(p.clip(150, 160).is_none());
+        assert!(p.clip(0, 100).is_none());
+    }
+}

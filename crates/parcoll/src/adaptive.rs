@@ -1,0 +1,175 @@
+//! Adaptive subgroup-count selection — the paper's future work made
+//! concrete ("we will study ... how to adaptive choosing the best group
+//! size for ParColl", §6).
+//!
+//! The trade-off is workload-dependent: more subgroups cut global
+//! synchronization, fewer keep aggregation coarse (paper §4). For
+//! repetitive collective calls (every workload in the evaluation), the
+//! controller probes a ladder of group counts — one call per rung — and
+//! commits to the fastest. During probing, ranks agree on each
+//! measurement through one extra `allreduce(MAX)` per call; after
+//! commitment no whole-group operation remains, so the steady state keeps
+//! ParColl's full benefit. Enabled with the `parcoll_adaptive` hint.
+
+/// State machine choosing the subgroup count across repeated calls.
+#[derive(Debug, Clone)]
+pub struct AdaptiveGroups {
+    ladder: Vec<usize>,
+    /// Calls spent on each rung before scoring it. Several calls per rung
+    /// let drift-dependent benefits (independent subgroup progress across
+    /// calls — the IOR/Flash mechanism) show up; the *last* call of the
+    /// rung is the score.
+    calls_per_probe: usize,
+    rung_calls: usize,
+    /// (group count, agreed per-call seconds) for probed rungs.
+    measured: Vec<(usize, f64)>,
+    committed: Option<usize>,
+}
+
+impl AdaptiveGroups {
+    /// Build the probe ladder for `nprocs` processes with the given
+    /// minimum group size: powers of two from 1 (the baseline) up to
+    /// `nprocs / min_group`, each probed for three calls.
+    pub fn new(nprocs: usize, min_group: usize) -> Self {
+        Self::with_calls_per_probe(nprocs, min_group, 3)
+    }
+
+    /// [`AdaptiveGroups::new`] with an explicit probe length per rung.
+    pub fn with_calls_per_probe(nprocs: usize, min_group: usize, calls_per_probe: usize) -> Self {
+        let cap = (nprocs / min_group.max(1)).max(1);
+        let mut ladder = vec![1usize];
+        let mut g = 2;
+        while g <= cap {
+            ladder.push(g);
+            g *= 2;
+        }
+        AdaptiveGroups {
+            ladder,
+            calls_per_probe: calls_per_probe.max(1),
+            rung_calls: 0,
+            measured: Vec::new(),
+            committed: None,
+        }
+    }
+
+    /// The group count to use for the next call.
+    pub fn next_groups(&self) -> usize {
+        match self.committed {
+            Some(g) => g,
+            None => self.ladder[self.measured.len()],
+        }
+    }
+
+    /// True once the controller has settled.
+    pub fn is_committed(&self) -> bool {
+        self.committed.is_some()
+    }
+
+    /// The committed group count, if settled.
+    pub fn committed(&self) -> Option<usize> {
+        self.committed
+    }
+
+    /// The probe measurements so far (one entry per completed rung).
+    pub fn measurements(&self) -> &[(usize, f64)] {
+        &self.measured
+    }
+
+    /// Record the (globally agreed) elapsed seconds of the call that used
+    /// [`next_groups`](AdaptiveGroups::next_groups). A rung is scored by
+    /// its final call; the controller commits to the argmin once the
+    /// ladder is exhausted.
+    pub fn record(&mut self, elapsed_secs: f64) {
+        if self.committed.is_some() {
+            return;
+        }
+        self.rung_calls += 1;
+        if self.rung_calls < self.calls_per_probe {
+            return;
+        }
+        self.rung_calls = 0;
+        let g = self.ladder[self.measured.len()];
+        self.measured.push((g, elapsed_secs));
+        if self.measured.len() == self.ladder.len() {
+            let best = self
+                .measured
+                .iter()
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty ladder")
+                .0;
+            self.committed = Some(best);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_powers_of_two_up_to_cap() {
+        let a = AdaptiveGroups::with_calls_per_probe(512, 8, 1);
+        assert_eq!(
+            a.measurements().len(),
+            0
+        );
+        let mut probes = Vec::new();
+        let mut a2 = a.clone();
+        while !a2.is_committed() {
+            probes.push(a2.next_groups());
+            a2.record(1.0);
+        }
+        assert_eq!(probes, vec![1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn commits_to_argmin() {
+        let mut a = AdaptiveGroups::with_calls_per_probe(64, 8, 1);
+        // Ladder: 1, 2, 4, 8. Make 4 the fastest.
+        let times = [4.0, 3.0, 1.5, 2.5];
+        for t in times {
+            assert!(!a.is_committed());
+            a.record(t);
+        }
+        assert_eq!(a.committed(), Some(4));
+        assert_eq!(a.next_groups(), 4);
+        // Further records are ignored.
+        a.record(0.1);
+        assert_eq!(a.committed(), Some(4));
+    }
+
+    #[test]
+    fn degenerate_cluster_commits_to_one() {
+        let mut a = AdaptiveGroups::with_calls_per_probe(4, 8, 1);
+        assert_eq!(a.next_groups(), 1);
+        a.record(1.0);
+        assert_eq!(a.committed(), Some(1));
+    }
+
+    #[test]
+    fn probing_order_matches_next_groups() {
+        let mut a = AdaptiveGroups::with_calls_per_probe(32, 4, 1);
+        let mut seen = Vec::new();
+        while !a.is_committed() {
+            seen.push(a.next_groups());
+            a.record(seen.len() as f64); // monotonically worse -> commit 1
+        }
+        assert_eq!(seen, vec![1, 2, 4, 8]);
+        assert_eq!(a.committed(), Some(1));
+    }
+
+    #[test]
+    fn multi_call_probes_score_the_last_call() {
+        let mut a = AdaptiveGroups::with_calls_per_probe(16, 8, 3);
+        // Ladder: [1, 2]. Rung 1: calls get faster (warmup/drift) — the
+        // last call's 1.0 is the score. Rung 2: flat 2.0.
+        for t in [5.0, 3.0, 1.0] {
+            a.record(t);
+        }
+        assert_eq!(a.measurements(), &[(1, 1.0)]);
+        for t in [2.0, 2.0, 2.0] {
+            a.record(t);
+        }
+        assert_eq!(a.committed(), Some(1));
+    }
+}

@@ -1,0 +1,233 @@
+//! I/O-aggregator distribution across subgroups (paper §4.2, Figure 5).
+//!
+//! Applications may hint the aggregator set (a count, or an explicit
+//! list); ParColl must honor it while meeting three requirements:
+//! (a) each subgroup of processes has at least one I/O aggregator;
+//! (b) no processes from the same physical node are I/O aggregators for
+//! different subgroups;
+//! (c) I/O aggregators are as evenly distributed as permitted by the
+//! groups of processes.
+//!
+//! The algorithm "traverses all processes in a subgroup to choose an I/O
+//! aggregator from the list of available aggregators. The partitioning is
+//! done in a round-robin manner for each subgroup until all I/O
+//! aggregators are assigned": subgroups take turns; on its turn a
+//! subgroup claims the first still-unclaimed aggregator *node* that hosts
+//! one of its members, and that member becomes its aggregator.
+
+/// Distribute aggregators over subgroups.
+///
+/// * `agg_ranks` — the configured aggregator list (parent-communicator
+///   ranks; what `cb_nodes`/`cb_config_list`/the per-node default
+///   produced). Their *nodes* are the resource being distributed.
+/// * `group_of[rank]` — subgroup of each parent rank.
+/// * `n_groups` — number of subgroups.
+/// * `node_of` — physical node of each parent rank.
+///
+/// Returns, per subgroup, the parent ranks serving as its aggregators
+/// (ascending). Every subgroup is guaranteed at least one aggregator:
+/// a subgroup no aggregator node can serve falls back to its
+/// lowest-numbered member (the paper's requirement (a) dominates the
+/// hint).
+pub fn distribute_aggregators(
+    agg_ranks: &[usize],
+    group_of: &[usize],
+    n_groups: usize,
+    node_of: impl Fn(usize) -> usize,
+) -> Vec<Vec<usize>> {
+    assert!(n_groups > 0, "no subgroups");
+    // Aggregator nodes in hint order, with the hinted ranks they host.
+    let mut agg_nodes: Vec<usize> = Vec::new();
+    let mut hinted_on: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for &r in agg_ranks {
+        let n = node_of(r);
+        if !agg_nodes.contains(&n) {
+            agg_nodes.push(n);
+        }
+        let v = hinted_on.entry(n).or_default();
+        if !v.contains(&r) {
+            v.push(r);
+        }
+    }
+
+    // Members of each group, ascending rank.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+    for (rank, &g) in group_of.iter().enumerate() {
+        assert!(g < n_groups, "rank {rank} assigned to invalid group {g}");
+        members[g].push(rank);
+    }
+
+    let mut claimed = vec![false; agg_nodes.len()];
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+    let mut progressed = true;
+    while progressed && !claimed.iter().all(|&c| c) {
+        progressed = false;
+        for g in 0..n_groups {
+            // Find the first unclaimed aggregator node hosting a member
+            // of subgroup g. Requirement (b) forbids a node serving two
+            // *different* subgroups; every hinted rank of the node that
+            // belongs to g may aggregate for g.
+            let pick = agg_nodes.iter().enumerate().find_map(|(i, &node)| {
+                if claimed[i] {
+                    return None;
+                }
+                let on_node: Vec<usize> = hinted_on[&node]
+                    .iter()
+                    .copied()
+                    .filter(|&r| group_of[r] == g)
+                    .collect();
+                // If none of the hinted ranks belong to g but some other
+                // member of g lives on this node, that member steps in
+                // (the hint named the node; Figure 5's cyclic case).
+                let stand_in = on_node.is_empty().then(|| {
+                    members[g].iter().copied().find(|&r| node_of(r) == node)
+                });
+                match (on_node.is_empty(), stand_in) {
+                    (false, _) => Some((i, on_node)),
+                    (true, Some(Some(r))) => Some((i, vec![r])),
+                    _ => None,
+                }
+            });
+            if let Some((i, ranks)) = pick {
+                claimed[i] = true;
+                out[g].extend(ranks);
+                progressed = true;
+            }
+        }
+    }
+
+    // Requirement (a): every subgroup gets at least one aggregator.
+    for g in 0..n_groups {
+        if out[g].is_empty() {
+            if let Some(&first) = members[g].first() {
+                out[g].push(first);
+            }
+        }
+        out[g].sort_unstable();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{Mapping, Topology};
+
+    /// Figure 5, block mapping: 8 processes on 4 dual-core nodes,
+    /// aggregators N0..N3 (ranks 0,2,4,6), two subgroups {P0..P3},
+    /// {P4..P7}. Expected: SubGroup 1 aggregators N0(P0), N1(P2);
+    /// SubGroup 2 aggregators N2(P4), N3(P6).
+    #[test]
+    fn figure5_block_mapping() {
+        let topo = Topology::new(4, 2, 8, Mapping::Block).unwrap();
+        let group_of = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let aggs = distribute_aggregators(&[0, 2, 4, 6], &group_of, 2, |r| topo.node_of(r));
+        assert_eq!(aggs[0], vec![0, 2], "SubGroup 1: N0(P0), N1(P2)");
+        assert_eq!(aggs[1], vec![4, 6], "SubGroup 2: N2(P4), N3(P6)");
+    }
+
+    /// Figure 5, cyclic mapping: nodes N0(P0,P4), N1(P1,P5), N2(P2,P6),
+    /// N3(P3,P7); three aggregators on nodes N0, N2, N3. Expected:
+    /// SubGroup 1 gets N0(P0) and N3(P3); SubGroup 2 gets N2(P6) —
+    /// "each group first gets one I/O aggregator, the third one is then
+    /// left to Subgroup 1".
+    #[test]
+    fn figure5_cyclic_mapping() {
+        let topo = Topology::new(4, 2, 8, Mapping::Cyclic).unwrap();
+        let group_of = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        // Aggregator list naming nodes 0, 2, 3 (via ranks 0, 2, 3).
+        let aggs = distribute_aggregators(&[0, 2, 3], &group_of, 2, |r| topo.node_of(r));
+        assert_eq!(aggs[0], vec![0, 3], "SubGroup 1: N0(P0), N3(P3)");
+        assert_eq!(aggs[1], vec![6], "SubGroup 2: N2(P6)");
+    }
+
+    /// Requirement (b): a node hosting members of two subgroups serves
+    /// only one of them.
+    #[test]
+    fn no_node_serves_two_subgroups() {
+        let topo = Topology::new(4, 2, 8, Mapping::Cyclic).unwrap();
+        let group_of = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let aggs = distribute_aggregators(&[0, 1, 2, 3], &group_of, 2, |r| topo.node_of(r));
+        let mut nodes_used: Vec<(usize, usize)> = Vec::new(); // (node, group)
+        for (g, list) in aggs.iter().enumerate() {
+            for &r in list {
+                nodes_used.push((topo.node_of(r), g));
+            }
+        }
+        for i in 0..nodes_used.len() {
+            for j in i + 1..nodes_used.len() {
+                assert!(
+                    !(nodes_used[i].0 == nodes_used[j].0 && nodes_used[i].1 != nodes_used[j].1),
+                    "node {} aggregates for two subgroups",
+                    nodes_used[i].0
+                );
+            }
+        }
+    }
+
+    /// Requirement (a): more subgroups than aggregators — every group
+    /// still gets one (falling back to its first member).
+    #[test]
+    fn every_group_gets_an_aggregator() {
+        let topo = Topology::new(4, 2, 8, Mapping::Block).unwrap();
+        let group_of = vec![0, 0, 1, 1, 2, 2, 3, 3];
+        let aggs = distribute_aggregators(&[0], &group_of, 4, |r| topo.node_of(r));
+        assert_eq!(aggs[0], vec![0]); // from the hint
+        assert_eq!(aggs[1], vec![2]); // fallback: first member
+        assert_eq!(aggs[2], vec![4]);
+        assert_eq!(aggs[3], vec![6]);
+    }
+
+    /// Requirement (c): counts differ by at most one when node placement
+    /// permits.
+    #[test]
+    fn distribution_is_even_when_possible() {
+        let topo = Topology::new(8, 2, 16, Mapping::Block).unwrap();
+        let group_of: Vec<usize> = (0..16).map(|r| r / 4).collect();
+        // 8 aggregators, one per node.
+        let agg_ranks: Vec<usize> = (0..8).map(|n| n * 2).collect();
+        let aggs = distribute_aggregators(&agg_ranks, &group_of, 4, |r| topo.node_of(r));
+        for list in &aggs {
+            assert_eq!(list.len(), 2);
+        }
+    }
+
+    /// The chosen aggregator is always a member of the subgroup it serves.
+    #[test]
+    fn aggregators_belong_to_their_groups() {
+        let topo = Topology::new(4, 2, 8, Mapping::Cyclic).unwrap();
+        let group_of = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        let aggs = distribute_aggregators(&[0, 1, 2, 3], &group_of, 2, |r| topo.node_of(r));
+        for (g, list) in aggs.iter().enumerate() {
+            for &r in list {
+                assert_eq!(group_of[r], g, "rank {r} aggregates for foreign group");
+            }
+        }
+    }
+
+    /// Both hinted ranks of one node aggregate when they belong to the
+    /// same subgroup (requirement (b) only separates *different*
+    /// subgroups).
+    #[test]
+    fn co_located_ranks_in_same_group_both_aggregate() {
+        let topo = Topology::new(4, 2, 8, Mapping::Block).unwrap();
+        let group_of = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        // Hint: every rank aggregates (the Cray XT default).
+        let aggs =
+            distribute_aggregators(&(0..8).collect::<Vec<_>>(), &group_of, 2, |r| topo.node_of(r));
+        assert_eq!(aggs[0], vec![0, 1, 2, 3]);
+        assert_eq!(aggs[1], vec![4, 5, 6, 7]);
+    }
+
+    /// Hinted ranks sharing a node: the node is one distribution unit;
+    /// all its hinted ranks serve the (single) subgroup that claims it.
+    #[test]
+    fn duplicate_nodes_in_hint_deduplicated() {
+        let topo = Topology::new(2, 2, 4, Mapping::Block).unwrap();
+        let group_of = vec![0, 0, 1, 1];
+        // Ranks 0 and 1 share node 0 and both belong to group 0.
+        let aggs = distribute_aggregators(&[0, 1, 2], &group_of, 2, |r| topo.node_of(r));
+        assert_eq!(aggs[0], vec![0, 1]);
+        assert_eq!(aggs[1], vec![2]);
+    }
+}

@@ -1,0 +1,314 @@
+//! Intermediate file views (paper §4.1, Figure 4(c)).
+//!
+//! When every process's segments spread across the whole file (BT-IO's
+//! diagonal multi-partitioning), no contiguous file cut can separate the
+//! processes. ParColl switches to an *intermediate file view*: "a logical
+//! file representation in which different I/O segments for any individual
+//! process are consecutively joined together in a virtual manner".
+//! Process `r`'s data occupies the contiguous logical range
+//! `[prefix[r], prefix[r] + total_r)`, so partitioning the logical file is
+//! the trivial serial pattern (a). "The original file view is still
+//! needed to provide the physical layout": at the moment of file I/O the
+//! aggregators' logical runs are translated back into the physical runs
+//! of the original views — [`MappedSpace`].
+
+use mpiio::{Ext, FileSpace};
+use simfs::FileHandle;
+use simnet::buffer::BufferBuilder;
+use simnet::{IoBuffer, SimTime};
+use std::sync::Arc;
+
+/// Per-rank physical extents with a prefix index for logical lookup.
+#[derive(Debug, Clone)]
+struct RankMap {
+    exts: Vec<Ext>,
+    /// Cumulative data bytes before each extent (len = exts.len() + 1).
+    prefix: Vec<u64>,
+}
+
+/// The logical⇄physical correspondence of an intermediate file view.
+#[derive(Debug, Clone)]
+pub struct LogicalMap {
+    /// Logical start of each rank's region (len = nprocs + 1).
+    rank_prefix: Vec<u64>,
+    per_rank: Vec<RankMap>,
+}
+
+impl LogicalMap {
+    /// Build from every process's flattened physical extent list, in rank
+    /// order. Each list must be sorted and disjoint (the access-plan
+    /// invariant).
+    pub fn new(extent_lists: Vec<Vec<Ext>>) -> Self {
+        let mut rank_prefix = Vec::with_capacity(extent_lists.len() + 1);
+        rank_prefix.push(0u64);
+        let per_rank: Vec<RankMap> = extent_lists
+            .into_iter()
+            .map(|exts| {
+                for w in exts.windows(2) {
+                    assert!(
+                        w[0].end() <= w[1].off,
+                        "physical extents must be sorted and disjoint per rank"
+                    );
+                }
+                let mut prefix = Vec::with_capacity(exts.len() + 1);
+                let mut acc = 0u64;
+                prefix.push(0);
+                for e in &exts {
+                    acc += e.len;
+                    prefix.push(acc);
+                }
+                let total = acc;
+                rank_prefix.push(rank_prefix.last().expect("non-empty prefix") + total);
+                RankMap { exts, prefix }
+            })
+            .collect();
+        LogicalMap {
+            rank_prefix,
+            per_rank,
+        }
+    }
+
+    /// Number of ranks mapped.
+    pub fn nprocs(&self) -> usize {
+        self.per_rank.len()
+    }
+
+    /// Total logical bytes.
+    pub fn total(&self) -> u64 {
+        *self.rank_prefix.last().expect("non-empty prefix")
+    }
+
+    /// Rank `r`'s logical range `[start, end)`.
+    pub fn rank_range(&self, rank: usize) -> (u64, u64) {
+        (self.rank_prefix[rank], self.rank_prefix[rank + 1])
+    }
+
+    /// Translate a logical run into physical runs, in logical order.
+    /// Runs from one rank are ascending; across ranks the physical
+    /// offsets may jump arbitrarily (that is the whole point).
+    pub fn to_physical(&self, logical_off: u64, len: u64) -> Vec<Ext> {
+        assert!(
+            logical_off + len <= self.total(),
+            "logical run [{logical_off}, +{len}) beyond logical size {}",
+            self.total()
+        );
+        let mut out = Vec::new();
+        let mut pos = logical_off;
+        let mut remaining = len;
+        // Locate the rank containing `pos`.
+        let mut rank = match self.rank_prefix.binary_search(&pos) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        // Skip zero-length rank regions at the boundary.
+        while rank < self.per_rank.len() && self.rank_prefix[rank + 1] <= pos {
+            rank += 1;
+        }
+        while remaining > 0 {
+            debug_assert!(rank < self.per_rank.len());
+            let rm = &self.per_rank[rank];
+            let within = pos - self.rank_prefix[rank];
+            let mut seg = match rm.prefix.binary_search(&within) {
+                Ok(i) => i,
+                Err(i) => i - 1,
+            };
+            let mut seg_off = within - rm.prefix[seg];
+            while remaining > 0 && seg < rm.exts.len() {
+                let e = rm.exts[seg];
+                let take = (e.len - seg_off).min(remaining);
+                out.push(Ext::new(e.off + seg_off, take));
+                remaining -= take;
+                pos += take;
+                seg_off += take;
+                if seg_off == e.len {
+                    seg += 1;
+                    seg_off = 0;
+                }
+            }
+            if remaining > 0 {
+                rank += 1;
+                while rank < self.per_rank.len() && self.rank_prefix[rank + 1] <= pos {
+                    rank += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A [`FileSpace`] over the logical file of a [`LogicalMap`]: aggregator
+/// I/O against logical offsets is scattered to / gathered from the
+/// physical runs of the original file views.
+///
+/// `delta` shifts every physical offset: MPI views tile their filetype,
+/// so the `t`-th collective call of a repeated pattern touches physical
+/// runs shifted uniformly by `t × extent`. Caching one map and sliding it
+/// lets ParColl skip rebuilding (and re-gathering) the view on every call
+/// — the paper performs view switching once, "at the file view initiation
+/// time".
+#[derive(Debug, Clone)]
+pub struct MappedSpace {
+    map: Arc<LogicalMap>,
+    delta: i64,
+}
+
+impl MappedSpace {
+    /// Wrap a logical map with no shift.
+    pub fn new(map: Arc<LogicalMap>) -> Self {
+        MappedSpace { map, delta: 0 }
+    }
+
+    /// Wrap with a uniform physical-offset shift.
+    pub fn with_delta(map: Arc<LogicalMap>, delta: i64) -> Self {
+        MappedSpace { map, delta }
+    }
+
+    /// The underlying map.
+    pub fn map(&self) -> &LogicalMap {
+        &self.map
+    }
+
+    fn shift(&self, off: u64) -> u64 {
+        let shifted = off as i64 + self.delta;
+        assert!(shifted >= 0, "mapped-space shift {} underflows offset {off}", self.delta);
+        shifted as u64
+    }
+}
+
+impl FileSpace for MappedSpace {
+    fn write(&self, fh: &FileHandle, offset: u64, data: &IoBuffer, now: SimTime) -> SimTime {
+        let mut t = now;
+        let mut consumed = 0usize;
+        for run in self.map.to_physical(offset, data.len() as u64) {
+            let piece = data.sub(consumed, run.len as usize);
+            t = fh.write_at(self.shift(run.off), &piece, t);
+            consumed += run.len as usize;
+        }
+        t
+    }
+
+    fn read(&self, fh: &FileHandle, offset: u64, len: u64, now: SimTime) -> (IoBuffer, SimTime) {
+        let mut t = now;
+        let mut out = BufferBuilder::with_capacity(len as usize);
+        for run in self.map.to_physical(offset, len) {
+            let (piece, done) = fh.read_at(self.shift(run.off), run.len as usize, t);
+            out.push(&piece);
+            t = done;
+        }
+        (out.finish(), t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simfs::{FileSystem, FsConfig};
+
+    fn demo_map() -> LogicalMap {
+        // Rank 0: physical [0,10), [100,110). Rank 1: [50,60), [200,220).
+        LogicalMap::new(vec![
+            vec![Ext::new(0, 10), Ext::new(100, 10)],
+            vec![Ext::new(50, 10), Ext::new(200, 20)],
+        ])
+    }
+
+    #[test]
+    fn logical_layout_concatenates_ranks() {
+        let m = demo_map();
+        assert_eq!(m.total(), 50);
+        assert_eq!(m.rank_range(0), (0, 20));
+        assert_eq!(m.rank_range(1), (20, 50));
+        assert_eq!(m.nprocs(), 2);
+    }
+
+    #[test]
+    fn to_physical_within_one_extent() {
+        let m = demo_map();
+        assert_eq!(m.to_physical(2, 5), vec![Ext::new(2, 5)]);
+        // Rank 0's second extent starts at logical 10.
+        assert_eq!(m.to_physical(12, 3), vec![Ext::new(102, 3)]);
+    }
+
+    #[test]
+    fn to_physical_across_extents_and_ranks() {
+        let m = demo_map();
+        // Logical [5, 35): rank0 [5,10)+[100,110), rank1 [50,60)+[200,205).
+        assert_eq!(
+            m.to_physical(5, 30),
+            vec![
+                Ext::new(5, 5),
+                Ext::new(100, 10),
+                Ext::new(50, 10),
+                Ext::new(200, 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn to_physical_full_span() {
+        let m = demo_map();
+        let runs = m.to_physical(0, 50);
+        assert_eq!(runs.iter().map(|e| e.len).sum::<u64>(), 50);
+    }
+
+    #[test]
+    fn empty_rank_regions_are_skipped() {
+        let m = LogicalMap::new(vec![
+            vec![Ext::new(0, 4)],
+            vec![], // rank with no data
+            vec![Ext::new(10, 4)],
+        ]);
+        assert_eq!(m.total(), 8);
+        assert_eq!(
+            m.to_physical(2, 4),
+            vec![Ext::new(2, 2), Ext::new(10, 2)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond logical size")]
+    fn out_of_range_rejected() {
+        demo_map().to_physical(45, 10);
+    }
+
+    #[test]
+    fn mapped_space_round_trip() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let (fh, t0) = fs.open("/iv", SimTime::ZERO);
+        let m = Arc::new(demo_map());
+        let space = MappedSpace::new(Arc::clone(&m));
+        // Write 50 logical bytes 0..49.
+        let data: Vec<u8> = (0..50).collect();
+        let t1 = space.write(&fh, 0, &IoBuffer::from_slice(&data), t0);
+        assert!(t1 > t0);
+        // Physical spot check: rank 1's first extent [50,60) holds
+        // logical bytes 20..30.
+        let (raw, _) = fh.read_at(50, 10, t1);
+        assert_eq!(raw.as_slice().unwrap(), &data[20..30]);
+        // Logical read returns the original stream.
+        let (got, _) = space.read(&fh, 0, 50, t1);
+        assert_eq!(got.as_slice().unwrap(), data.as_slice());
+        // Partial logical read across the rank boundary.
+        let (got, _) = space.read(&fh, 15, 10, t1);
+        assert_eq!(got.as_slice().unwrap(), &data[15..25]);
+    }
+
+    #[test]
+    fn mapped_space_scatters_synthetic_data() {
+        let fs = FileSystem::new(FsConfig::tiny());
+        let (fh, t0) = fs.open("/ivs", SimTime::ZERO);
+        let m = Arc::new(demo_map());
+        let space = MappedSpace::new(m);
+        let t1 = space.write(&fh, 0, &IoBuffer::synthetic(50), t0);
+        assert!(t1 > t0);
+        let (got, _) = space.read(&fh, 0, 50, t1);
+        assert_eq!(got.len(), 50);
+        assert!(!got.is_real());
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and disjoint")]
+    fn overlapping_rank_extents_rejected() {
+        LogicalMap::new(vec![vec![Ext::new(0, 10), Ext::new(5, 10)]]);
+    }
+}

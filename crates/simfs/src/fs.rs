@@ -1,0 +1,508 @@
+//! The file system: metadata service, files, and client operations.
+
+use crate::config::FsConfig;
+use crate::layout::StripeLayout;
+use crate::ost::{Ost, OstStats};
+use crate::storage::Storage;
+use parking_lot::Mutex;
+use simnet::{IoBuffer, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One file's metadata and contents.
+#[derive(Debug)]
+struct FileEntry {
+    layout: StripeLayout,
+    storage: Mutex<Storage>,
+    /// MPI-IO shared file pointer (one per file, across all openers).
+    shared_ptr: std::sync::atomic::AtomicU64,
+}
+
+#[derive(Debug)]
+struct Mds {
+    files: HashMap<String, Arc<FileEntry>>,
+    next_first_ost: usize,
+    next_free: SimTime,
+    opens: u64,
+}
+
+#[derive(Debug)]
+struct FsInner {
+    cfg: FsConfig,
+    osts: Vec<Ost>,
+    mds: Mutex<Mds>,
+    next_client: std::sync::atomic::AtomicU64,
+}
+
+/// A shared parallel file system instance. Cheap to clone (`Arc` inside);
+/// one instance is shared by every rank of a cluster run.
+///
+/// # Examples
+///
+/// ```
+/// use simfs::{FileSystem, FsConfig};
+/// use simnet::{IoBuffer, SimTime};
+///
+/// let fs = FileSystem::new(FsConfig::tiny());
+/// let (file, t_open) = fs.open("/data", SimTime::ZERO);
+/// let t_write = file.write_at(0, &IoBuffer::from_slice(b"striped"), t_open);
+/// let (data, _) = file.read_at(0, 7, t_write);
+/// assert_eq!(data.as_slice().unwrap(), b"striped");
+/// assert!(t_write > t_open); // virtual time advanced through the OSTs
+/// ```
+#[derive(Debug, Clone)]
+pub struct FileSystem {
+    inner: Arc<FsInner>,
+}
+
+/// An open file. Cheap to clone; all clones address the same file and
+/// share the opener's client identity (for lock-contention accounting).
+#[derive(Debug, Clone)]
+pub struct FileHandle {
+    fs: FileSystem,
+    path: String,
+    entry: Arc<FileEntry>,
+    client: u64,
+}
+
+/// Aggregate file system statistics.
+#[derive(Debug, Clone, Default)]
+pub struct FsStats {
+    /// Per-OST statistics, by pool index.
+    pub osts: Vec<OstStats>,
+    /// Total bytes served across all targets.
+    pub total_bytes: u64,
+    /// Total chunk requests across all targets.
+    pub total_requests: u64,
+    /// Metadata opens served.
+    pub opens: u64,
+    /// Busy time of the busiest target — the straggler that lock-step
+    /// collective rounds end up waiting for.
+    pub max_ost_busy: SimTime,
+}
+
+impl FileSystem {
+    /// Create a file system from a validated configuration.
+    pub fn new(cfg: FsConfig) -> Self {
+        cfg.validate();
+        let osts = (0..cfg.n_osts)
+            .map(|i| Ost::new(cfg.seed.wrapping_add(0x9E37 * i as u64 + 1)))
+            .collect();
+        FileSystem {
+            inner: Arc::new(FsInner {
+                cfg,
+                osts,
+                mds: Mutex::new(Mds {
+                    files: HashMap::new(),
+                    next_first_ost: 0,
+                    next_free: SimTime::ZERO,
+                    opens: 0,
+                }),
+                next_client: std::sync::atomic::AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &FsConfig {
+        &self.inner.cfg
+    }
+
+    /// Open (creating if absent) with the default stripe parameters.
+    /// Returns the handle and the virtual completion time of the open.
+    pub fn open(&self, path: &str, now: SimTime) -> (FileHandle, SimTime) {
+        let (sc, ss) = (
+            self.inner.cfg.default_stripe_count,
+            self.inner.cfg.default_stripe_size,
+        );
+        self.open_with_layout(path, sc, ss, now)
+    }
+
+    /// Open (creating if absent) with explicit striping. Striping of an
+    /// existing file is immutable — the parameters apply only on create,
+    /// as in Lustre.
+    pub fn open_with_layout(
+        &self,
+        path: &str,
+        stripe_count: usize,
+        stripe_size: u64,
+        now: SimTime,
+    ) -> (FileHandle, SimTime) {
+        let cfg = &self.inner.cfg;
+        let mut mds = self.inner.mds.lock();
+        mds.opens += 1;
+        // MDS is a serial resource for the per-open bookkeeping; the base
+        // latency overlaps across clients.
+        let start = mds.next_free.max(now + cfg.rpc_latency);
+        mds.next_free = start + cfg.open_per_client;
+        let done = mds.next_free + cfg.open_base + cfg.rpc_latency;
+
+        let entry = match mds.files.get(path) {
+            Some(e) => Arc::clone(e),
+            None => {
+                let first = mds.next_first_ost;
+                mds.next_first_ost = (mds.next_first_ost + 1) % cfg.n_osts;
+                let entry = Arc::new(FileEntry {
+                    layout: StripeLayout::new(first, stripe_count, stripe_size, cfg.n_osts),
+                    storage: Mutex::new(Storage::new()),
+                    shared_ptr: std::sync::atomic::AtomicU64::new(0),
+                });
+                mds.files.insert(path.to_string(), Arc::clone(&entry));
+                entry
+            }
+        };
+        drop(mds);
+        let client = self
+            .inner
+            .next_client
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        (
+            FileHandle {
+                fs: self.clone(),
+                path: path.to_string(),
+                entry,
+                client,
+            },
+            done,
+        )
+    }
+
+    /// Remove a file's metadata and contents. Existing handles keep their
+    /// (now unlinked) contents alive, POSIX-style.
+    pub fn unlink(&self, path: &str) -> bool {
+        self.inner.mds.lock().files.remove(path).is_some()
+    }
+
+    /// True if `path` exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.inner.mds.lock().files.contains_key(path)
+    }
+
+    /// The instant every queued byte is durable — what an `fsync`/close
+    /// barrier waits for. Write-back caching lets writes complete ahead
+    /// of the media; a benchmark that measures "bandwidth to stable
+    /// storage" must include this drain.
+    pub fn drain_time(&self) -> SimTime {
+        self.inner
+            .osts
+            .iter()
+            .map(Ost::next_free)
+            .fold(SimTime::ZERO, SimTime::max)
+    }
+
+    /// Snapshot aggregate statistics.
+    pub fn stats(&self) -> FsStats {
+        let osts: Vec<OstStats> = self.inner.osts.iter().map(Ost::stats).collect();
+        FsStats {
+            total_bytes: osts.iter().map(|s| s.bytes).sum(),
+            total_requests: osts.iter().map(|s| s.requests).sum(),
+            opens: self.inner.mds.lock().opens,
+            max_ost_busy: osts
+                .iter()
+                .map(|s| s.busy)
+                .fold(SimTime::ZERO, SimTime::max),
+            osts,
+        }
+    }
+}
+
+impl FsStats {
+    /// Mean per-OST busy time.
+    pub fn mean_busy(&self) -> SimTime {
+        if self.osts.is_empty() {
+            return SimTime::ZERO;
+        }
+        self.osts.iter().map(|o| o.busy).sum::<SimTime>() / self.osts.len() as f64
+    }
+
+    /// Load-imbalance factor: busiest target's busy time over the mean
+    /// (1.0 = perfectly balanced). Lock-step collective rounds stall on
+    /// exactly this straggler.
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean_busy().as_secs();
+        if mean == 0.0 {
+            1.0
+        } else {
+            self.max_ost_busy.as_secs() / mean
+        }
+    }
+
+    /// Fraction of targets that served any bytes.
+    pub fn utilization_breadth(&self) -> f64 {
+        if self.osts.is_empty() {
+            return 0.0;
+        }
+        self.osts.iter().filter(|o| o.bytes > 0).count() as f64 / self.osts.len() as f64
+    }
+
+    /// Mean request size in bytes (0 if no requests) — small values are
+    /// the signature of the over-partitioned / scatter regimes.
+    pub fn mean_request_bytes(&self) -> f64 {
+        if self.total_requests == 0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.total_requests as f64
+        }
+    }
+}
+
+impl FileHandle {
+    /// The file's path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The file's striping layout.
+    pub fn layout(&self) -> &StripeLayout {
+        &self.entry.layout
+    }
+
+    /// Current file size.
+    pub fn size(&self) -> u64 {
+        self.entry.storage.lock().size()
+    }
+
+    /// Write `data` at `offset`, arriving at virtual time `now`; returns
+    /// the completion instant (all stripes durable).
+    pub fn write_at(&self, offset: u64, data: &IoBuffer, now: SimTime) -> SimTime {
+        let done = self.charge_io(offset, data.len() as u64, now, true);
+        if !data.is_empty() {
+            self.entry.storage.lock().write(offset, data);
+        }
+        done
+    }
+
+    /// Read `len` bytes at `offset`, arriving at `now`; returns the data
+    /// and the completion instant.
+    pub fn read_at(&self, offset: u64, len: usize, now: SimTime) -> (IoBuffer, SimTime) {
+        let done = self.charge_io(offset, len as u64, now, false);
+        let data = self.entry.storage.lock().read(offset, len);
+        (data, done)
+    }
+
+    /// Atomically fetch-and-advance the file's shared pointer by `n`
+    /// bytes, returning the pre-advance value (MPI shared-file-pointer
+    /// semantics: any process may claim the next region).
+    pub fn shared_fetch_add(&self, n: u64) -> u64 {
+        self.entry
+            .shared_ptr
+            .fetch_add(n, std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Read the shared pointer without advancing it.
+    pub fn shared_load(&self) -> u64 {
+        self.entry.shared_ptr.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Truncate the file (metadata-only cost: one RPC).
+    pub fn truncate(&self, size: u64, now: SimTime) -> SimTime {
+        self.entry.storage.lock().truncate(size);
+        now + self.fs.inner.cfg.rpc_latency * 2.0
+    }
+
+    fn charge_io(&self, offset: u64, len: u64, now: SimTime, is_write: bool) -> SimTime {
+        let cfg = &self.fs.inner.cfg;
+        if len == 0 {
+            return now + cfg.rpc_latency * 2.0;
+        }
+        let writer = (is_write && cfg.lock_handoff > SimTime::ZERO)
+            .then_some((self.client, cfg.lock_handoff, cfg.lock_exempt_bytes));
+        let cache_window = SimTime::secs(cfg.cache_bytes as f64 / cfg.ost_bandwidth_bps);
+        let arrival = now + cfg.rpc_latency;
+        let mut done = arrival;
+        for (ost, bytes, requests) in self.entry.layout.ost_load(offset, len) {
+            let completion = self.fs.inner.osts[ost].serve(
+                arrival,
+                bytes,
+                requests,
+                cfg.request_overhead,
+                cfg.ost_bandwidth_bps,
+                cfg.jitter_cv,
+                cfg.contention_per_queued,
+                cfg.slow_prob,
+                cfg.slow_factor,
+                writer,
+                cache_window,
+            );
+            done = done.max(completion);
+        }
+        done + cfg.rpc_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FsConfig;
+
+    fn fs() -> FileSystem {
+        FileSystem::new(FsConfig::tiny())
+    }
+
+    #[test]
+    fn open_write_read_round_trip() {
+        let fs = fs();
+        let (f, t_open) = fs.open("/a", SimTime::ZERO);
+        assert!(t_open > SimTime::ZERO);
+        let t1 = f.write_at(0, &IoBuffer::from_slice(b"parallel io"), t_open);
+        assert!(t1 > t_open);
+        let (data, t2) = f.read_at(0, 11, t1);
+        assert!(t2 > t1);
+        assert_eq!(data.as_slice().unwrap(), b"parallel io");
+    }
+
+    #[test]
+    fn reopen_sees_existing_contents() {
+        let fs = fs();
+        let (f, t) = fs.open("/a", SimTime::ZERO);
+        f.write_at(5, &IoBuffer::from_slice(&[1, 2, 3]), t);
+        let (g, t2) = fs.open("/a", t);
+        let (data, _) = g.read_at(5, 3, t2);
+        assert_eq!(data.as_slice().unwrap(), &[1, 2, 3]);
+        assert_eq!(g.size(), 8);
+    }
+
+    #[test]
+    fn distinct_paths_are_independent() {
+        let fs = fs();
+        let (a, t) = fs.open("/a", SimTime::ZERO);
+        let (b, t2) = fs.open("/b", t);
+        a.write_at(0, &IoBuffer::from_slice(&[1]), t2);
+        let (data, _) = b.read_at(0, 1, t2);
+        assert_eq!(data.as_slice().unwrap(), &[0]); // hole, not /a's byte
+    }
+
+    #[test]
+    fn striping_spreads_load_across_osts() {
+        let fs = fs();
+        let (f, t) = fs.open("/striped", SimTime::ZERO);
+        // 4KB write over 1KB stripes on 4 OSTs: each gets 1KB.
+        f.write_at(0, &IoBuffer::synthetic(4096), t);
+        let st = fs.stats();
+        let loaded: Vec<u64> = st.osts.iter().map(|o| o.bytes).collect();
+        assert_eq!(loaded.iter().sum::<u64>(), 4096);
+        assert_eq!(loaded.iter().filter(|&&b| b == 1024).count(), 4);
+    }
+
+    #[test]
+    fn parallel_osts_beat_single_ost() {
+        // Same volume, stripe over 4 targets vs 1: wide layout is faster.
+        let fs1 = fs();
+        let (wide, t) = fs1.open_with_layout("/w", 4, 1024, SimTime::ZERO);
+        let t_wide = wide.write_at(0, &IoBuffer::synthetic(1 << 20), t) - t;
+
+        let fs2 = fs();
+        let (narrow, t) = fs2.open_with_layout("/n", 1, 1024, SimTime::ZERO);
+        let t_narrow = narrow.write_at(0, &IoBuffer::synthetic(1 << 20), t) - t;
+        assert!(
+            t_narrow.as_secs() > 3.0 * t_wide.as_secs(),
+            "narrow {t_narrow} should be ~4x wide {t_wide}"
+        );
+    }
+
+    #[test]
+    fn contention_serializes_clients_on_one_ost() {
+        let fs = fs();
+        let (f, t) = fs.open_with_layout("/one", 1, 1024, SimTime::ZERO);
+        // Two 1MB writes arriving simultaneously to the same OST.
+        let d1 = f.write_at(0, &IoBuffer::synthetic(1 << 20), t);
+        let d2 = f.write_at(1 << 20, &IoBuffer::synthetic(1 << 20), t);
+        // Second completes roughly one service later than the first.
+        assert!((d2 - d1).as_secs() > 0.9 * (1 << 20) as f64 / 1e6);
+    }
+
+    #[test]
+    fn synthetic_and_real_data_coexist_across_files() {
+        let fs = fs();
+        let (f, t) = fs.open("/mix", SimTime::ZERO);
+        f.write_at(0, &IoBuffer::from_slice(&[9; 64]), t);
+        f.write_at(1 << 30, &IoBuffer::synthetic(1 << 20), t);
+        let (head, _) = f.read_at(0, 64, t);
+        assert_eq!(head.as_slice().unwrap(), &[9; 64]);
+        let (tail, _) = f.read_at(1 << 30, 1 << 20, t);
+        assert!(!tail.is_real());
+    }
+
+    #[test]
+    fn unlink_removes_path() {
+        let fs = fs();
+        let (_f, _) = fs.open("/gone", SimTime::ZERO);
+        assert!(fs.exists("/gone"));
+        assert!(fs.unlink("/gone"));
+        assert!(!fs.exists("/gone"));
+        assert!(!fs.unlink("/gone"));
+    }
+
+    #[test]
+    fn opens_accumulate_mds_cost() {
+        let fs = fs();
+        let (_, t1) = fs.open("/f", SimTime::ZERO);
+        let (_, t2) = fs.open("/f", SimTime::ZERO);
+        let (_, t3) = fs.open("/f", SimTime::ZERO);
+        assert!(t2 > t1 || t3 > t2, "serialized MDS time must show up");
+        assert_eq!(fs.stats().opens, 3);
+    }
+
+    #[test]
+    fn first_ost_rotates_per_file() {
+        let fs = fs();
+        let (a, _) = fs.open_with_layout("/r1", 1, 1024, SimTime::ZERO);
+        let (b, _) = fs.open_with_layout("/r2", 1, 1024, SimTime::ZERO);
+        assert_ne!(a.layout().first_ost, b.layout().first_ost);
+    }
+
+    #[test]
+    fn stats_track_requests_and_straggler() {
+        let fs = fs();
+        let (f, t) = fs.open("/s", SimTime::ZERO);
+        f.write_at(0, &IoBuffer::synthetic(10 * 1024), t);
+        let st = fs.stats();
+        assert_eq!(st.total_bytes, 10 * 1024);
+        assert_eq!(st.total_requests, 10); // 10 stripe chunks of 1KB
+        assert!(st.max_ost_busy > SimTime::ZERO);
+    }
+
+    #[test]
+    fn stats_diagnostics() {
+        let fs = fs();
+        let (f, t) = fs.open("/diag", SimTime::ZERO);
+        // 2KB over 1KB stripes on 4 OSTs: 2 targets loaded, 2 idle.
+        f.write_at(0, &IoBuffer::synthetic(2048), t);
+        let st = fs.stats();
+        assert!((st.utilization_breadth() - 0.5).abs() < 1e-12);
+        assert!(st.imbalance() >= 1.0);
+        assert!((st.mean_request_bytes() - 1024.0).abs() < 1e-9);
+        assert!(st.mean_busy() > SimTime::ZERO);
+    }
+
+    #[test]
+    fn empty_stats_are_sane() {
+        let fs = fs();
+        let st = fs.stats();
+        assert_eq!(st.mean_request_bytes(), 0.0);
+        assert_eq!(st.imbalance(), 1.0);
+        assert_eq!(st.utilization_breadth(), 0.0);
+    }
+
+    #[test]
+    fn zero_length_io_costs_only_rpc() {
+        let fs = fs();
+        let (f, t) = fs.open("/z", SimTime::ZERO);
+        let done = f.write_at(0, &IoBuffer::empty(), t);
+        assert!((done - t).as_micros() <= 3.0);
+        let st = fs.stats();
+        assert_eq!(st.total_bytes, 0);
+    }
+
+    #[test]
+    fn jaguar_preset_constructs() {
+        let fs = FileSystem::new(FsConfig::jaguar());
+        let (f, t) = fs.open("/big", SimTime::ZERO);
+        assert_eq!(f.layout().stripe_count, 64);
+        assert_eq!(f.layout().stripe_size, 4 << 20);
+        let done = f.write_at(0, &IoBuffer::synthetic(512 << 20), t);
+        // 512MB over 64 OSTs at 450MB/s each: lower bound ~17.8ms + overheads.
+        assert!(done.as_millis() > 15.0);
+        assert!(done.as_secs() < 2.0);
+    }
+}

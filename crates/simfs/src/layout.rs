@@ -1,0 +1,168 @@
+//! File striping across object storage targets.
+
+/// A file's striping layout, Lustre-style: the file's byte stream is
+/// round-robined over `stripe_count` OSTs in `stripe_size` units, starting
+/// at OST `first_ost` within the file system's OST pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripeLayout {
+    /// Index of the first OST in the stripe set (files are rotated over
+    /// the pool so a full machine's files spread load).
+    pub first_ost: usize,
+    /// Number of OSTs the file is striped over.
+    pub stripe_count: usize,
+    /// Stripe unit in bytes.
+    pub stripe_size: u64,
+    /// Total OSTs in the pool (for mapping stripe index → pool index).
+    pub pool_size: usize,
+}
+
+/// One per-OST piece of a striped request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// OST (pool index) serving this chunk.
+    pub ost: usize,
+    /// File offset of the chunk start.
+    pub file_offset: u64,
+    /// Chunk length in bytes.
+    pub len: u64,
+}
+
+impl StripeLayout {
+    /// Construct and validate a layout.
+    pub fn new(first_ost: usize, stripe_count: usize, stripe_size: u64, pool_size: usize) -> Self {
+        assert!(pool_size > 0, "empty OST pool");
+        assert!(
+            (1..=pool_size).contains(&stripe_count),
+            "stripe count {stripe_count} must be in 1..={pool_size}"
+        );
+        assert!(stripe_size > 0, "stripe size must be positive");
+        assert!(first_ost < pool_size, "first OST out of pool");
+        StripeLayout {
+            first_ost,
+            stripe_count,
+            stripe_size,
+            pool_size,
+        }
+    }
+
+    /// The OST serving the byte at `offset`.
+    pub fn ost_of(&self, offset: u64) -> usize {
+        let stripe_index = (offset / self.stripe_size) as usize % self.stripe_count;
+        (self.first_ost + stripe_index) % self.pool_size
+    }
+
+    /// Decompose `[offset, offset+len)` into per-stripe chunks, in file
+    /// order. Adjacent stripes on the same OST (stripe_count == 1) are
+    /// still reported per stripe unit: each unit is a separate server
+    /// request, which is what the cost model charges.
+    pub fn chunks(&self, offset: u64, len: u64) -> Vec<Chunk> {
+        let mut out = Vec::new();
+        let mut pos = offset;
+        let end = offset + len;
+        while pos < end {
+            let stripe_end = (pos / self.stripe_size + 1) * self.stripe_size;
+            let chunk_end = stripe_end.min(end);
+            out.push(Chunk {
+                ost: self.ost_of(pos),
+                file_offset: pos,
+                len: chunk_end - pos,
+            });
+            pos = chunk_end;
+        }
+        out
+    }
+
+    /// Sum of chunk lengths per OST for `[offset, offset+len)` — the load
+    /// vector the contention model consumes. Returned as (ost, bytes,
+    /// requests) triples for OSTs with non-zero load.
+    pub fn ost_load(&self, offset: u64, len: u64) -> Vec<(usize, u64, u64)> {
+        let mut per: std::collections::BTreeMap<usize, (u64, u64)> = Default::default();
+        for c in self.chunks(offset, len) {
+            let e = per.entry(c.ost).or_insert((0, 0));
+            e.0 += c.len;
+            e.1 += 1;
+        }
+        per.into_iter().map(|(o, (b, r))| (o, b, r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> StripeLayout {
+        // 4 OSTs in an 8-OST pool, 1KB stripes, starting at OST 2.
+        StripeLayout::new(2, 4, 1024, 8)
+    }
+
+    #[test]
+    fn ost_rotation_is_round_robin() {
+        let l = layout();
+        assert_eq!(l.ost_of(0), 2);
+        assert_eq!(l.ost_of(1023), 2);
+        assert_eq!(l.ost_of(1024), 3);
+        assert_eq!(l.ost_of(2048), 4);
+        assert_eq!(l.ost_of(3072), 5);
+        assert_eq!(l.ost_of(4096), 2); // wraps after stripe_count
+    }
+
+    #[test]
+    fn chunks_split_on_stripe_boundaries() {
+        let l = layout();
+        let cs = l.chunks(512, 2048);
+        assert_eq!(
+            cs,
+            vec![
+                Chunk { ost: 2, file_offset: 512, len: 512 },
+                Chunk { ost: 3, file_offset: 1024, len: 1024 },
+                Chunk { ost: 4, file_offset: 2048, len: 512 },
+            ]
+        );
+    }
+
+    #[test]
+    fn chunks_cover_exactly_the_request() {
+        let l = layout();
+        for (off, len) in [(0u64, 1u64), (1000, 5000), (1024, 1024), (4095, 2)] {
+            let cs = l.chunks(off, len);
+            assert_eq!(cs.iter().map(|c| c.len).sum::<u64>(), len);
+            assert_eq!(cs[0].file_offset, off);
+            for w in cs.windows(2) {
+                assert_eq!(w[0].file_offset + w[0].len, w[1].file_offset);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_request_has_no_chunks() {
+        assert!(layout().chunks(100, 0).is_empty());
+    }
+
+    #[test]
+    fn ost_load_aggregates_per_target() {
+        let l = layout();
+        // 8KB from 0 covers each of the 4 OSTs twice (stripe wrap).
+        let load = l.ost_load(0, 8192);
+        assert_eq!(load.len(), 4);
+        for &(ost, bytes, reqs) in &load {
+            assert!((2..=5).contains(&ost));
+            assert_eq!(bytes, 2048);
+            assert_eq!(reqs, 2);
+        }
+    }
+
+    #[test]
+    fn single_stripe_file_uses_one_ost() {
+        let l = StripeLayout::new(0, 1, 4096, 4);
+        for off in [0u64, 4096, 123456] {
+            assert_eq!(l.ost_of(off), 0);
+        }
+        assert_eq!(l.chunks(0, 10000).iter().map(|c| c.len).sum::<u64>(), 10000);
+    }
+
+    #[test]
+    #[should_panic(expected = "stripe count")]
+    fn oversized_stripe_count_rejected() {
+        StripeLayout::new(0, 9, 1024, 8);
+    }
+}

@@ -1,0 +1,190 @@
+//! A set of disjoint byte ranges with merge/split maintenance.
+//!
+//! Used by the storage layer to track which extents hold synthetic
+//! (unmaterialized) data, and by tests to verify coverage/overlap
+//! invariants of ParColl's file-area partitioning.
+
+/// Ordered set of disjoint, non-empty half-open ranges `[start, end)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeSet {
+    // Sorted by start; maintained disjoint and non-adjacent (adjacent
+    // ranges are coalesced).
+    ranges: Vec<(u64, u64)>,
+}
+
+impl RangeSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        RangeSet::default()
+    }
+
+    /// Number of disjoint ranges.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// True if no bytes are covered.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Total bytes covered.
+    pub fn covered(&self) -> u64 {
+        self.ranges.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    /// The ranges, sorted and disjoint.
+    pub fn ranges(&self) -> &[(u64, u64)] {
+        &self.ranges
+    }
+
+    /// Insert `[start, end)`, merging with neighbours.
+    pub fn insert(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        // Find insertion window: all ranges overlapping or adjacent.
+        let lo = self.ranges.partition_point(|&(_, e)| e < start);
+        let mut hi = lo;
+        let mut new_start = start;
+        let mut new_end = end;
+        while hi < self.ranges.len() && self.ranges[hi].0 <= end {
+            new_start = new_start.min(self.ranges[hi].0);
+            new_end = new_end.max(self.ranges[hi].1);
+            hi += 1;
+        }
+        self.ranges.splice(lo..hi, std::iter::once((new_start, new_end)));
+    }
+
+    /// Remove `[start, end)`, splitting ranges that straddle the cut.
+    pub fn remove(&mut self, start: u64, end: u64) {
+        if start >= end {
+            return;
+        }
+        let mut out = Vec::with_capacity(self.ranges.len() + 1);
+        for &(s, e) in &self.ranges {
+            if e <= start || s >= end {
+                out.push((s, e));
+            } else {
+                if s < start {
+                    out.push((s, start));
+                }
+                if e > end {
+                    out.push((end, e));
+                }
+            }
+        }
+        self.ranges = out;
+    }
+
+    /// True if any byte of `[start, end)` is covered.
+    pub fn intersects(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return false;
+        }
+        let i = self.ranges.partition_point(|&(_, e)| e <= start);
+        i < self.ranges.len() && self.ranges[i].0 < end
+    }
+
+    /// True if every byte of `[start, end)` is covered.
+    pub fn contains_range(&self, start: u64, end: u64) -> bool {
+        if start >= end {
+            return true;
+        }
+        let i = self.ranges.partition_point(|&(_, e)| e <= start);
+        i < self.ranges.len() && self.ranges[i].0 <= start && self.ranges[i].1 >= end
+    }
+
+    /// Bytes of `[start, end)` that are covered.
+    pub fn covered_within(&self, start: u64, end: u64) -> u64 {
+        self.ranges
+            .iter()
+            .map(|&(s, e)| {
+                let lo = s.max(start);
+                let hi = e.min(end);
+                hi.saturating_sub(lo)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_disjoint_keeps_order() {
+        let mut r = RangeSet::new();
+        r.insert(10, 20);
+        r.insert(0, 5);
+        r.insert(30, 40);
+        assert_eq!(r.ranges(), &[(0, 5), (10, 20), (30, 40)]);
+        assert_eq!(r.covered(), 25);
+    }
+
+    #[test]
+    fn insert_merges_overlaps_and_adjacency() {
+        let mut r = RangeSet::new();
+        r.insert(0, 10);
+        r.insert(20, 30);
+        r.insert(10, 20); // bridges both
+        assert_eq!(r.ranges(), &[(0, 30)]);
+        r.insert(25, 50);
+        assert_eq!(r.ranges(), &[(0, 50)]);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn empty_insert_is_noop() {
+        let mut r = RangeSet::new();
+        r.insert(5, 5);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn remove_splits_straddling_range() {
+        let mut r = RangeSet::new();
+        r.insert(0, 100);
+        r.remove(40, 60);
+        assert_eq!(r.ranges(), &[(0, 40), (60, 100)]);
+        r.remove(0, 10);
+        assert_eq!(r.ranges(), &[(10, 40), (60, 100)]);
+        r.remove(30, 70);
+        assert_eq!(r.ranges(), &[(10, 30), (70, 100)]);
+    }
+
+    #[test]
+    fn remove_uncovered_is_noop() {
+        let mut r = RangeSet::new();
+        r.insert(10, 20);
+        r.remove(0, 10);
+        r.remove(20, 30);
+        assert_eq!(r.ranges(), &[(10, 20)]);
+    }
+
+    #[test]
+    fn intersects_and_contains() {
+        let mut r = RangeSet::new();
+        r.insert(10, 20);
+        r.insert(30, 40);
+        assert!(r.intersects(15, 35));
+        assert!(r.intersects(19, 20));
+        assert!(!r.intersects(20, 30));
+        assert!(!r.intersects(0, 10));
+        assert!(r.contains_range(10, 20));
+        assert!(r.contains_range(12, 18));
+        assert!(!r.contains_range(10, 21));
+        assert!(!r.contains_range(15, 35));
+        assert!(r.contains_range(5, 5)); // empty range trivially contained
+    }
+
+    #[test]
+    fn covered_within_partial_overlaps() {
+        let mut r = RangeSet::new();
+        r.insert(10, 20);
+        r.insert(30, 40);
+        assert_eq!(r.covered_within(0, 100), 20);
+        assert_eq!(r.covered_within(15, 35), 10);
+        assert_eq!(r.covered_within(20, 30), 0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Sparse page store for file contents.
+//!
+//! Real data is stored in 64 KiB pages allocated on first touch; holes
+//! read back as zeros (POSIX sparse-file semantics). Synthetic writes mark
+//! their extents in a [`RangeSet`] instead of materializing bytes; a read
+//! overlapping a synthetic extent yields a synthetic buffer of the right
+//! size, because its contents are by construction unknowable.
+
+use crate::rangeset::RangeSet;
+use simnet::IoBuffer;
+use std::collections::BTreeMap;
+
+/// Page granularity of the backing store.
+pub const PAGE_SIZE: u64 = 64 * 1024;
+
+/// Sparse contents of one file.
+#[derive(Debug, Default)]
+pub struct Storage {
+    pages: BTreeMap<u64, Box<[u8]>>,
+    synthetic: RangeSet,
+    size: u64,
+}
+
+impl Storage {
+    /// Empty file.
+    pub fn new() -> Self {
+        Storage::default()
+    }
+
+    /// Current file size (highest byte written + 1, or truncated size).
+    pub fn size(&self) -> u64 {
+        self.size
+    }
+
+    /// Bytes of memory held by materialized pages (diagnostics).
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE
+    }
+
+    /// The extents currently holding synthetic data.
+    pub fn synthetic_ranges(&self) -> &RangeSet {
+        &self.synthetic
+    }
+
+    /// Write `data` at `offset`.
+    pub fn write(&mut self, offset: u64, data: &IoBuffer) {
+        let len = data.len() as u64;
+        if len == 0 {
+            return;
+        }
+        let end = offset + len;
+        self.size = self.size.max(end);
+        match data.as_slice() {
+            Some(bytes) => {
+                self.synthetic.remove(offset, end);
+                self.write_pages(offset, bytes);
+            }
+            None => {
+                // Unmaterialized write: drop any real bytes it overwrites
+                // so stale data cannot resurface, then mark the extent.
+                self.zero_pages(offset, end);
+                self.synthetic.insert(offset, end);
+            }
+        }
+    }
+
+    /// Read `len` bytes at `offset`. Returns a synthetic buffer if the
+    /// range intersects any synthetic extent; otherwise real bytes with
+    /// zeros in holes. Reading past EOF zero-fills, as the MPI-IO layer
+    /// guarantees it never exposes past-EOF reads to applications.
+    pub fn read(&self, offset: u64, len: usize) -> IoBuffer {
+        if len == 0 {
+            return IoBuffer::empty();
+        }
+        let end = offset + len as u64;
+        if self.synthetic.intersects(offset, end) {
+            return IoBuffer::synthetic(len);
+        }
+        let mut out = vec![0u8; len];
+        let first_page = offset / PAGE_SIZE;
+        let last_page = (end - 1) / PAGE_SIZE;
+        for (&page_idx, page) in self.pages.range(first_page..=last_page) {
+            let page_start = page_idx * PAGE_SIZE;
+            let copy_start = page_start.max(offset);
+            let copy_end = (page_start + PAGE_SIZE).min(end);
+            if copy_start >= copy_end {
+                continue;
+            }
+            let src = &page[(copy_start - page_start) as usize..(copy_end - page_start) as usize];
+            out[(copy_start - offset) as usize..(copy_end - offset) as usize]
+                .copy_from_slice(src);
+        }
+        IoBuffer::Real(out)
+    }
+
+    /// Truncate to `size` bytes, discarding later content.
+    pub fn truncate(&mut self, size: u64) {
+        self.size = size;
+        self.synthetic.remove(size, u64::MAX);
+        let first_dead = size.div_ceil(PAGE_SIZE);
+        self.pages.retain(|&idx, _| idx < first_dead);
+        // Zero the tail of the boundary page.
+        if !size.is_multiple_of(PAGE_SIZE) {
+            if let Some(page) = self.pages.get_mut(&(size / PAGE_SIZE)) {
+                for b in &mut page[(size % PAGE_SIZE) as usize..] {
+                    *b = 0;
+                }
+            }
+        }
+    }
+
+    fn write_pages(&mut self, offset: u64, bytes: &[u8]) {
+        let end = offset + bytes.len() as u64;
+        let mut pos = offset;
+        while pos < end {
+            let page_idx = pos / PAGE_SIZE;
+            let page_start = page_idx * PAGE_SIZE;
+            let copy_end = (page_start + PAGE_SIZE).min(end);
+            let page = self
+                .pages
+                .entry(page_idx)
+                .or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+            let src = &bytes[(pos - offset) as usize..(copy_end - offset) as usize];
+            page[(pos - page_start) as usize..(copy_end - page_start) as usize]
+                .copy_from_slice(src);
+            pos = copy_end;
+        }
+    }
+
+    fn zero_pages(&mut self, start: u64, end: u64) {
+        let first_page = start / PAGE_SIZE;
+        let last_page = if end == 0 { 0 } else { (end - 1) / PAGE_SIZE };
+        for (&page_idx, page) in self.pages.range_mut(first_page..=last_page) {
+            let page_start = page_idx * PAGE_SIZE;
+            let z_start = page_start.max(start);
+            let z_end = (page_start + PAGE_SIZE).min(end);
+            if z_start < z_end {
+                for b in &mut page[(z_start - page_start) as usize..(z_end - page_start) as usize] {
+                    *b = 0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut s = Storage::new();
+        s.write(100, &IoBuffer::from_slice(b"hello world"));
+        let got = s.read(100, 11);
+        assert_eq!(got.as_slice().unwrap(), b"hello world");
+        assert_eq!(s.size(), 111);
+    }
+
+    #[test]
+    fn holes_read_as_zeros() {
+        let mut s = Storage::new();
+        s.write(10, &IoBuffer::from_slice(&[1, 2, 3]));
+        let got = s.read(8, 7);
+        assert_eq!(got.as_slice().unwrap(), &[0, 0, 1, 2, 3, 0, 0]);
+    }
+
+    #[test]
+    fn cross_page_write_and_read() {
+        let mut s = Storage::new();
+        let data: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
+        let off = PAGE_SIZE - 123;
+        s.write(off, &IoBuffer::from_slice(&data));
+        let got = s.read(off, data.len());
+        assert_eq!(got.as_slice().unwrap(), data.as_slice());
+        assert!(s.resident_bytes() >= data.len() as u64);
+    }
+
+    #[test]
+    fn overwrite_replaces_bytes() {
+        let mut s = Storage::new();
+        s.write(0, &IoBuffer::from_slice(&[1; 10]));
+        s.write(3, &IoBuffer::from_slice(&[9; 4]));
+        assert_eq!(
+            s.read(0, 10).as_slice().unwrap(),
+            &[1, 1, 1, 9, 9, 9, 9, 1, 1, 1]
+        );
+    }
+
+    #[test]
+    fn synthetic_write_marks_extent_without_memory() {
+        let mut s = Storage::new();
+        s.write(0, &IoBuffer::synthetic(1 << 40)); // a terabyte
+        assert_eq!(s.size(), 1 << 40);
+        assert_eq!(s.resident_bytes(), 0);
+        assert_eq!(s.read(123, 4096), IoBuffer::synthetic(4096));
+    }
+
+    #[test]
+    fn read_overlapping_synthetic_is_synthetic() {
+        let mut s = Storage::new();
+        s.write(0, &IoBuffer::from_slice(&[1; 100]));
+        s.write(1000, &IoBuffer::synthetic(100));
+        assert!(s.read(0, 100).is_real());
+        assert!(!s.read(500, 1000).is_real());
+        assert!(s.read(0, 500).is_real()); // clear of the synthetic extent
+    }
+
+    #[test]
+    fn real_overwrite_clears_synthetic_marking() {
+        let mut s = Storage::new();
+        s.write(0, &IoBuffer::synthetic(100));
+        s.write(0, &IoBuffer::from_slice(&[7; 100]));
+        let got = s.read(0, 100);
+        assert_eq!(got.as_slice().unwrap(), &[7; 100]);
+    }
+
+    #[test]
+    fn synthetic_overwrite_hides_real_bytes() {
+        let mut s = Storage::new();
+        s.write(0, &IoBuffer::from_slice(&[7; 100]));
+        s.write(50, &IoBuffer::synthetic(10));
+        assert!(!s.read(0, 100).is_real());
+        // But the untouched prefix stays readable.
+        assert_eq!(s.read(0, 50).as_slice().unwrap(), &[7; 50]);
+    }
+
+    #[test]
+    fn truncate_discards_tail() {
+        let mut s = Storage::new();
+        s.write(0, &IoBuffer::from_slice(&[5; 300]));
+        s.truncate(100);
+        assert_eq!(s.size(), 100);
+        // Re-extend: bytes past the truncation point read as zero.
+        s.write(200, &IoBuffer::from_slice(&[1]));
+        assert_eq!(s.read(100, 100).as_slice().unwrap(), &[0; 100]);
+    }
+
+    #[test]
+    fn empty_write_and_read() {
+        let mut s = Storage::new();
+        s.write(10, &IoBuffer::empty());
+        assert_eq!(s.size(), 0);
+        assert!(s.read(0, 0).is_empty());
+    }
+
+    #[test]
+    fn large_offsets_work() {
+        let mut s = Storage::new();
+        let off = 486 * (1u64 << 30); // 486 GB, the Flash checkpoint size
+        s.write(off, &IoBuffer::from_slice(&[42]));
+        assert_eq!(s.read(off, 1).as_slice().unwrap(), &[42]);
+        assert_eq!(s.size(), off + 1);
+    }
+}

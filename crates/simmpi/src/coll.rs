@@ -1,0 +1,562 @@
+//! Collective operations.
+//!
+//! All collectives rendezvous the whole group: completion time is
+//! `max(entry clocks) + algorithmic cost` from [`simnet::NetworkModel`],
+//! and every member leaves with its clock set to that completion. The data
+//! combination itself happens once, on whichever rank arrives last, which
+//! keeps results bit-identical across hosts and runs.
+//!
+//! The operations mirror the MPI calls the ROMIO two-phase driver uses:
+//! `MPI_Allgather` (file ranges), `MPI_Alltoall` (request counts, and
+//! again *once per exchange round* — the proximate cause of the collective
+//! wall), `MPI_Allreduce` (round count), plus the general set needed by
+//! applications.
+
+use crate::comm::Communicator;
+use crate::ReduceOp;
+use simnet::IoBuffer;
+
+impl Communicator<'_> {
+    /// Synchronize all members (`MPI_Barrier`).
+    pub fn barrier(&self) {
+        let net = self.ep.net().clone();
+        let p = self.size();
+        let _ = self.meet((), move |_: Vec<()>, max| ((), max + net.barrier_cost(p)));
+    }
+
+    /// Broadcast `root`'s buffer to everyone (`MPI_Bcast`). Non-root ranks
+    /// pass `None`.
+    pub fn bcast(&self, root: usize, buf: Option<IoBuffer>) -> IoBuffer {
+        assert!(root < self.size(), "bcast root {root} out of range");
+        debug_assert_eq!(buf.is_some(), self.rank() == root, "only root supplies data");
+        let net = self.ep.net().clone();
+        let p = self.size();
+        let out = self.meet(buf, move |inputs: Vec<Option<IoBuffer>>, max| {
+            let data = inputs
+                .into_iter()
+                .flatten()
+                .next()
+                .expect("bcast root supplied a buffer");
+            let cost = net.bcast_cost(p, data.len());
+            (data, max + cost)
+        });
+        (*out).clone()
+    }
+
+    /// Typed broadcast for protocol metadata; `bytes` is the serialized
+    /// size charged to the cost model.
+    pub fn bcast_t<T>(&self, root: usize, val: Option<T>, bytes: usize) -> T
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        assert!(root < self.size(), "bcast root {root} out of range");
+        debug_assert_eq!(val.is_some(), self.rank() == root, "only root supplies data");
+        let net = self.ep.net().clone();
+        let p = self.size();
+        let out = self.meet(val, move |inputs: Vec<Option<T>>, max| {
+            let data = inputs
+                .into_iter()
+                .flatten()
+                .next()
+                .expect("bcast root supplied a value");
+            (data, max + net.bcast_cost(p, bytes))
+        });
+        (*out).clone()
+    }
+
+    /// Gather everyone's buffer at `root` (`MPI_Gather`/`MPI_Gatherv` —
+    /// buffers may have different lengths). Non-root ranks receive `None`.
+    pub fn gather(&self, root: usize, buf: IoBuffer) -> Option<Vec<IoBuffer>> {
+        assert!(root < self.size(), "gather root {root} out of range");
+        let net = self.ep.net().clone();
+        let p = self.size();
+        let out = self.meet(buf, move |inputs: Vec<IoBuffer>, max| {
+            let n_each = inputs.iter().map(IoBuffer::len).max().unwrap_or(0);
+            let cost = net.gather_cost(p, n_each);
+            (inputs, max + cost)
+        });
+        (self.rank() == root).then(|| (*out).clone())
+    }
+
+    /// Scatter `root`'s vector of buffers, one to each member
+    /// (`MPI_Scatter`/`MPI_Scatterv`).
+    pub fn scatter(&self, root: usize, bufs: Option<Vec<IoBuffer>>) -> IoBuffer {
+        assert!(root < self.size(), "scatter root {root} out of range");
+        debug_assert_eq!(bufs.is_some(), self.rank() == root);
+        let net = self.ep.net().clone();
+        let p = self.size();
+        let out = self.meet(bufs, move |inputs: Vec<Option<Vec<IoBuffer>>>, max| {
+            let data = inputs
+                .into_iter()
+                .flatten()
+                .next()
+                .expect("scatter root supplied buffers");
+            assert_eq!(data.len(), p, "scatter needs one buffer per member");
+            let n_each = data.iter().map(IoBuffer::len).max().unwrap_or(0);
+            let cost = net.scatter_cost(p, n_each);
+            (data, max + cost)
+        });
+        out[self.rank()].clone()
+    }
+
+    /// Allgather of byte buffers (`MPI_Allgather`/`MPI_Allgatherv` —
+    /// lengths may differ). Returns all members' buffers by local rank.
+    pub fn allgather(&self, buf: IoBuffer) -> Vec<IoBuffer> {
+        let net = self.ep.net().clone();
+        let p = self.size();
+        let out = self.meet(buf, move |inputs: Vec<IoBuffer>, max| {
+            let n_each = inputs.iter().map(IoBuffer::len).max().unwrap_or(0);
+            let cost = net.allgather_cost(p, n_each);
+            (inputs, max + cost)
+        });
+        (*out).clone()
+    }
+
+    /// Typed allgather for protocol metadata; `bytes_each` is the
+    /// serialized per-rank size charged to the cost model.
+    pub fn allgather_t<T>(&self, val: T, bytes_each: usize) -> Vec<T>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        let net = self.ep.net().clone();
+        let p = self.size();
+        let out = self.meet(val, move |inputs: Vec<T>, max| {
+            let cost = net.allgather_cost(p, bytes_each);
+            (inputs, max + cost)
+        });
+        (*out).clone()
+    }
+
+    /// Alltoall: `bufs[d]` goes to member `d`; returns what each member
+    /// sent to this rank, by source. Charged as a fixed-size alltoall of
+    /// the largest pairwise message (`MPI_Alltoall`).
+    pub fn alltoall(&self, bufs: Vec<IoBuffer>) -> Vec<IoBuffer> {
+        self.alltoall_impl(bufs, false)
+    }
+
+    /// Vector alltoall (`MPI_Alltoallv`): identical data movement, but
+    /// charged by total per-rank volume, which is how the pairwise
+    /// algorithm behaves with irregular counts.
+    pub fn alltoallv(&self, bufs: Vec<IoBuffer>) -> Vec<IoBuffer> {
+        self.alltoall_impl(bufs, true)
+    }
+
+    fn alltoall_impl(&self, bufs: Vec<IoBuffer>, vector: bool) -> Vec<IoBuffer> {
+        let p = self.size();
+        assert_eq!(bufs.len(), p, "alltoall needs one buffer per member");
+        let net = self.ep.net().clone();
+        let me = self.rank();
+        let out = self.meet(bufs, move |inputs: Vec<Vec<IoBuffer>>, max| {
+            let cost = if vector {
+                let max_total: usize = inputs
+                    .iter()
+                    .map(|row| row.iter().map(IoBuffer::len).sum::<usize>())
+                    .max()
+                    .unwrap_or(0);
+                net.alltoallv_cost(p, max_total)
+            } else {
+                let max_pair = inputs
+                    .iter()
+                    .flat_map(|row| row.iter().map(IoBuffer::len))
+                    .max()
+                    .unwrap_or(0);
+                net.alltoall_cost(p, max_pair)
+            };
+            // Transpose: output[dst][src] = inputs[src][dst].
+            let transposed: Vec<Vec<IoBuffer>> = (0..p)
+                .map(|dst| inputs.iter().map(|row| row[dst].clone()).collect())
+                .collect();
+            (transposed, max + cost)
+        });
+        out[me].clone()
+    }
+
+    /// Typed alltoall for protocol metadata (e.g. the per-round transfer
+    /// size exchange of two-phase I/O): `row[d]` goes to member `d`;
+    /// returns one value per source. `bytes_per_pair` is the serialized
+    /// pairwise size charged to the cost model.
+    pub fn alltoall_t<T>(&self, row: Vec<T>, bytes_per_pair: usize) -> Vec<T>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        let p = self.size();
+        assert_eq!(row.len(), p, "alltoall needs one value per member");
+        let net = self.ep.net().clone();
+        let me = self.rank();
+        let out = self.meet(row, move |inputs: Vec<Vec<T>>, max| {
+            let cost = net.alltoall_cost(p, bytes_per_pair);
+            let transposed: Vec<Vec<T>> = (0..p)
+                .map(|dst| inputs.iter().map(|r| r[dst].clone()).collect())
+                .collect();
+            (transposed, max + cost)
+        });
+        out[me].clone()
+    }
+
+    /// The per-round transfer-size alltoall of two-phase collective I/O.
+    /// Semantically an `alltoall_t::<u64>`, but it also detects whether
+    /// the announced round moves any cross-rank bytes (off-diagonal
+    /// entries) and charges the network model's congestion noise when it
+    /// does — the size exchange then competes with the round's bulk data
+    /// for links, which is where the collective wall's superlinear cost
+    /// comes from.
+    pub fn alltoall_sizes(&self, row: Vec<u64>) -> Vec<u64> {
+        let p = self.size();
+        assert_eq!(row.len(), p, "alltoall needs one value per member");
+        let net = self.ep.net().clone();
+        let me = self.rank();
+        let out = self.meet(row, move |inputs: Vec<Vec<u64>>, max| {
+            let cross: u64 = inputs
+                .iter()
+                .enumerate()
+                .map(|(src, r)| {
+                    r.iter()
+                        .enumerate()
+                        .filter(|&(dst, _)| dst != src)
+                        .map(|(_, &b)| b)
+                        .sum::<u64>()
+                })
+                .sum();
+            let mut cost = net.alltoall_cost(p, 8);
+            if cross > 0 {
+                cost += net.congestion_noise(p);
+            }
+            let transposed: Vec<Vec<u64>> = (0..p)
+                .map(|dst| inputs.iter().map(|r| r[dst]).collect())
+                .collect();
+            (transposed, max + cost)
+        });
+        out[me].clone()
+    }
+
+    /// Elementwise allreduce over `u64` vectors (`MPI_Allreduce`).
+    /// Reduction is applied in ascending rank order, so results are
+    /// deterministic for non-commutative uses too.
+    pub fn allreduce_u64(&self, vals: &[u64], op: ReduceOp) -> Vec<u64> {
+        let net = self.ep.net().clone();
+        let p = self.size();
+        let bytes = vals.len() * 8;
+        let out = self.meet(vals.to_vec(), move |inputs: Vec<Vec<u64>>, max| {
+            let reduced = reduce_rows_u64(&inputs, op);
+            (reduced, max + net.allreduce_cost(p, bytes))
+        });
+        (*out).clone()
+    }
+
+    /// Elementwise allreduce over `f64` vectors.
+    pub fn allreduce_f64(&self, vals: &[f64], op: ReduceOp) -> Vec<f64> {
+        let net = self.ep.net().clone();
+        let p = self.size();
+        let bytes = vals.len() * 8;
+        let out = self.meet(vals.to_vec(), move |inputs: Vec<Vec<f64>>, max| {
+            let width = inputs[0].len();
+            let mut acc = inputs[0].clone();
+            for row in &inputs[1..] {
+                assert_eq!(row.len(), width, "allreduce width mismatch");
+                for (a, &b) in acc.iter_mut().zip(row) {
+                    *a = op.apply_f64(*a, b);
+                }
+            }
+            (acc, max + net.allreduce_cost(p, bytes))
+        });
+        (*out).clone()
+    }
+
+    /// Reduce to `root` (`MPI_Reduce`); non-roots receive `None`.
+    pub fn reduce_u64(&self, root: usize, vals: &[u64], op: ReduceOp) -> Option<Vec<u64>> {
+        assert!(root < self.size(), "reduce root {root} out of range");
+        let net = self.ep.net().clone();
+        let p = self.size();
+        let bytes = vals.len() * 8;
+        let out = self.meet(vals.to_vec(), move |inputs: Vec<Vec<u64>>, max| {
+            let reduced = reduce_rows_u64(&inputs, op);
+            (reduced, max + net.reduce_cost(p, bytes))
+        });
+        (self.rank() == root).then(|| (*out).clone())
+    }
+
+    /// Inclusive prefix scan (`MPI_Scan`): rank r receives the reduction
+    /// of ranks `0..=r`.
+    pub fn scan_u64(&self, vals: &[u64], op: ReduceOp) -> Vec<u64> {
+        let net = self.ep.net().clone();
+        let p = self.size();
+        let bytes = vals.len() * 8;
+        let me = self.rank();
+        let out = self.meet(vals.to_vec(), move |inputs: Vec<Vec<u64>>, max| {
+            let width = inputs[0].len();
+            let mut prefixes = Vec::with_capacity(inputs.len());
+            let mut acc = inputs[0].clone();
+            prefixes.push(acc.clone());
+            for row in &inputs[1..] {
+                assert_eq!(row.len(), width, "scan width mismatch");
+                for (a, &b) in acc.iter_mut().zip(row) {
+                    *a = op.apply_u64(*a, b);
+                }
+                prefixes.push(acc.clone());
+            }
+            (prefixes, max + net.scan_cost(p, bytes))
+        });
+        out[me].clone()
+    }
+}
+
+fn reduce_rows_u64(inputs: &[Vec<u64>], op: ReduceOp) -> Vec<u64> {
+    let width = inputs[0].len();
+    let mut acc = inputs[0].clone();
+    for row in &inputs[1..] {
+        assert_eq!(row.len(), width, "allreduce width mismatch");
+        for (a, &b) in acc.iter_mut().zip(row) {
+            *a = op.apply_u64(*a, b);
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::Communicator;
+    use simnet::{run_cluster, ClusterConfig, SimTime};
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let out = run_cluster(ClusterConfig::ideal(4), |ep| {
+            // Skew the ranks, then barrier; afterwards all clocks agree.
+            ep.compute(SimTime::secs(ep.rank() as f64));
+            let comm = Communicator::world(&ep);
+            comm.barrier();
+            ep.now().as_secs()
+        });
+        let reference = out[0];
+        assert!(out.iter().all(|&t| (t - reference).abs() < 1e-12));
+        assert!(reference >= 3.0, "barrier completes no earlier than last entry");
+    }
+
+    #[test]
+    fn bcast_delivers_root_data() {
+        let out = run_cluster(ClusterConfig::ideal(5), |ep| {
+            let comm = Communicator::world(&ep);
+            let buf = (comm.rank() == 2).then(|| IoBuffer::from_slice(b"payload"));
+            let got = comm.bcast(2, buf);
+            got.as_slice().unwrap().to_vec()
+        });
+        assert!(out.iter().all(|v| v == b"payload"));
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = run_cluster(ClusterConfig::ideal(4), |ep| {
+            let comm = Communicator::world(&ep);
+            let mine = IoBuffer::from_slice(&[comm.rank() as u8; 2]);
+            comm.gather(0, mine)
+        });
+        let at_root = out[0].as_ref().unwrap();
+        for (r, buf) in at_root.iter().enumerate() {
+            assert_eq!(buf.as_slice().unwrap(), &[r as u8; 2]);
+        }
+        assert!(out[1].is_none() && out[2].is_none() && out[3].is_none());
+    }
+
+    #[test]
+    fn gatherv_with_unequal_lengths() {
+        let out = run_cluster(ClusterConfig::ideal(3), |ep| {
+            let comm = Communicator::world(&ep);
+            let mine = IoBuffer::from_slice(&vec![7u8; comm.rank() * 3]);
+            comm.gather(1, mine)
+        });
+        let at_root = out[1].as_ref().unwrap();
+        assert_eq!(at_root.iter().map(|b| b.len()).collect::<Vec<_>>(), vec![0, 3, 6]);
+    }
+
+    #[test]
+    fn scatter_distributes_by_rank() {
+        let out = run_cluster(ClusterConfig::ideal(3), |ep| {
+            let comm = Communicator::world(&ep);
+            let bufs = (comm.rank() == 0).then(|| {
+                (0..3).map(|i| IoBuffer::from_slice(&[i as u8 * 10])).collect()
+            });
+            comm.scatter(0, bufs).as_slice().unwrap().to_vec()
+        });
+        assert_eq!(out, vec![vec![0], vec![10], vec![20]]);
+    }
+
+    #[test]
+    fn allgather_everyone_sees_everything() {
+        let out = run_cluster(ClusterConfig::ideal(4), |ep| {
+            let comm = Communicator::world(&ep);
+            comm.allgather(IoBuffer::from_slice(&[comm.rank() as u8]))
+        });
+        for got in &out {
+            let vals: Vec<u8> = got.iter().map(|b| b.as_slice().unwrap()[0]).collect();
+            assert_eq!(vals, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn allgather_t_shares_typed_values() {
+        let out = run_cluster(ClusterConfig::ideal(3), |ep| {
+            let comm = Communicator::world(&ep);
+            comm.allgather_t((comm.rank(), comm.rank() * 100), 16)
+        });
+        for got in &out {
+            assert_eq!(*got, vec![(0, 0), (1, 100), (2, 200)]);
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let out = run_cluster(ClusterConfig::ideal(3), |ep| {
+            let comm = Communicator::world(&ep);
+            let me = comm.rank() as u8;
+            let bufs: Vec<IoBuffer> = (0..3)
+                .map(|dst| IoBuffer::from_slice(&[me, dst as u8]))
+                .collect();
+            comm.alltoall(bufs)
+        });
+        for (dst, got) in out.iter().enumerate() {
+            for (src, buf) in got.iter().enumerate() {
+                assert_eq!(buf.as_slice().unwrap(), &[src as u8, dst as u8]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_handles_irregular_sizes() {
+        let out = run_cluster(ClusterConfig::ideal(3), |ep| {
+            let comm = Communicator::world(&ep);
+            let me = comm.rank();
+            let bufs: Vec<IoBuffer> = (0..3)
+                .map(|dst| IoBuffer::from_slice(&vec![me as u8; me * 3 + dst]))
+                .collect();
+            comm.alltoallv(bufs)
+        });
+        for (dst, got) in out.iter().enumerate() {
+            for (src, buf) in got.iter().enumerate() {
+                assert_eq!(buf.len(), src * 3 + dst);
+                assert!(buf.as_slice().unwrap().iter().all(|&b| b == src as u8));
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_t_transposes_typed_rows() {
+        let out = run_cluster(ClusterConfig::ideal(4), |ep| {
+            let comm = Communicator::world(&ep);
+            let row: Vec<u64> = (0..4).map(|d| (comm.rank() * 10 + d) as u64).collect();
+            comm.alltoall_t(row, 8)
+        });
+        for (dst, got) in out.iter().enumerate() {
+            let want: Vec<u64> = (0..4).map(|src| (src * 10 + dst) as u64).collect();
+            assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn alltoall_sizes_transposes_and_charges_congestion() {
+        // Cross-rank traffic pays the congestion term; diagonal-only does
+        // not.
+        let run = |cross: bool| {
+            run_cluster(
+                {
+                    let mut c = ClusterConfig::ideal(8);
+                    c.net.noise_quad = simnet::SimTime::micros(100.0);
+                    c
+                },
+                move |ep| {
+                    let comm = Communicator::world(&ep);
+                    let me = comm.rank();
+                    let row: Vec<u64> = (0..8)
+                        .map(|d| if cross || d == me { 100 } else { 0 })
+                        .collect();
+                    let got = comm.alltoall_sizes(row);
+                    // Transposition check.
+                    for (src, &v) in got.iter().enumerate() {
+                        let expect = if cross || src == me { 100 } else { 0 };
+                        assert_eq!(v, expect);
+                    }
+                    ep.now().as_secs()
+                },
+            )[0]
+        };
+        let t_self = run(false);
+        let t_cross = run(true);
+        // quad = 100us * 64 = 6.4ms difference.
+        assert!(t_cross > t_self + 5e-3, "self {t_self} cross {t_cross}");
+    }
+
+    #[test]
+    fn allreduce_sum_and_max() {
+        let out = run_cluster(ClusterConfig::ideal(4), |ep| {
+            let comm = Communicator::world(&ep);
+            let r = comm.rank() as u64;
+            let sum = comm.allreduce_u64(&[r, 1], ReduceOp::Sum);
+            let max = comm.allreduce_u64(&[r, 1], ReduceOp::Max);
+            (sum, max)
+        });
+        for (sum, max) in &out {
+            assert_eq!(*sum, vec![6, 4]);
+            assert_eq!(*max, vec![3, 1]);
+        }
+    }
+
+    #[test]
+    fn allreduce_f64_matches() {
+        let out = run_cluster(ClusterConfig::ideal(3), |ep| {
+            let comm = Communicator::world(&ep);
+            comm.allreduce_f64(&[comm.rank() as f64 + 0.5], ReduceOp::Sum)
+        });
+        for v in &out {
+            assert!((v[0] - 4.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reduce_only_root_receives() {
+        let out = run_cluster(ClusterConfig::ideal(4), |ep| {
+            let comm = Communicator::world(&ep);
+            comm.reduce_u64(3, &[comm.rank() as u64], ReduceOp::Max)
+        });
+        assert_eq!(out[3], Some(vec![3]));
+        assert!(out[0].is_none() && out[1].is_none() && out[2].is_none());
+    }
+
+    #[test]
+    fn scan_produces_inclusive_prefixes() {
+        let out = run_cluster(ClusterConfig::ideal(4), |ep| {
+            let comm = Communicator::world(&ep);
+            comm.scan_u64(&[comm.rank() as u64 + 1], ReduceOp::Sum)
+        });
+        assert_eq!(out, vec![vec![1], vec![3], vec![6], vec![10]]);
+    }
+
+    #[test]
+    fn collectives_on_subcommunicators_are_independent() {
+        let out = run_cluster(ClusterConfig::ideal(6), |ep| {
+            let world = Communicator::world(&ep);
+            let sub = world.split(Some((ep.rank() % 2) as i64), 0).unwrap();
+            let sums = sub.allreduce_u64(&[ep.rank() as u64], ReduceOp::Sum);
+            sums[0]
+        });
+        // Even group {0,2,4}: 6. Odd group {1,3,5}: 9.
+        assert_eq!(out, vec![6, 9, 6, 9, 6, 9]);
+    }
+
+    #[test]
+    fn collective_cost_grows_with_group_size() {
+        let time_for = |n: usize| {
+            let out = run_cluster(ClusterConfig::cray_xt(n, simnet::Mapping::Block), |ep| {
+                let comm = Communicator::world(&ep);
+                let bufs: Vec<IoBuffer> = (0..comm.size()).map(|_| IoBuffer::synthetic(8)).collect();
+                let _ = comm.alltoall(bufs);
+                ep.now().as_secs()
+            });
+            out[0]
+        };
+        let t8 = time_for(8);
+        let t64 = time_for(64);
+        assert!(
+            t64 > 4.0 * t8,
+            "pairwise alltoall cost must grow ~linearly: t8={t8} t64={t64}"
+        );
+    }
+}

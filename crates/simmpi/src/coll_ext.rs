@@ -1,0 +1,158 @@
+//! Additional collective operations beyond the two-phase core set:
+//! exclusive scan, reduce-scatter, and a vector broadcast. These round
+//! out the MPI surface for applications built on this stack (Flash-style
+//! codes use reduce-scatter for load statistics; checkpoint headers use
+//! vector broadcasts).
+
+use crate::comm::Communicator;
+use crate::ReduceOp;
+use simnet::IoBuffer;
+
+impl Communicator<'_> {
+    /// Exclusive prefix scan (`MPI_Exscan`): rank r receives the
+    /// reduction of ranks `0..r`; rank 0 receives the identity for the
+    /// operator (0 for Sum/LOr/Max over u64, `u64::MAX` for Min).
+    pub fn exscan_u64(&self, vals: &[u64], op: ReduceOp) -> Vec<u64> {
+        let net = self.ep.net().clone();
+        let p = self.size();
+        let bytes = vals.len() * 8;
+        let me = self.rank();
+        let out = self.meet(vals.to_vec(), move |inputs: Vec<Vec<u64>>, max| {
+            let width = inputs[0].len();
+            let identity = match op {
+                ReduceOp::Min => u64::MAX,
+                _ => 0,
+            };
+            let mut prefixes = Vec::with_capacity(inputs.len());
+            let mut acc = vec![identity; width];
+            for row in &inputs {
+                assert_eq!(row.len(), width, "exscan width mismatch");
+                prefixes.push(acc.clone());
+                for (a, &b) in acc.iter_mut().zip(row) {
+                    *a = op.apply_u64(*a, b);
+                }
+            }
+            (prefixes, max + net.scan_cost(p, bytes))
+        });
+        out[me].clone()
+    }
+
+    /// Reduce-scatter with equal blocks (`MPI_Reduce_scatter_block`):
+    /// element-wise reduction of everyone's `p·n`-element vector, rank r
+    /// receiving elements `r·n .. (r+1)·n` of the result.
+    pub fn reduce_scatter_u64(&self, vals: &[u64], op: ReduceOp) -> Vec<u64> {
+        let p = self.size();
+        assert!(
+            vals.len().is_multiple_of(p),
+            "reduce_scatter needs a multiple of {p} elements, got {}",
+            vals.len()
+        );
+        let n = vals.len() / p;
+        let net = self.ep.net().clone();
+        let bytes = vals.len() * 8;
+        let me = self.rank();
+        let out = self.meet(vals.to_vec(), move |inputs: Vec<Vec<u64>>, max| {
+            let width = inputs[0].len();
+            let mut acc = inputs[0].clone();
+            for row in &inputs[1..] {
+                assert_eq!(row.len(), width, "reduce_scatter width mismatch");
+                for (a, &b) in acc.iter_mut().zip(row) {
+                    *a = op.apply_u64(*a, b);
+                }
+            }
+            // Cost: a reduce plus a scatter of the blocks.
+            let cost = net.reduce_cost(p, bytes) + net.scatter_cost(p, bytes / p);
+            (acc, max + cost)
+        });
+        out[me * n..(me + 1) * n].to_vec()
+    }
+
+    /// Broadcast a vector of buffers from `root` (header + payload
+    /// pattern). Non-roots pass `None`.
+    pub fn bcast_vec(&self, root: usize, bufs: Option<Vec<IoBuffer>>) -> Vec<IoBuffer> {
+        assert!(root < self.size(), "bcast root {root} out of range");
+        debug_assert_eq!(bufs.is_some(), self.rank() == root);
+        let net = self.ep.net().clone();
+        let p = self.size();
+        let out = self.meet(bufs, move |inputs: Vec<Option<Vec<IoBuffer>>>, max| {
+            let data = inputs
+                .into_iter()
+                .flatten()
+                .next()
+                .expect("bcast root supplied buffers");
+            let total: usize = data.iter().map(IoBuffer::len).sum();
+            (data, max + net.bcast_cost(p, total))
+        });
+        (*out).clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{run_cluster, ClusterConfig};
+
+    #[test]
+    fn exscan_sum_prefixes_exclude_self() {
+        let out = run_cluster(ClusterConfig::ideal(4), |ep| {
+            let comm = Communicator::world(&ep);
+            comm.exscan_u64(&[comm.rank() as u64 + 1], ReduceOp::Sum)[0]
+        });
+        assert_eq!(out, vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn exscan_min_identity_is_max() {
+        let out = run_cluster(ClusterConfig::ideal(3), |ep| {
+            let comm = Communicator::world(&ep);
+            comm.exscan_u64(&[comm.rank() as u64 + 5], ReduceOp::Min)[0]
+        });
+        assert_eq!(out, vec![u64::MAX, 5, 5]);
+    }
+
+    #[test]
+    fn reduce_scatter_blocks() {
+        let out = run_cluster(ClusterConfig::ideal(3), |ep| {
+            let comm = Communicator::world(&ep);
+            // Everyone contributes [r, r, r, 2r, 2r, 2r, 3r, 3r, 3r]-ish:
+            let r = comm.rank() as u64 + 1;
+            let vals: Vec<u64> = (0..9).map(|i| r * (i / 3 + 1)).collect();
+            comm.reduce_scatter_u64(&vals, ReduceOp::Sum)
+        });
+        // Sum over ranks of r = 6; block k scaled by (k+1).
+        assert_eq!(out[0], vec![6, 6, 6]);
+        assert_eq!(out[1], vec![12, 12, 12]);
+        assert_eq!(out[2], vec![18, 18, 18]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of")]
+    fn reduce_scatter_rejects_ragged_input() {
+        run_cluster(ClusterConfig::ideal(3), |ep| {
+            let comm = Communicator::world(&ep);
+            let _ = comm.reduce_scatter_u64(&[1, 2, 3, 4], ReduceOp::Sum);
+        });
+    }
+
+    #[test]
+    fn bcast_vec_delivers_all_buffers() {
+        let out = run_cluster(ClusterConfig::ideal(3), |ep| {
+            let comm = Communicator::world(&ep);
+            let bufs = (comm.rank() == 1).then(|| {
+                vec![
+                    IoBuffer::from_slice(b"header"),
+                    IoBuffer::from_slice(b"payload"),
+                ]
+            });
+            let got = comm.bcast_vec(1, bufs);
+            (
+                got[0].as_slice().unwrap().to_vec(),
+                got[1].as_slice().unwrap().to_vec(),
+            )
+        });
+        for (h, p) in out {
+            assert_eq!(h, b"header");
+            assert_eq!(p, b"payload");
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Communicators: process groups with isolated contexts.
+
+use simnet::rendezvous::Rendezvous;
+use simnet::{Endpoint, SimTime};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Group state shared by all members of a communicator.
+#[derive(Debug)]
+pub(crate) struct CommShared {
+    /// Context id isolating this communicator's point-to-point traffic.
+    pub(crate) ctx: u32,
+    /// Global rank of each local rank, ascending by local rank.
+    pub(crate) members: Vec<usize>,
+    /// Collective meeting point for this group.
+    pub(crate) rdv: Arc<Rendezvous>,
+}
+
+/// A process group, mirroring `MPI_Comm`.
+///
+/// A `Communicator` borrows the rank's [`Endpoint`] (it cannot leave the
+/// rank thread) and shares the group state with its peers. All the MPI-like
+/// operations — point-to-point in [`crate::p2p`], collectives in
+/// [`crate::coll`] — are methods on this type.
+///
+/// # Examples
+///
+/// ```
+/// use simmpi::{Communicator, ReduceOp};
+/// use simnet::{run_cluster, ClusterConfig};
+///
+/// let sums = run_cluster(ClusterConfig::ideal(4), |ep| {
+///     let world = Communicator::world(&ep);
+///     // Split into even/odd halves, sum ranks within each.
+///     let half = world.split(Some((ep.rank() % 2) as i64), 0).unwrap();
+///     half.allreduce_u64(&[ep.rank() as u64], ReduceOp::Sum)[0]
+/// });
+/// assert_eq!(sums, vec![2, 4, 2, 4]); // evens: 0+2, odds: 1+3
+/// ```
+pub struct Communicator<'ep> {
+    pub(crate) ep: &'ep Endpoint,
+    pub(crate) shared: Arc<CommShared>,
+    pub(crate) my_local: usize,
+}
+
+impl Clone for Communicator<'_> {
+    fn clone(&self) -> Self {
+        Communicator {
+            ep: self.ep,
+            shared: Arc::clone(&self.shared),
+            my_local: self.my_local,
+        }
+    }
+}
+
+impl std::fmt::Debug for Communicator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Communicator")
+            .field("ctx", &self.shared.ctx)
+            .field("rank", &self.my_local)
+            .field("size", &self.size())
+            .finish()
+    }
+}
+
+impl<'ep> Communicator<'ep> {
+    /// The world communicator containing every rank of the cluster.
+    pub fn world(ep: &'ep Endpoint) -> Self {
+        let members: Vec<usize> = (0..ep.size()).collect();
+        Communicator {
+            ep,
+            my_local: ep.rank(),
+            shared: Arc::new(CommShared {
+                ctx: 0,
+                members,
+                rdv: ep.world_rendezvous(),
+            }),
+        }
+    }
+
+    /// This rank's id within the communicator.
+    pub fn rank(&self) -> usize {
+        self.my_local
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.shared.members.len()
+    }
+
+    /// The underlying endpoint.
+    pub fn endpoint(&self) -> &'ep Endpoint {
+        self.ep
+    }
+
+    /// Translate a local rank to the cluster-global rank.
+    pub fn global_rank(&self, local: usize) -> usize {
+        self.shared.members[local]
+    }
+
+    /// Translate a global rank to a local rank, if a member.
+    ///
+    /// Linear scan: membership lists are consulted rarely (aggregator
+    /// selection, once per open) and reordering keys make them unsorted.
+    pub fn local_rank_of_global(&self, global: usize) -> Option<usize> {
+        self.shared.members.iter().position(|&g| g == global)
+    }
+
+    /// Physical node hosting the given local rank.
+    pub fn node_of(&self, local: usize) -> usize {
+        self.ep.topology().node_of(self.global_rank(local))
+    }
+
+    /// Context id (diagnostic).
+    pub fn context_id(&self) -> u32 {
+        self.shared.ctx
+    }
+
+    /// Internal helper: run a collective through the group rendezvous,
+    /// advancing this rank's clock to the common completion time.
+    ///
+    /// `combine` receives the inputs ordered by local rank and the maximum
+    /// entry clock, and returns the shared result plus the completion time.
+    pub(crate) fn meet<T, R, F>(&self, input: T, combine: F) -> Arc<R>
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+        F: FnOnce(Vec<T>, SimTime) -> (R, SimTime),
+    {
+        let (result, completion) =
+            self.shared
+                .rdv
+                .meet(self.my_local, self.ep.now(), input, combine);
+        self.ep.clock().advance_to(completion);
+        result
+    }
+
+    /// Split into disjoint sub-communicators by `color`, ordering members
+    /// by `(key, parent rank)` — the `MPI_Comm_split` contract. Ranks
+    /// passing `None` (MPI_UNDEFINED) receive `None`.
+    ///
+    /// This is a collective over the parent communicator; its cost is that
+    /// of an 16-byte allgather (color+key), which is how implementations
+    /// realize it.
+    pub fn split(&self, color: Option<i64>, key: i64) -> Option<Communicator<'ep>> {
+        let poison = self.ep.poison();
+        let ctx_alloc = self.ep.ctx_allocator();
+        let net = self.ep.net().clone();
+        let p = self.size();
+        let members = self.shared.members.clone();
+
+        // Each rank contributes (color, key, global rank). The combiner
+        // builds every subgroup once and hands each parent rank its
+        // (shared state, local rank) assignment.
+        type SplitOut = Vec<Option<(Arc<CommShared>, usize)>>;
+        let assignment: Arc<SplitOut> = self.meet(
+            (color, key),
+            move |inputs: Vec<(Option<i64>, i64)>, max_clock| {
+                let mut by_color: std::collections::BTreeMap<i64, Vec<(i64, usize)>> =
+                    std::collections::BTreeMap::new();
+                for (parent_local, (c, k)) in inputs.iter().enumerate() {
+                    if let Some(c) = c {
+                        by_color.entry(*c).or_default().push((*k, parent_local));
+                    }
+                }
+                let mut out: SplitOut = vec![None; inputs.len()];
+                for group in by_color.values() {
+                    let mut group = group.clone();
+                    group.sort_by_key(|&(k, parent_local)| (k, parent_local));
+                    let group_members: Vec<usize> =
+                        group.iter().map(|&(_, pl)| members[pl]).collect();
+                    debug_assert!(
+                        group.iter().map(|&(k, _)| k).all(|k| k == group[0].0)
+                            || group_members.windows(2).all(|w| w[0] != w[1]),
+                        "split produced duplicate members"
+                    );
+                    let shared = Arc::new(CommShared {
+                        ctx: ctx_alloc.fetch_add(1, Ordering::Relaxed),
+                        members: group_members,
+                        rdv: Arc::new(Rendezvous::new(group.len(), Arc::clone(&poison))),
+                    });
+                    for (new_local, &(_, parent_local)) in group.iter().enumerate() {
+                        out[parent_local] = Some((Arc::clone(&shared), new_local));
+                    }
+                }
+                (out, max_clock + net.allgather_cost(p, 16))
+            },
+        );
+
+        assignment[self.my_local]
+            .as_ref()
+            .map(|(shared, local)| Communicator {
+                ep: self.ep,
+                shared: Arc::clone(shared),
+                my_local: *local,
+            })
+    }
+
+    /// Duplicate this communicator (fresh context, same membership) —
+    /// `MPI_Comm_dup`. Costs a barrier.
+    pub fn dup(&self) -> Communicator<'ep> {
+        let poison = self.ep.poison();
+        let ctx_alloc = self.ep.ctx_allocator();
+        let net = self.ep.net().clone();
+        let p = self.size();
+        let members = self.shared.members.clone();
+        let shared: Arc<Arc<CommShared>> = self.meet((), move |_inputs: Vec<()>, max_clock| {
+            let shared = Arc::new(CommShared {
+                ctx: ctx_alloc.fetch_add(1, Ordering::Relaxed),
+                members,
+                rdv: Arc::new(Rendezvous::new(p, Arc::clone(&poison))),
+            });
+            (shared, max_clock + net.barrier_cost(p))
+        });
+        Communicator {
+            ep: self.ep,
+            shared: Arc::clone(&shared),
+            my_local: self.my_local,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::{run_cluster, ClusterConfig};
+
+    #[test]
+    fn world_has_full_membership() {
+        run_cluster(ClusterConfig::ideal(6), |ep| {
+            let world = Communicator::world(&ep);
+            assert_eq!(world.size(), 6);
+            assert_eq!(world.rank(), ep.rank());
+            for l in 0..6 {
+                assert_eq!(world.global_rank(l), l);
+                assert_eq!(world.local_rank_of_global(l), Some(l));
+            }
+        });
+    }
+
+    #[test]
+    fn split_by_parity_forms_two_groups() {
+        let out = run_cluster(ClusterConfig::ideal(8), |ep| {
+            let world = Communicator::world(&ep);
+            let sub = world.split(Some((ep.rank() % 2) as i64), 0).unwrap();
+            (sub.size(), sub.rank(), sub.global_rank(sub.rank()))
+        });
+        for (rank, (size, local, global)) in out.iter().enumerate() {
+            assert_eq!(*size, 4);
+            assert_eq!(*local, rank / 2);
+            assert_eq!(*global, rank);
+        }
+    }
+
+    #[test]
+    fn split_orders_by_key_then_rank() {
+        let out = run_cluster(ClusterConfig::ideal(4), |ep| {
+            let world = Communicator::world(&ep);
+            // Reverse order via key = -rank.
+            let sub = world.split(Some(0), -(ep.rank() as i64)).unwrap();
+            sub.rank()
+        });
+        assert_eq!(out, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn undefined_color_yields_none() {
+        let out = run_cluster(ClusterConfig::ideal(4), |ep| {
+            let world = Communicator::world(&ep);
+            let color = if ep.rank() < 2 { Some(7) } else { None };
+            world.split(color, 0).map(|c| c.size())
+        });
+        assert_eq!(out, vec![Some(2), Some(2), None, None]);
+    }
+
+    #[test]
+    fn subgroup_contexts_are_distinct_from_parent() {
+        run_cluster(ClusterConfig::ideal(4), |ep| {
+            let world = Communicator::world(&ep);
+            let sub = world.split(Some((ep.rank() / 2) as i64), 0).unwrap();
+            assert_ne!(sub.context_id(), world.context_id());
+        });
+    }
+
+    #[test]
+    fn dup_preserves_membership_with_new_context() {
+        run_cluster(ClusterConfig::ideal(4), |ep| {
+            let world = Communicator::world(&ep);
+            let d = world.dup();
+            assert_eq!(d.size(), world.size());
+            assert_eq!(d.rank(), world.rank());
+            assert_ne!(d.context_id(), world.context_id());
+        });
+    }
+
+    #[test]
+    fn split_advances_clock() {
+        run_cluster(ClusterConfig::ideal(4), |ep| {
+            let world = Communicator::world(&ep);
+            let before = ep.now();
+            let _ = world.split(Some(0), 0).unwrap();
+            assert!(ep.now() > before, "split must charge collective cost");
+        });
+    }
+
+    #[test]
+    fn nested_split_works() {
+        let out = run_cluster(ClusterConfig::ideal(8), |ep| {
+            let world = Communicator::world(&ep);
+            let half = world.split(Some((ep.rank() / 4) as i64), 0).unwrap();
+            let quarter = half.split(Some((half.rank() / 2) as i64), 0).unwrap();
+            (quarter.size(), quarter.global_rank(0))
+        });
+        // Groups: {0,1},{2,3},{4,5},{6,7}
+        for (rank, (size, first_global)) in out.iter().enumerate() {
+            assert_eq!(*size, 2);
+            assert_eq!(*first_global, rank / 2 * 2);
+        }
+    }
+}

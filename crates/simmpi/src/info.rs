@@ -1,0 +1,168 @@
+//! MPI_Info-style hint dictionary.
+//!
+//! MPI-IO tuning travels through string key/value hints (`MPI_Info`).
+//! ROMIO's collective-buffering hints (`cb_nodes`, `cb_buffer_size`,
+//! `cb_config_list`) and the ParColl extensions (`parcoll_groups`,
+//! `parcoll_min_group`, aggregator lists — paper §4.2: "the number of I/O
+//! aggregators to use from the default list, or a list of physical nodes
+//! to use as I/O aggregators") are all passed this way, so applications
+//! need no API changes to adopt ParColl — exactly the paper's
+//! compatibility claim.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An ordered string key/value dictionary, mirroring `MPI_Info`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Info {
+    kv: BTreeMap<String, String>,
+}
+
+impl Info {
+    /// Empty hint set.
+    pub fn new() -> Self {
+        Info::default()
+    }
+
+    /// Set (or overwrite) a hint.
+    pub fn set(&mut self, key: &str, value: impl fmt::Display) -> &mut Self {
+        self.kv.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Builder-style set.
+    pub fn with(mut self, key: &str, value: impl fmt::Display) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// Raw string lookup.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.kv.get(key).map(String::as_str)
+    }
+
+    /// Parse a hint as `usize`; `None` if absent or malformed (malformed
+    /// hints are ignored, as MPI implementations do).
+    pub fn get_usize(&self, key: &str) -> Option<usize> {
+        self.get(key)?.trim().parse().ok()
+    }
+
+    /// Parse a hint as boolean (`true`/`false`/`1`/`0`/`enable`/`disable`).
+    pub fn get_bool(&self, key: &str) -> Option<bool> {
+        match self.get(key)?.trim().to_ascii_lowercase().as_str() {
+            "true" | "1" | "enable" | "enabled" | "yes" => Some(true),
+            "false" | "0" | "disable" | "disabled" | "no" => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Parse a comma-separated list of `usize` (used for explicit
+    /// aggregator rank lists).
+    pub fn get_usize_list(&self, key: &str) -> Option<Vec<usize>> {
+        let raw = self.get(key)?;
+        let mut out = Vec::new();
+        for part in raw.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            out.push(part.parse().ok()?);
+        }
+        Some(out)
+    }
+
+    /// Number of hints set.
+    pub fn len(&self) -> usize {
+        self.kv.len()
+    }
+
+    /// True if no hints are set.
+    pub fn is_empty(&self) -> bool {
+        self.kv.is_empty()
+    }
+
+    /// Iterate hints in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.kv.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+impl fmt::Display for Info {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, v) in self.iter() {
+            if !first {
+                write!(f, " ")?;
+            }
+            write!(f, "{k}={v}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut info = Info::new();
+        info.set("cb_nodes", 16).set("cb_buffer_size", 4 << 20);
+        assert_eq!(info.get("cb_nodes"), Some("16"));
+        assert_eq!(info.get_usize("cb_buffer_size"), Some(4 << 20));
+        assert_eq!(info.len(), 2);
+    }
+
+    #[test]
+    fn builder_style() {
+        let info = Info::new().with("parcoll_groups", 64).with("romio_cb_write", "enable");
+        assert_eq!(info.get_usize("parcoll_groups"), Some(64));
+        assert_eq!(info.get_bool("romio_cb_write"), Some(true));
+    }
+
+    #[test]
+    fn malformed_numbers_are_ignored() {
+        let info = Info::new().with("cb_nodes", "lots");
+        assert_eq!(info.get_usize("cb_nodes"), None);
+    }
+
+    #[test]
+    fn bool_spellings() {
+        for (s, v) in [
+            ("true", true),
+            ("1", true),
+            ("enable", true),
+            ("false", false),
+            ("0", false),
+            ("disable", false),
+        ] {
+            let info = Info::new().with("k", s);
+            assert_eq!(info.get_bool("k"), Some(v), "{s}");
+        }
+        assert_eq!(Info::new().with("k", "maybe").get_bool("k"), None);
+    }
+
+    #[test]
+    fn usize_list_parsing() {
+        let info = Info::new().with("cb_config_list", "0, 4,8 ,12");
+        assert_eq!(info.get_usize_list("cb_config_list"), Some(vec![0, 4, 8, 12]));
+        let bad = Info::new().with("cb_config_list", "0,x");
+        assert_eq!(bad.get_usize_list("cb_config_list"), None);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut info = Info::new();
+        info.set("k", 1);
+        info.set("k", 2);
+        assert_eq!(info.get_usize("k"), Some(2));
+        assert_eq!(info.len(), 1);
+    }
+
+    #[test]
+    fn display_is_stable_key_order() {
+        let info = Info::new().with("b", 2).with("a", 1);
+        assert_eq!(info.to_string(), "a=1 b=2");
+    }
+}

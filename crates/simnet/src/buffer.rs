@@ -1,0 +1,332 @@
+//! Byte buffers that may carry real data or only a size.
+//!
+//! The paper's experiments move hundreds of gigabytes (IOR writes 512 MB
+//! per process from 512 processes; the 1024-process Flash-IO checkpoint is
+//! 486 GB). A laptop-scale reproduction cannot materialize those bytes, but
+//! the *cost model* only needs byte counts, and the *protocol logic* only
+//! needs lengths and offsets. [`IoBuffer`] therefore comes in two flavours:
+//!
+//! * [`IoBuffer::Real`] — owns actual bytes. Used by correctness tests and
+//!   small examples: data written through the full ParColl/two-phase stack
+//!   is read back and compared byte-for-byte.
+//! * [`IoBuffer::Synthetic`] — carries only a length. Used by the paper's
+//!   full-scale benchmark configurations. All slicing/packing arithmetic is
+//!   still performed (and bounds-checked), so the protocol executes the
+//!   identical control flow either way.
+//!
+//! Mixing: combining any synthetic content into a builder degrades the
+//! result to synthetic. Performance runs are all-synthetic and correctness
+//! runs are all-real, so degradation never silently loses test data; it is
+//! nevertheless well-defined.
+
+/// A buffer of bytes that may be real (`Vec<u8>`) or synthetic (length
+/// only). See the module documentation for the rationale.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::IoBuffer;
+///
+/// let real = IoBuffer::from_slice(&[1, 2, 3, 4]);
+/// assert_eq!(real.sub(1, 2).as_slice().unwrap(), &[2, 3]);
+///
+/// // A terabyte that costs nothing to hold:
+/// let huge = IoBuffer::synthetic(1 << 40);
+/// assert_eq!(huge.len(), 1 << 40);
+/// assert!(huge.as_slice().is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoBuffer {
+    /// A buffer with actual contents.
+    Real(Vec<u8>),
+    /// A buffer that only tracks its length; contents are unmaterialized.
+    Synthetic {
+        /// The number of bytes this buffer stands for.
+        len: usize,
+    },
+}
+
+impl IoBuffer {
+    /// An empty real buffer.
+    pub fn empty() -> Self {
+        IoBuffer::Real(Vec::new())
+    }
+
+    /// A real buffer initialized to zero.
+    pub fn zeroed(len: usize) -> Self {
+        IoBuffer::Real(vec![0u8; len])
+    }
+
+    /// A real buffer copying the given bytes.
+    pub fn from_slice(bytes: &[u8]) -> Self {
+        IoBuffer::Real(bytes.to_vec())
+    }
+
+    /// A synthetic buffer of the given length.
+    pub fn synthetic(len: usize) -> Self {
+        IoBuffer::Synthetic { len }
+    }
+
+    /// Number of bytes represented.
+    pub fn len(&self) -> usize {
+        match self {
+            IoBuffer::Real(v) => v.len(),
+            IoBuffer::Synthetic { len } => *len,
+        }
+    }
+
+    /// True if zero bytes are represented.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if this buffer owns real bytes.
+    pub fn is_real(&self) -> bool {
+        matches!(self, IoBuffer::Real(_))
+    }
+
+    /// Borrow the contents if real.
+    pub fn as_slice(&self) -> Option<&[u8]> {
+        match self {
+            IoBuffer::Real(v) => Some(v),
+            IoBuffer::Synthetic { .. } => None,
+        }
+    }
+
+    /// Mutably borrow the contents if real.
+    pub fn as_mut_slice(&mut self) -> Option<&mut [u8]> {
+        match self {
+            IoBuffer::Real(v) => Some(v),
+            IoBuffer::Synthetic { .. } => None,
+        }
+    }
+
+    /// Extract a sub-range `[start, start+len)` as a new buffer.
+    ///
+    /// A synthetic buffer yields a synthetic sub-buffer. Panics if the
+    /// range exceeds the buffer, mirroring slice semantics: range errors
+    /// in the I/O protocols are bugs, not recoverable conditions.
+    pub fn sub(&self, start: usize, len: usize) -> IoBuffer {
+        assert!(
+            start.checked_add(len).is_some_and(|end| end <= self.len()),
+            "IoBuffer::sub out of range: [{start}, {start}+{len}) of {}",
+            self.len()
+        );
+        match self {
+            IoBuffer::Real(v) => IoBuffer::Real(v[start..start + len].to_vec()),
+            IoBuffer::Synthetic { .. } => IoBuffer::Synthetic { len },
+        }
+    }
+
+    /// Overwrite `[dst_off, dst_off+src.len())` of `self` with `src`.
+    ///
+    /// If either side is synthetic, `self` degrades to synthetic of its
+    /// current length (the region's contents are no longer knowable).
+    /// Panics on out-of-range writes.
+    pub fn copy_in(&mut self, dst_off: usize, src: &IoBuffer) {
+        let n = src.len();
+        assert!(
+            dst_off.checked_add(n).is_some_and(|end| end <= self.len()),
+            "IoBuffer::copy_in out of range: [{dst_off}, {dst_off}+{n}) of {}",
+            self.len()
+        );
+        match (self.as_mut_slice(), src.as_slice()) {
+            (Some(dst), Some(s)) => dst[dst_off..dst_off + n].copy_from_slice(s),
+            _ => {
+                let len = self.len();
+                *self = IoBuffer::Synthetic { len };
+            }
+        }
+    }
+
+    /// Consume and return the real bytes, or a zero vector of the right
+    /// length for a synthetic buffer (used only at sinks that must emit
+    /// bytes, e.g. debugging dumps).
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self {
+            IoBuffer::Real(v) => v,
+            IoBuffer::Synthetic { len } => vec![0u8; len],
+        }
+    }
+}
+
+impl From<Vec<u8>> for IoBuffer {
+    fn from(v: Vec<u8>) -> Self {
+        IoBuffer::Real(v)
+    }
+}
+
+impl From<&[u8]> for IoBuffer {
+    fn from(v: &[u8]) -> Self {
+        IoBuffer::from_slice(v)
+    }
+}
+
+/// Incrementally concatenates buffer pieces, degrading to synthetic if any
+/// piece is synthetic. Used by packing/unpacking code in the MPI-IO layer.
+#[derive(Debug, Default)]
+pub struct BufferBuilder {
+    real: Option<Vec<u8>>,
+    len: usize,
+    any: bool,
+}
+
+impl BufferBuilder {
+    /// New empty builder. Until the first push it is "real by default":
+    /// finishing immediately yields an empty real buffer.
+    pub fn new() -> Self {
+        BufferBuilder {
+            real: Some(Vec::new()),
+            len: 0,
+            any: false,
+        }
+    }
+
+    /// New builder with a capacity hint for the real backing store.
+    pub fn with_capacity(cap: usize) -> Self {
+        BufferBuilder {
+            real: Some(Vec::with_capacity(cap)),
+            len: 0,
+            any: false,
+        }
+    }
+
+    /// Total bytes appended so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Append a piece.
+    pub fn push(&mut self, piece: &IoBuffer) {
+        self.any = true;
+        self.len += piece.len();
+        match (&mut self.real, piece.as_slice()) {
+            (Some(v), Some(s)) => v.extend_from_slice(s),
+            _ => self.real = None,
+        }
+    }
+
+    /// Append raw bytes.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.any = true;
+        self.len += bytes.len();
+        if let Some(v) = &mut self.real {
+            v.extend_from_slice(bytes);
+        }
+    }
+
+    /// Finish, producing a single buffer.
+    pub fn finish(self) -> IoBuffer {
+        match self.real {
+            Some(v) => IoBuffer::Real(v),
+            None => IoBuffer::Synthetic { len: self.len },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_round_trip() {
+        let b = IoBuffer::from_slice(&[1, 2, 3, 4]);
+        assert_eq!(b.len(), 4);
+        assert!(b.is_real());
+        assert_eq!(b.as_slice().unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(b.into_bytes(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn synthetic_tracks_length_only() {
+        let b = IoBuffer::synthetic(1 << 30);
+        assert_eq!(b.len(), 1 << 30);
+        assert!(!b.is_real());
+        assert!(b.as_slice().is_none());
+    }
+
+    #[test]
+    fn sub_of_real_copies_range() {
+        let b = IoBuffer::from_slice(&[10, 11, 12, 13, 14]);
+        let s = b.sub(1, 3);
+        assert_eq!(s.as_slice().unwrap(), &[11, 12, 13]);
+    }
+
+    #[test]
+    fn sub_of_synthetic_is_synthetic() {
+        let b = IoBuffer::synthetic(100);
+        let s = b.sub(50, 25);
+        assert_eq!(s, IoBuffer::synthetic(25));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sub_out_of_range_panics() {
+        IoBuffer::synthetic(10).sub(5, 6);
+    }
+
+    #[test]
+    fn copy_in_real_to_real() {
+        let mut b = IoBuffer::zeroed(6);
+        b.copy_in(2, &IoBuffer::from_slice(&[7, 8]));
+        assert_eq!(b.as_slice().unwrap(), &[0, 0, 7, 8, 0, 0]);
+    }
+
+    #[test]
+    fn copy_in_synthetic_degrades_target() {
+        let mut b = IoBuffer::zeroed(6);
+        b.copy_in(0, &IoBuffer::synthetic(3));
+        assert_eq!(b, IoBuffer::synthetic(6));
+    }
+
+    #[test]
+    fn copy_in_into_synthetic_stays_synthetic_with_len() {
+        let mut b = IoBuffer::synthetic(6);
+        b.copy_in(0, &IoBuffer::from_slice(&[1, 2, 3]));
+        assert_eq!(b, IoBuffer::synthetic(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn copy_in_out_of_range_panics() {
+        let mut b = IoBuffer::zeroed(4);
+        b.copy_in(3, &IoBuffer::from_slice(&[1, 2]));
+    }
+
+    #[test]
+    fn builder_all_real_yields_real_concat() {
+        let mut bb = BufferBuilder::new();
+        bb.push(&IoBuffer::from_slice(&[1, 2]));
+        bb.push_bytes(&[3]);
+        bb.push(&IoBuffer::from_slice(&[4, 5]));
+        let out = bb.finish();
+        assert_eq!(out.as_slice().unwrap(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn builder_degrades_on_synthetic_piece() {
+        let mut bb = BufferBuilder::new();
+        bb.push(&IoBuffer::from_slice(&[1, 2]));
+        bb.push(&IoBuffer::synthetic(10));
+        bb.push_bytes(&[3]);
+        let out = bb.finish();
+        assert_eq!(out, IoBuffer::synthetic(13));
+    }
+
+    #[test]
+    fn builder_empty_is_empty_real() {
+        let out = BufferBuilder::new().finish();
+        assert!(out.is_real());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn synthetic_into_bytes_zero_fills() {
+        assert_eq!(IoBuffer::synthetic(3).into_bytes(), vec![0, 0, 0]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Per-rank handle to the virtual cluster.
+
+use crate::buffer::IoBuffer;
+use crate::clock::Clock;
+use crate::mailbox::{Mailbox, Packet};
+use crate::nic::Nic;
+use crate::model::{MachineModel, NetworkModel};
+use crate::rendezvous::{PoisonFlag, Rendezvous};
+use crate::time::SimTime;
+use crate::topology::Topology;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A rank's handle: identity, virtual clock, raw messaging, and access to
+/// the shared cost models. One `Endpoint` is passed to each rank closure by
+/// [`crate::run_cluster`]; it is not `Sync` and must stay on its thread.
+pub struct Endpoint {
+    rank: usize,
+    clock: Clock,
+    mailboxes: Arc<Vec<Mailbox>>,
+    nics: Arc<Vec<Nic>>,
+    topology: Arc<Topology>,
+    net: Arc<NetworkModel>,
+    machine: Arc<MachineModel>,
+    poison: Arc<PoisonFlag>,
+    world_rdv: Arc<Rendezvous>,
+    ctx_counter: Arc<AtomicU32>,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("rank", &self.rank)
+            .field("size", &self.size())
+            .field("now", &self.clock.now())
+            .finish()
+    }
+}
+
+impl Endpoint {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        rank: usize,
+        mailboxes: Arc<Vec<Mailbox>>,
+        nics: Arc<Vec<Nic>>,
+        topology: Arc<Topology>,
+        net: Arc<NetworkModel>,
+        machine: Arc<MachineModel>,
+        poison: Arc<PoisonFlag>,
+        world_rdv: Arc<Rendezvous>,
+        ctx_counter: Arc<AtomicU32>,
+    ) -> Self {
+        Endpoint {
+            rank,
+            clock: Clock::new(),
+            mailboxes,
+            nics,
+            topology,
+            net,
+            machine,
+            poison,
+            world_rdv,
+            ctx_counter,
+        }
+    }
+
+    /// This rank's global id.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total ranks in the cluster.
+    pub fn size(&self) -> usize {
+        self.mailboxes.len()
+    }
+
+    /// The node hosting this rank.
+    pub fn node(&self) -> usize {
+        self.topology.node_of(self.rank)
+    }
+
+    /// Cluster topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Network cost model.
+    pub fn net(&self) -> &NetworkModel {
+        &self.net
+    }
+
+    /// Machine cost model.
+    pub fn machine(&self) -> &MachineModel {
+        &self.machine
+    }
+
+    /// This rank's virtual clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Current virtual time, shorthand for `clock().now()`.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Charge local computation time.
+    pub fn compute(&self, dt: SimTime) {
+        self.clock.advance(dt);
+    }
+
+    /// Charge a local memory copy of `n` bytes.
+    pub fn charge_memcpy(&self, n: usize) {
+        self.clock.advance(self.machine.memcpy_time(n));
+    }
+
+    /// The cluster-wide poison flag (for building further blocking
+    /// primitives that must not deadlock on peer failure).
+    pub fn poison(&self) -> Arc<PoisonFlag> {
+        Arc::clone(&self.poison)
+    }
+
+    /// The rendezvous shared by all ranks, used by the MPI layer as the
+    /// world communicator's collective meeting point.
+    pub fn world_rendezvous(&self) -> Arc<Rendezvous> {
+        Arc::clone(&self.world_rdv)
+    }
+
+    /// Allocate a fresh communicator context id. Uniqueness is global;
+    /// agreement within a group is achieved by allocating inside a
+    /// rendezvous combiner (run once per group).
+    pub fn alloc_context_id(&self) -> u32 {
+        self.ctx_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The shared context-id allocator. Communicator-creating collectives
+    /// capture this (it is `Send + Sync`) so the rendezvous combiner —
+    /// which runs on whichever rank arrives last — can allocate ids for
+    /// the new groups it constructs.
+    pub fn ctx_allocator(&self) -> Arc<AtomicU32> {
+        Arc::clone(&self.ctx_counter)
+    }
+
+    /// Post a message to `dst`. Charges the sender-side overhead and
+    /// stamps the packet with the post-charge clock; the payload becomes
+    /// visible to the receiver immediately (eager protocol — buffering is
+    /// unbounded, as on Catamount where Portals delivers to user space).
+    pub fn send(&self, dst: usize, ctx: u32, tag: i32, payload: IoBuffer) {
+        assert!(dst < self.size(), "send to invalid rank {dst}");
+        self.clock.advance(self.net.send_overhead(payload.len()));
+        if self.net.nic_serialize {
+            let done =
+                self.nics[self.node()].inject(self.now(), payload.len(), self.net.byte_time);
+            self.clock.advance_to(done);
+        }
+        let pkt = Packet {
+            src: self.rank,
+            ctx,
+            tag,
+            payload,
+            sent_clock: self.clock.now(),
+        };
+        self.mailboxes[dst].deliver(pkt);
+    }
+
+    /// Blocking receive from `src`. Advances this rank's clock to
+    /// `max(now, sent + L + n·G) + o` and returns the payload.
+    pub fn recv(&self, src: usize, ctx: u32, tag: i32) -> IoBuffer {
+        let (payload, arrival) = self.recv_raw(src, ctx, tag);
+        self.clock.advance_to(arrival);
+        self.clock.advance(self.net.recv_overhead(payload.len()));
+        payload
+    }
+
+    /// Receive without advancing the clock: returns the payload and the
+    /// virtual instant at which the data is available at this rank.
+    /// Used to implement `waitall` over multiple posted receives, where
+    /// the clock must advance to the *maximum* arrival, not the sum.
+    pub fn recv_raw(&self, src: usize, ctx: u32, tag: i32) -> (IoBuffer, SimTime) {
+        assert!(src < self.size(), "recv from invalid rank {src}");
+        let pkt = self.mailboxes[self.rank].recv(src, ctx, tag);
+        let arrival = pkt.sent_clock + self.net.transfer_time(pkt.payload.len());
+        (pkt.payload, arrival)
+    }
+
+    /// Non-blocking receive attempt; on success behaves like [`recv`].
+    ///
+    /// [`recv`]: Endpoint::recv
+    pub fn try_recv(&self, src: usize, ctx: u32, tag: i32) -> Option<IoBuffer> {
+        let pkt = self.mailboxes[self.rank].try_recv(src, ctx, tag)?;
+        let arrival = pkt.sent_clock + self.net.transfer_time(pkt.payload.len());
+        self.clock.advance_to(arrival);
+        self.clock.advance(self.net.recv_overhead(pkt.payload.len()));
+        Some(pkt.payload)
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for the substrate.
+
+use std::fmt;
+
+/// Errors surfaced by the simnet substrate.
+///
+/// Protocol-level misuse (out-of-range buffer arithmetic, mismatched
+/// collective participation) is treated as a bug and panics; `SimError`
+/// covers conditions a correct program can still encounter, such as a peer
+/// thread dying and leaving a receive permanently unmatched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A receive can never complete because the cluster is shutting down
+    /// (some rank panicked or exited early).
+    Disconnected {
+        /// Rank that was waiting.
+        rank: usize,
+        /// (source, context, tag) triple being waited for.
+        waiting_for: (usize, u32, i32),
+    },
+    /// An invalid rank was named as a message peer.
+    InvalidRank {
+        /// The offending rank number.
+        rank: usize,
+        /// Size of the cluster.
+        size: usize,
+    },
+    /// Configuration rejected (e.g. zero ranks, zero nodes).
+    BadConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Disconnected { rank, waiting_for } => write!(
+                f,
+                "rank {rank} disconnected while waiting for message from rank {} (ctx {}, tag {})",
+                waiting_for.0, waiting_for.1, waiting_for.2
+            ),
+            SimError::InvalidRank { rank, size } => {
+                write!(f, "invalid rank {rank} in a cluster of {size}")
+            }
+            SimError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience result alias.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::Disconnected {
+            rank: 3,
+            waiting_for: (1, 7, 42),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 3"));
+        assert!(s.contains("rank 1"));
+        assert!(s.contains("tag 42"));
+
+        let e = SimError::InvalidRank { rank: 9, size: 4 };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4"));
+
+        let e = SimError::BadConfig("zero ranks".into());
+        assert!(e.to_string().contains("zero ranks"));
+    }
+}

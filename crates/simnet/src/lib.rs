@@ -1,0 +1,62 @@
+//! # simnet — virtual-time cluster substrate
+//!
+//! This crate provides the execution substrate on which the ParColl
+//! reproduction runs. The paper's platform is Jaguar, a Cray XT with the
+//! Catamount lightweight kernel, a SeaStar interconnect and a Lustre file
+//! system. None of that hardware is available here, so we substitute a
+//! *virtual-time* cluster:
+//!
+//! * Every MPI rank is a real OS thread that really exchanges bytes, so all
+//!   protocol logic (two-phase collective I/O, ParColl partitioning) is
+//!   executed faithfully and its data-path correctness is testable.
+//! * *Time* is virtual. Each rank owns a [`Clock`] advanced by an analytic
+//!   cost model ([`NetworkModel`], plus the Lustre model in the `simfs`
+//!   crate). Synchronizing operations (collectives, message receives) make
+//!   ranks wait for each other in virtual time exactly the way MPI
+//!   operations do in wall time, which is the phenomenon the paper studies
+//!   (the "collective wall").
+//!
+//! The design goal is **determinism**: for a fixed configuration, virtual
+//! timestamps are a pure function of the program, independent of host
+//! scheduling, as long as message matching is deterministic (no wildcard
+//! receives — the MPI-IO protocols in this repository never use them).
+//!
+//! The crate deliberately knows nothing about MPI or files; it provides
+//! four primitives that the higher layers compose:
+//!
+//! 1. [`Endpoint`] — a rank's handle: clock, compute/copy charging, raw
+//!    point-to-point `send`/`recv` with `(context, tag)` matching.
+//! 2. [`Rendezvous`] — a deterministic N-party meeting point used to build
+//!    collective operations: all parties deposit a value, the last arrival
+//!    runs a combiner once, everyone observes the same result and the same
+//!    completion clock.
+//! 3. [`Topology`] — node layout and block/cyclic rank-to-node mapping
+//!    (the Cray XT placement schemes from Figure 5 of the paper).
+//! 4. [`run_cluster`] — spawns `n` ranks as threads and joins their
+//!    results.
+
+#![warn(missing_docs)]
+
+pub mod buffer;
+pub mod clock;
+pub mod endpoint;
+pub mod error;
+pub mod mailbox;
+pub mod model;
+pub mod nic;
+pub mod noise;
+pub mod rendezvous;
+pub mod runtime;
+pub mod time;
+pub mod topology;
+
+pub use buffer::IoBuffer;
+pub use clock::Clock;
+pub use endpoint::Endpoint;
+pub use error::{SimError, SimResult};
+pub use model::{CollectiveAlg, MachineModel, NetworkModel};
+pub use noise::SplitMix64;
+pub use rendezvous::Rendezvous;
+pub use runtime::{run_cluster, ClusterConfig};
+pub use time::SimTime;
+pub use topology::{Mapping, Topology};

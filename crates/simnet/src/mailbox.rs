@@ -1,0 +1,189 @@
+//! Point-to-point message store.
+//!
+//! Every rank owns one [`Mailbox`]; senders deposit packets keyed by
+//! `(source, context, tag)` and receivers block until a matching packet is
+//! present. Matching is always fully qualified — there are no wildcard
+//! sources or tags — which keeps virtual timestamps deterministic: packets
+//! with equal keys are consumed in FIFO order, and MPI's non-overtaking
+//! rule holds per key.
+//!
+//! The `context` field plays the role of an MPI communicator context id,
+//! isolating traffic of different communicators that may use equal tags.
+
+use crate::buffer::IoBuffer;
+use crate::rendezvous::PoisonFlag;
+use crate::time::SimTime;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A message in flight.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Sending rank (global).
+    pub src: usize,
+    /// Communicator context id.
+    pub ctx: u32,
+    /// User tag.
+    pub tag: i32,
+    /// Payload.
+    pub payload: IoBuffer,
+    /// Sender's virtual clock at the instant the send was posted.
+    pub sent_clock: SimTime,
+}
+
+type Key = (usize, u32, i32);
+
+/// One rank's incoming-message store.
+pub struct Mailbox {
+    queues: Mutex<HashMap<Key, VecDeque<Packet>>>,
+    cv: Condvar,
+    poison: Arc<PoisonFlag>,
+}
+
+impl std::fmt::Debug for Mailbox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mailbox").finish_non_exhaustive()
+    }
+}
+
+const POISON_POLL: Duration = Duration::from_millis(50);
+
+impl Mailbox {
+    /// New empty mailbox sharing the cluster poison flag.
+    pub fn new(poison: Arc<PoisonFlag>) -> Self {
+        Mailbox {
+            queues: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+            poison,
+        }
+    }
+
+    /// Deposit a packet (called by the sender's thread).
+    pub fn deliver(&self, pkt: Packet) {
+        let key = (pkt.src, pkt.ctx, pkt.tag);
+        self.queues.lock().entry(key).or_default().push_back(pkt);
+        self.cv.notify_all();
+    }
+
+    /// Receive the next packet matching `(src, ctx, tag)`, blocking until
+    /// one arrives. Panics if the cluster is poisoned while waiting.
+    pub fn recv(&self, src: usize, ctx: u32, tag: i32) -> Packet {
+        let key = (src, ctx, tag);
+        let mut q = self.queues.lock();
+        loop {
+            if let Some(dq) = q.get_mut(&key) {
+                if let Some(pkt) = dq.pop_front() {
+                    if dq.is_empty() {
+                        q.remove(&key);
+                    }
+                    return pkt;
+                }
+            }
+            self.poison.check();
+            self.cv.wait_for(&mut q, POISON_POLL);
+            self.poison.check();
+        }
+    }
+
+    /// Non-blocking probe: take a matching packet if present.
+    pub fn try_recv(&self, src: usize, ctx: u32, tag: i32) -> Option<Packet> {
+        let key = (src, ctx, tag);
+        let mut q = self.queues.lock();
+        let dq = q.get_mut(&key)?;
+        let pkt = dq.pop_front();
+        if dq.is_empty() {
+            q.remove(&key);
+        }
+        pkt
+    }
+
+    /// Number of packets currently queued (all keys). Diagnostic only.
+    pub fn backlog(&self) -> usize {
+        self.queues.lock().values().map(|d| d.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn mbox() -> Arc<Mailbox> {
+        Arc::new(Mailbox::new(Arc::new(PoisonFlag::default())))
+    }
+
+    fn pkt(src: usize, ctx: u32, tag: i32, bytes: &[u8]) -> Packet {
+        Packet {
+            src,
+            ctx,
+            tag,
+            payload: IoBuffer::from_slice(bytes),
+            sent_clock: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn fifo_per_key() {
+        let m = mbox();
+        m.deliver(pkt(1, 0, 5, &[1]));
+        m.deliver(pkt(1, 0, 5, &[2]));
+        m.deliver(pkt(1, 0, 5, &[3]));
+        assert_eq!(m.recv(1, 0, 5).payload.as_slice().unwrap(), &[1]);
+        assert_eq!(m.recv(1, 0, 5).payload.as_slice().unwrap(), &[2]);
+        assert_eq!(m.recv(1, 0, 5).payload.as_slice().unwrap(), &[3]);
+    }
+
+    #[test]
+    fn keys_are_isolated() {
+        let m = mbox();
+        m.deliver(pkt(1, 0, 5, &[10]));
+        m.deliver(pkt(2, 0, 5, &[20]));
+        m.deliver(pkt(1, 1, 5, &[30])); // different context
+        m.deliver(pkt(1, 0, 6, &[40])); // different tag
+        assert_eq!(m.recv(1, 0, 6).payload.as_slice().unwrap(), &[40]);
+        assert_eq!(m.recv(1, 1, 5).payload.as_slice().unwrap(), &[30]);
+        assert_eq!(m.recv(2, 0, 5).payload.as_slice().unwrap(), &[20]);
+        assert_eq!(m.recv(1, 0, 5).payload.as_slice().unwrap(), &[10]);
+        assert_eq!(m.backlog(), 0);
+    }
+
+    #[test]
+    fn try_recv_does_not_block() {
+        let m = mbox();
+        assert!(m.try_recv(1, 0, 0).is_none());
+        m.deliver(pkt(1, 0, 0, &[7]));
+        assert!(m.try_recv(1, 0, 0).is_some());
+        assert!(m.try_recv(1, 0, 0).is_none());
+    }
+
+    #[test]
+    fn recv_blocks_until_delivery() {
+        let m = mbox();
+        let m2 = Arc::clone(&m);
+        let h = thread::spawn(move || m2.recv(3, 2, 1));
+        thread::sleep(Duration::from_millis(10));
+        m.deliver(pkt(3, 2, 1, &[9]));
+        let got = h.join().unwrap();
+        assert_eq!(got.payload.as_slice().unwrap(), &[9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned")]
+    fn poisoned_recv_panics_instead_of_hanging() {
+        let poison = Arc::new(PoisonFlag::default());
+        let m = Mailbox::new(Arc::clone(&poison));
+        poison.poison();
+        let _ = m.recv(0, 0, 0);
+    }
+
+    #[test]
+    fn backlog_counts_all_keys() {
+        let m = mbox();
+        m.deliver(pkt(0, 0, 0, &[1]));
+        m.deliver(pkt(1, 0, 0, &[2]));
+        m.deliver(pkt(1, 0, 1, &[3]));
+        assert_eq!(m.backlog(), 3);
+    }
+}

@@ -1,0 +1,58 @@
+//! Per-node network interface: a serial injection port.
+//!
+//! Both cores of a Cray XT PE share one SeaStar; when two co-located
+//! ranks send simultaneously, their messages serialize at the injection
+//! port. The effect is placement-dependent: block mapping puts
+//! communication partners on the same NIC more often than cyclic mapping
+//! does. Disabled by default (see `NetworkModel::nic_serialize`).
+
+use crate::time::SimTime;
+use parking_lot::Mutex;
+
+/// One node's injection port.
+#[derive(Debug, Default)]
+pub struct Nic {
+    tx_free: Mutex<SimTime>,
+}
+
+impl Nic {
+    /// New idle port.
+    pub fn new() -> Self {
+        Nic::default()
+    }
+
+    /// Inject `bytes` starting no earlier than `now`; returns the instant
+    /// injection completes (the message is on the wire).
+    pub fn inject(&self, now: SimTime, bytes: usize, byte_time: f64) -> SimTime {
+        let mut free = self.tx_free.lock();
+        let start = free.max(now);
+        let done = start + SimTime::secs(bytes as f64 * byte_time);
+        *free = done;
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_injections_serialize() {
+        let nic = Nic::new();
+        let g = 1e-9; // 1 GB/s
+        let d1 = nic.inject(SimTime::ZERO, 1_000_000, g);
+        let d2 = nic.inject(SimTime::ZERO, 1_000_000, g);
+        assert!((d1.as_millis() - 1.0).abs() < 1e-9);
+        assert!((d2.as_millis() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_gaps_are_not_charged() {
+        let nic = Nic::new();
+        let g = 1e-9;
+        let d1 = nic.inject(SimTime::ZERO, 1000, g);
+        let late = d1 + SimTime::secs(1.0);
+        let d2 = nic.inject(late, 1000, g);
+        assert!((d2 - late).as_micros() - 1.0 < 1e-9);
+    }
+}

@@ -1,0 +1,305 @@
+//! Deterministic N-party meeting point.
+//!
+//! All collective operations in the `simmpi` layer are built on one
+//! primitive: every participant deposits a value and its current virtual
+//! clock; the **last** arrival runs a combiner exactly once over the inputs
+//! (ordered by participant index) and the maximum clock; every participant
+//! then observes the same result and the same completion timestamp.
+//!
+//! This yields virtual-time semantics that match how a blocking MPI
+//! collective behaves — nobody leaves before the operation completes, and
+//! the completion time is `max(entry clocks) + model cost` — while keeping
+//! the outcome fully deterministic regardless of host thread scheduling.
+//!
+//! The meeting point is reusable (generation-counted), so one `Rendezvous`
+//! serves every collective ever executed on a communicator.
+
+use crate::time::SimTime;
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared flag that aborts all blocked substrate waits when any rank
+/// panics, so a failing test reports the panic instead of deadlocking.
+#[derive(Debug, Default)]
+pub struct PoisonFlag(AtomicBool);
+
+impl PoisonFlag {
+    /// Mark the cluster as poisoned.
+    pub fn poison(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// True once poisoned.
+    pub fn is_poisoned(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    /// Panic (propagating the failure) if poisoned.
+    pub fn check(&self) {
+        if self.is_poisoned() {
+            panic!("simnet cluster poisoned: another rank panicked");
+        }
+    }
+}
+
+type BoxedInput = Box<dyn Any + Send>;
+type SharedResult = Arc<dyn Any + Send + Sync>;
+
+#[derive(Default)]
+struct State {
+    generation: u64,
+    arrived: usize,
+    inputs: Vec<Option<BoxedInput>>,
+    clocks: Vec<SimTime>,
+    result: Option<(SharedResult, SimTime)>,
+    draining: usize,
+}
+
+/// A reusable meeting point for a fixed set of `n` participants.
+pub struct Rendezvous {
+    n: usize,
+    state: Mutex<State>,
+    cv: Condvar,
+    poison: Arc<PoisonFlag>,
+}
+
+impl std::fmt::Debug for Rendezvous {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rendezvous").field("n", &self.n).finish()
+    }
+}
+
+/// How long a blocked participant sleeps between poison checks. Purely a
+/// liveness knob for failure cases; correct runs are woken by notify.
+const POISON_POLL: Duration = Duration::from_millis(50);
+
+impl Rendezvous {
+    /// Create a meeting point for `n` participants sharing `poison`.
+    pub fn new(n: usize, poison: Arc<PoisonFlag>) -> Self {
+        assert!(n > 0, "rendezvous needs at least one participant");
+        Rendezvous {
+            n,
+            state: Mutex::new(State {
+                inputs: (0..n).map(|_| None).collect(),
+                clocks: vec![SimTime::ZERO; n],
+                ..State::default()
+            }),
+            cv: Condvar::new(),
+            poison,
+        }
+    }
+
+    /// Number of participants.
+    pub fn parties(&self) -> usize {
+        self.n
+    }
+
+    /// Participate in the current collective.
+    ///
+    /// * `idx` — this participant's index in `0..n`. Each index must be
+    ///   presented exactly once per generation (guaranteed when every rank
+    ///   executes the same collective sequence, as MPI requires).
+    /// * `now` — the participant's virtual clock at entry.
+    /// * `input` — this participant's contribution.
+    /// * `combine` — run once by the last arrival; receives all inputs
+    ///   (indexed by participant) and the latest entry clock, returns the
+    ///   shared result and the common completion timestamp.
+    ///
+    /// Returns the shared result and the completion timestamp; the caller
+    /// is responsible for advancing its clock to the timestamp.
+    pub fn meet<T, R, F>(&self, idx: usize, now: SimTime, input: T, combine: F) -> (Arc<R>, SimTime)
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+        F: FnOnce(Vec<T>, SimTime) -> (R, SimTime),
+    {
+        assert!(idx < self.n, "participant {idx} out of {}", self.n);
+        let mut st = self.state.lock();
+
+        // Wait for the previous generation to fully drain before joining.
+        while st.result.is_some() {
+            self.poisonable_wait(&mut st);
+        }
+
+        let gen = st.generation;
+        assert!(
+            st.inputs[idx].is_none(),
+            "participant {idx} arrived twice in one collective"
+        );
+        st.inputs[idx] = Some(Box::new(input));
+        st.clocks[idx] = now;
+        st.arrived += 1;
+
+        if st.arrived == self.n {
+            let inputs: Vec<T> = st
+                .inputs
+                .iter_mut()
+                .map(|slot| {
+                    *slot
+                        .take()
+                        .expect("all inputs present at full arrival")
+                        .downcast::<T>()
+                        .expect("all participants use the same input type")
+                })
+                .collect();
+            let max_clock = st
+                .clocks
+                .iter()
+                .copied()
+                .fold(SimTime::ZERO, SimTime::max);
+            let (result, completion) = combine(inputs, max_clock);
+            debug_assert!(
+                completion >= max_clock,
+                "collective completion {completion:?} precedes last arrival {max_clock:?}"
+            );
+            st.result = Some((Arc::new(result), completion));
+            st.draining = self.n;
+            self.cv.notify_all();
+        } else {
+            while st.generation == gen && st.result.is_none() {
+                self.poisonable_wait(&mut st);
+            }
+        }
+
+        let (shared, completion) = st
+            .result
+            .clone()
+            .expect("result present when a participant is released");
+        st.draining -= 1;
+        if st.draining == 0 {
+            st.result = None;
+            st.arrived = 0;
+            st.generation += 1;
+            self.cv.notify_all();
+        }
+        drop(st);
+
+        let typed = shared
+            .downcast::<R>()
+            .expect("all participants use the same result type");
+        (typed, completion)
+    }
+
+    fn poisonable_wait(&self, st: &mut parking_lot::MutexGuard<'_, State>) {
+        self.poison.check();
+        self.cv.wait_for(st, POISON_POLL);
+        self.poison.check();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn rdv(n: usize) -> Arc<Rendezvous> {
+        Arc::new(Rendezvous::new(n, Arc::new(PoisonFlag::default())))
+    }
+
+    #[test]
+    fn all_participants_see_same_result_and_completion() {
+        let r = rdv(4);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let r = Arc::clone(&r);
+                thread::spawn(move || {
+                    r.meet(i, SimTime::secs(i as f64), i as u64, |inputs, max| {
+                        (inputs.iter().sum::<u64>(), max + SimTime::secs(1.0))
+                    })
+                })
+            })
+            .collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (sum, done) in &results {
+            assert_eq!(**sum, 1 + 2 + 3);
+            // max entry clock is 3s, +1s cost
+            assert!((done.as_secs() - 4.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn inputs_are_ordered_by_participant_index() {
+        let r = rdv(3);
+        let handles: Vec<_> = (0..3)
+            .rev() // arrive in reverse order on purpose
+            .map(|i| {
+                let r = Arc::clone(&r);
+                thread::spawn(move || {
+                    let (v, _) = r.meet(i, SimTime::ZERO, format!("p{i}"), |inputs, max| {
+                        (inputs.clone(), max)
+                    });
+                    v
+                })
+            })
+            .collect();
+        for h in handles {
+            let v = h.join().unwrap();
+            assert_eq!(*v, vec!["p0".to_string(), "p1".into(), "p2".into()]);
+        }
+    }
+
+    #[test]
+    fn reusable_across_generations() {
+        let r = rdv(2);
+        let mk = |i: usize, r: &Arc<Rendezvous>| {
+            let r = Arc::clone(r);
+            thread::spawn(move || {
+                let mut outs = Vec::new();
+                for round in 0..50u64 {
+                    let (sum, _) =
+                        r.meet(i, SimTime::ZERO, round + i as u64, |ins, max| {
+                            (ins.iter().sum::<u64>(), max)
+                        });
+                    outs.push(*sum);
+                }
+                outs
+            })
+        };
+        let a = mk(0, &r);
+        let b = mk(1, &r);
+        let oa = a.join().unwrap();
+        let ob = b.join().unwrap();
+        for round in 0..50u64 {
+            assert_eq!(oa[round as usize], 2 * round + 1);
+            assert_eq!(ob[round as usize], 2 * round + 1);
+        }
+    }
+
+    #[test]
+    fn single_party_rendezvous_is_immediate() {
+        let r = rdv(1);
+        let (v, done) = r.meet(0, SimTime::secs(5.0), 42u32, |ins, max| {
+            (ins[0], max + SimTime::secs(0.5))
+        });
+        assert_eq!(*v, 42);
+        assert!((done.as_secs() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_uses_latest_clock() {
+        let r = rdv(2);
+        let r2 = Arc::clone(&r);
+        let h = thread::spawn(move || r2.meet(1, SimTime::secs(10.0), (), |_, max| ((), max)));
+        let (_, done0) = r.meet(0, SimTime::secs(1.0), (), |_, max| ((), max));
+        let (_, done1) = h.join().unwrap();
+        assert_eq!(done0, SimTime::secs(10.0));
+        assert_eq!(done1, SimTime::secs(10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "poisoned")]
+    fn poison_unblocks_waiters() {
+        let poison = Arc::new(PoisonFlag::default());
+        let r = Arc::new(Rendezvous::new(2, Arc::clone(&poison)));
+        let p = Arc::clone(&poison);
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            p.poison();
+        });
+        // Second participant never arrives; the poison must release us.
+        let _ = r.meet(0, SimTime::ZERO, (), |_, max| ((), max));
+    }
+}

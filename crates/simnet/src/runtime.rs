@@ -1,0 +1,295 @@
+//! Cluster runtime: spawn one thread per rank, join results.
+
+use crate::endpoint::Endpoint;
+use crate::mailbox::Mailbox;
+use crate::nic::Nic;
+use crate::model::{MachineModel, NetworkModel};
+use crate::rendezvous::{PoisonFlag, Rendezvous};
+use crate::topology::{Mapping, Topology};
+use std::sync::atomic::AtomicU32;
+use std::sync::Arc;
+use std::thread;
+
+/// Configuration for [`run_cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Node layout and rank placement.
+    pub topology: Topology,
+    /// Network cost model.
+    pub net: NetworkModel,
+    /// Local machine cost model.
+    pub machine: MachineModel,
+    /// Stack size per rank thread. The protocols here recurse shallowly,
+    /// and runs spawn up to 1024 threads, so the default is a modest 1 MiB.
+    pub stack_size: usize,
+}
+
+impl ClusterConfig {
+    /// A cluster of `n` ranks on dual-core nodes with the given mapping
+    /// and the Cray XT-calibrated cost models.
+    pub fn cray_xt(n: usize, mapping: Mapping) -> Self {
+        ClusterConfig {
+            topology: Topology::dual_core(n, mapping),
+            net: NetworkModel::cray_xt_seastar(),
+            machine: MachineModel::catamount(),
+            stack_size: 1 << 20,
+        }
+    }
+
+    /// An idealized, noise-free cluster for unit tests.
+    pub fn ideal(n: usize) -> Self {
+        ClusterConfig {
+            topology: Topology::dual_core(n, Mapping::Block),
+            net: NetworkModel::ideal(),
+            machine: MachineModel::ideal(),
+            stack_size: 1 << 20,
+        }
+    }
+}
+
+/// Run `f` once per rank on its own thread and collect the return values
+/// in rank order.
+///
+/// If any rank panics, the cluster is poisoned (unblocking every rank
+/// stuck in a receive or collective) and this function re-panics with the
+/// original rank's panic payload, so test failures surface rather than
+/// deadlock.
+///
+/// # Examples
+///
+/// ```
+/// use simnet::{run_cluster, ClusterConfig, IoBuffer};
+///
+/// // Four ranks pass a token around a ring.
+/// let out = run_cluster(ClusterConfig::ideal(4), |ep| {
+///     let next = (ep.rank() + 1) % ep.size();
+///     let prev = (ep.rank() + ep.size() - 1) % ep.size();
+///     ep.send(next, 0, 7, IoBuffer::from_slice(&[ep.rank() as u8]));
+///     ep.recv(prev, 0, 7).as_slice().unwrap()[0]
+/// });
+/// assert_eq!(out, vec![3, 0, 1, 2]);
+/// ```
+pub fn run_cluster<T, F>(cfg: ClusterConfig, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(Endpoint) -> T + Send + Sync + 'static,
+{
+    let n = cfg.topology.nranks();
+    let poison = Arc::new(PoisonFlag::default());
+    let mailboxes: Arc<Vec<Mailbox>> =
+        Arc::new((0..n).map(|_| Mailbox::new(Arc::clone(&poison))).collect());
+    let nics: Arc<Vec<Nic>> =
+        Arc::new((0..cfg.topology.nnodes()).map(|_| Nic::new()).collect());
+    let topology = Arc::new(cfg.topology);
+    let net = Arc::new(cfg.net);
+    let machine = Arc::new(cfg.machine);
+    let world_rdv = Arc::new(Rendezvous::new(n, Arc::clone(&poison)));
+    let ctx_counter = Arc::new(AtomicU32::new(1)); // 0 is reserved for world
+    let f = Arc::new(f);
+
+    /// Poisons the cluster if the owning thread unwinds.
+    struct PoisonOnPanic(Arc<PoisonFlag>);
+    impl Drop for PoisonOnPanic {
+        fn drop(&mut self) {
+            if thread::panicking() {
+                self.0.poison();
+            }
+        }
+    }
+
+    let handles: Vec<_> = (0..n)
+        .map(|rank| {
+            let ep = Endpoint::new(
+                rank,
+                Arc::clone(&mailboxes),
+                Arc::clone(&nics),
+                Arc::clone(&topology),
+                Arc::clone(&net),
+                Arc::clone(&machine),
+                Arc::clone(&poison),
+                Arc::clone(&world_rdv),
+                Arc::clone(&ctx_counter),
+            );
+            let f = Arc::clone(&f);
+            let guard_flag = Arc::clone(&poison);
+            thread::Builder::new()
+                .name(format!("rank-{rank}"))
+                .stack_size(cfg.stack_size)
+                .spawn(move || {
+                    let _guard = PoisonOnPanic(guard_flag);
+                    f(ep)
+                })
+                .expect("failed to spawn rank thread")
+        })
+        .collect();
+
+    let mut results = Vec::with_capacity(n);
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for h in handles {
+        match h.join() {
+            Ok(v) => results.push(v),
+            Err(payload) => {
+                // Prefer the originating panic over secondary "cluster
+                // poisoned" panics raised by ranks that were unblocked.
+                fn is_echo(p: &(dyn std::any::Any + Send)) -> bool {
+                    p.downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| p.downcast_ref::<&str>().copied())
+                        .is_some_and(|s| s.contains("cluster poisoned"))
+                }
+                let replace = match &first_panic {
+                    None => true,
+                    Some(prev) => is_echo(prev.as_ref()) && !is_echo(payload.as_ref()),
+                };
+                if replace {
+                    first_panic = Some(payload);
+                }
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::IoBuffer;
+    use crate::time::SimTime;
+
+    #[test]
+    fn ranks_get_distinct_ids_in_order() {
+        let out = run_cluster(ClusterConfig::ideal(8), |ep| ep.rank());
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ring_pass_delivers_and_times_correctly() {
+        // Rank r sends r to r+1; everyone receives and checks the value.
+        let out = run_cluster(ClusterConfig::ideal(4), |ep| {
+            let n = ep.size();
+            let next = (ep.rank() + 1) % n;
+            let prev = (ep.rank() + n - 1) % n;
+            ep.send(next, 0, 1, IoBuffer::from_slice(&[ep.rank() as u8]));
+            let got = ep.recv(prev, 0, 1);
+            (got.as_slice().unwrap()[0] as usize, ep.now())
+        });
+        for (r, (val, t)) in out.iter().enumerate() {
+            assert_eq!(*val, (r + 4 - 1) % 4);
+            // Ideal net: 1us latency; clock must have advanced at least that.
+            assert!(t.as_micros() >= 1.0, "rank {r} clock {t}");
+        }
+    }
+
+    #[test]
+    fn virtual_times_are_deterministic_across_runs() {
+        let run = || {
+            run_cluster(ClusterConfig::cray_xt(16, Mapping::Block), |ep| {
+                // Everyone sends to rank 0 with distinct tags; rank 0 drains.
+                if ep.rank() == 0 {
+                    for src in 1..ep.size() {
+                        let _ = ep.recv(src, 0, src as i32);
+                    }
+                } else {
+                    ep.send(0, 0, ep.rank() as i32, IoBuffer::synthetic(1 << 16));
+                }
+                ep.now().as_secs()
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "virtual time must not depend on host scheduling");
+    }
+
+    #[test]
+    fn world_rendezvous_spans_all_ranks() {
+        let out = run_cluster(ClusterConfig::ideal(6), |ep| {
+            let rdv = ep.world_rendezvous();
+            let (sum, done) = rdv.meet(ep.rank(), ep.now(), ep.rank() as u64, |ins, max| {
+                (ins.iter().sum::<u64>(), max + SimTime::micros(5.0))
+            });
+            ep.clock().advance_to(done);
+            *sum
+        });
+        assert!(out.iter().all(|&s| s == 15));
+    }
+
+    #[test]
+    fn context_ids_are_unique() {
+        let out = run_cluster(ClusterConfig::ideal(4), |ep| ep.alloc_context_id());
+        let mut ids = out.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "duplicate context ids: {out:?}");
+        assert!(ids.iter().all(|&i| i >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 exploded")]
+    fn rank_panic_propagates_instead_of_deadlocking() {
+        run_cluster(ClusterConfig::ideal(4), |ep| {
+            if ep.rank() == 2 {
+                panic!("rank 2 exploded");
+            }
+            // Other ranks block on a message that will never come.
+            let _ = ep.recv((ep.rank() + 1) % 4, 0, 99);
+        });
+    }
+
+    #[test]
+    fn large_cluster_spawns() {
+        // Smoke test that 512 threads with 1MiB stacks are fine.
+        let out = run_cluster(ClusterConfig::ideal(512), |ep| {
+            let rdv = ep.world_rendezvous();
+            let (_, done) = rdv.meet(ep.rank(), ep.now(), (), |_, max| ((), max));
+            ep.clock().advance_to(done);
+            ep.rank()
+        });
+        assert_eq!(out.len(), 512);
+    }
+
+    #[test]
+    fn nic_serialization_slows_colocated_senders() {
+        // Two ranks on one node each send 1 MB to ranks on another node;
+        // with the shared NIC their injections serialize.
+        let elapsed = |nic: bool| {
+            let mut cfg = ClusterConfig::ideal(4); // block: node0={0,1}
+            cfg.net.nic_serialize = nic;
+            let out = run_cluster(cfg, |ep| {
+                if ep.rank() < 2 {
+                    ep.send(ep.rank() + 2, 0, 1, IoBuffer::synthetic(1 << 20));
+                } else {
+                    let _ = ep.recv(ep.rank() - 2, 0, 1);
+                }
+                ep.now().as_secs()
+            });
+            out[2].max(out[3])
+        };
+        let shared_nothing = elapsed(false);
+        let shared_nic = elapsed(true);
+        assert!(
+            shared_nic > shared_nothing + 0.8e-3,
+            "shared NIC must add ~1ms of serialization: {shared_nothing} vs {shared_nic}"
+        );
+    }
+
+    #[test]
+    fn try_recv_returns_none_then_some() {
+        run_cluster(ClusterConfig::ideal(2), |ep| {
+            if ep.rank() == 0 {
+                // Nothing sent yet with tag 7 from rank 1 -> None (racy in
+                // wall time, so only assert the Some case after a blocking
+                // recv of a fence message).
+                ep.send(1, 0, 1, IoBuffer::empty());
+                let _ = ep.recv(1, 0, 2); // fence: rank 1 has sent tag 7
+                assert!(ep.try_recv(1, 0, 7).is_some());
+            } else {
+                let _ = ep.recv(0, 0, 1);
+                ep.send(0, 0, 7, IoBuffer::from_slice(&[1]));
+                ep.send(0, 0, 2, IoBuffer::empty());
+            }
+        });
+    }
+}

@@ -1,0 +1,218 @@
+//! Virtual time representation.
+//!
+//! Virtual time is kept as `f64` seconds. An `f64` has 52 mantissa bits;
+//! at the second-to-hour magnitudes this simulation produces, the absolute
+//! resolution is far below a nanosecond, which is ample for a model whose
+//! smallest constant is ~1 µs.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, in seconds.
+///
+/// `SimTime` is a thin newtype over `f64` so that time values cannot be
+/// accidentally mixed with byte counts or bandwidths in the cost-model
+/// arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime(pub f64);
+
+impl SimTime {
+    /// The zero instant / zero duration.
+    pub const ZERO: SimTime = SimTime(0.0);
+
+    /// Construct from seconds.
+    #[inline]
+    pub fn secs(s: f64) -> Self {
+        SimTime(s)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub fn micros(us: f64) -> Self {
+        SimTime(us * 1e-6)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn millis(ms: f64) -> Self {
+        SimTime(ms * 1e-3)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub fn nanos(ns: f64) -> Self {
+        SimTime(ns * 1e-9)
+    }
+
+    /// The value in seconds.
+    #[inline]
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The value in microseconds.
+    #[inline]
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// The value in milliseconds.
+    #[inline]
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// The later of two instants.
+    #[inline]
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[inline]
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+
+    /// True if this is a finite, non-negative time value.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self.0.is_finite() && self.0 >= 0.0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimTime {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimTime) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn mul(self, rhs: f64) -> SimTime {
+        SimTime(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn div(self, rhs: f64) -> SimTime {
+        SimTime(self.0 / rhs)
+    }
+}
+
+impl Sum for SimTime {
+    fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
+        SimTime(iter.map(|t| t.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        if s >= 1.0 {
+            write!(f, "{s:.3}s")
+        } else if s >= 1e-3 {
+            write!(f, "{:.3}ms", s * 1e3)
+        } else if s >= 1e-6 {
+            write!(f, "{:.3}us", s * 1e6)
+        } else {
+            write!(f, "{:.1}ns", s * 1e9)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        let t = SimTime::micros(1500.0);
+        assert!((t.as_millis() - 1.5).abs() < 1e-12);
+        assert!((t.as_secs() - 0.0015).abs() < 1e-15);
+        assert!((SimTime::millis(2.0).as_micros() - 2000.0).abs() < 1e-9);
+        assert!((SimTime::nanos(500.0).as_secs() - 5e-7).abs() < 1e-18);
+    }
+
+    #[test]
+    fn arithmetic_behaves_like_f64_seconds() {
+        let a = SimTime::secs(1.0);
+        let b = SimTime::millis(250.0);
+        assert!(((a + b).as_secs() - 1.25).abs() < 1e-12);
+        assert!(((a - b).as_secs() - 0.75).abs() < 1e-12);
+        assert!(((b * 4.0).as_secs() - 1.0).abs() < 1e-12);
+        assert!(((a / 4.0).as_millis() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_min_pick_correct_instant() {
+        let a = SimTime::secs(1.0);
+        let b = SimTime::secs(2.0);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: SimTime = (0..10).map(|i| SimTime::secs(i as f64)).sum();
+        assert!((total.as_secs() - 45.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(SimTime::ZERO.is_valid());
+        assert!(SimTime::secs(5.0).is_valid());
+        assert!(!SimTime::secs(-1.0).is_valid());
+        assert!(!SimTime::secs(f64::NAN).is_valid());
+        assert!(!SimTime::secs(f64::INFINITY).is_valid());
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", SimTime::secs(1.5)), "1.500s");
+        assert_eq!(format!("{}", SimTime::millis(2.25)), "2.250ms");
+        assert_eq!(format!("{}", SimTime::micros(7.5)), "7.500us");
+        assert_eq!(format!("{}", SimTime::nanos(12.0)), "12.0ns");
+    }
+
+    #[test]
+    fn add_assign_and_sub_assign() {
+        let mut t = SimTime::ZERO;
+        t += SimTime::secs(2.0);
+        t -= SimTime::millis(500.0);
+        assert!((t.as_secs() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(SimTime::default(), SimTime::ZERO);
+    }
+}

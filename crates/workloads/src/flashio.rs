@@ -1,0 +1,213 @@
+//! Flash-IO: the I/O kernel of the FLASH astrophysics code (paper §5.4).
+//!
+//! Flash writes three HDF5 files per checkpoint epoch: a double-precision
+//! checkpoint (the bulk of the I/O), a plotfile with cell-centered data
+//! and a plotfile with corner data. Each of the 24 checkpoint variables
+//! ("unknowns") is one dataset laid out `[global_blocks][nzb][nyb][nxb]`;
+//! a process's 80 blocks are contiguous within each dataset, so each
+//! collective write is one large serial segment per process — "the I/O
+//! requests in Flash I/O are of larger sizes, fewer segments", which is
+//! why the paper sees smaller (38.5%) but still solid gains here.
+//!
+//! With the paper's 32³ blocks this yields a 60.8 GB checkpoint at 128
+//! processes and 486 GB at 1024 (§5.4). HDF5 header/attribute traffic is
+//! not modeled; it is negligible against multi-GB datasets and identical
+//! across the compared configurations.
+
+use crate::Workload;
+use mpiio::Datatype;
+
+/// Flash-IO configuration (one of the three output files).
+#[derive(Debug, Clone)]
+pub struct FlashIo {
+    /// Number of processes.
+    pub nprocs: usize,
+    /// Blocks per process (FLASH default: 80).
+    pub blocks_per_proc: usize,
+    /// Block edge length in cells (the paper: 32).
+    pub nb: usize,
+    /// Variables, one dataset (collective write) each.
+    pub nvars: usize,
+    /// Bytes per cell value (checkpoint: 8; plotfiles: 4).
+    pub elem: u64,
+    /// Which output file this models.
+    pub kind: FlashFile,
+}
+
+/// The three Flash-IO output files.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashFile {
+    /// Double-precision checkpoint, 24 unknowns.
+    Checkpoint,
+    /// Single-precision plotfile, cell-centered, 4 variables.
+    PlotCentered,
+    /// Single-precision plotfile, corner data (nb+1 points per edge).
+    PlotCorner,
+}
+
+impl FlashIo {
+    /// The paper's checkpoint configuration.
+    pub fn checkpoint(nprocs: usize) -> Self {
+        FlashIo {
+            nprocs,
+            blocks_per_proc: 80,
+            nb: 32,
+            nvars: 24,
+            elem: 8,
+            kind: FlashFile::Checkpoint,
+        }
+    }
+
+    /// The cell-centered plotfile.
+    pub fn plot_centered(nprocs: usize) -> Self {
+        FlashIo {
+            nprocs,
+            blocks_per_proc: 80,
+            nb: 32,
+            nvars: 4,
+            elem: 4,
+            kind: FlashFile::PlotCentered,
+        }
+    }
+
+    /// The corner-data plotfile.
+    pub fn plot_corner(nprocs: usize) -> Self {
+        FlashIo {
+            nprocs,
+            blocks_per_proc: 80,
+            nb: 33, // corners: nb+1 points per edge
+            nvars: 4,
+            elem: 4,
+            kind: FlashFile::PlotCorner,
+        }
+    }
+
+    /// A miniature checkpoint for correctness tests.
+    pub fn tiny(nprocs: usize) -> Self {
+        FlashIo {
+            nprocs,
+            blocks_per_proc: 2,
+            nb: 4,
+            nvars: 3,
+            elem: 8,
+            kind: FlashFile::Checkpoint,
+        }
+    }
+
+    /// Bytes of one block of one variable.
+    pub fn block_bytes(&self) -> u64 {
+        (self.nb as u64).pow(3) * self.elem
+    }
+
+    /// Bytes each process writes per dataset.
+    pub fn rank_dataset_bytes(&self) -> u64 {
+        self.blocks_per_proc as u64 * self.block_bytes()
+    }
+
+    /// Bytes of one whole dataset.
+    pub fn dataset_bytes(&self) -> u64 {
+        self.nprocs as u64 * self.rank_dataset_bytes()
+    }
+}
+
+impl Workload for FlashIo {
+    fn name(&self) -> &'static str {
+        match self.kind {
+            FlashFile::Checkpoint => "flash-checkpoint",
+            FlashFile::PlotCentered => "flash-plot-centered",
+            FlashFile::PlotCorner => "flash-plot-corner",
+        }
+    }
+
+    fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn view(&self, _rank: usize) -> (u64, Datatype) {
+        // Contiguous byte-stream view; per-call offsets address the
+        // dataset-major layout directly.
+        (0, Datatype::contiguous_bytes(1))
+    }
+
+    fn ncalls(&self) -> usize {
+        self.nvars
+    }
+
+    fn call(&self, rank: usize, call: usize) -> (u64, u64) {
+        let mine = self.rank_dataset_bytes();
+        let off = call as u64 * self.dataset_bytes() + rank as u64 * mine;
+        (off, mine)
+    }
+
+    /// Without collective buffering, the HDF5 layer writes one hyperslab
+    /// per *block* — 80 separate quarter-MB requests per variable — which
+    /// is what makes the paper's "Cray w/o Coll" series collapse.
+    fn independent_pieces(&self, rank: usize, call: usize) -> Vec<(u64, u64)> {
+        let (base, _) = self.call(rank, call);
+        let bb = self.block_bytes();
+        (0..self.blocks_per_proc as u64)
+            .map(|b| (base + b * bb, bb))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_checkpoint_sizes() {
+        let w = FlashIo::checkpoint(128);
+        // 128 * 80 * 32^3 * 8 * 24 = 60 GiB ("60.8GB" in the paper's
+        // decimal units).
+        assert_eq!(w.total_bytes(), 64_424_509_440);
+        let w = FlashIo::checkpoint(1024);
+        assert_eq!(w.total_bytes(), 8 * 64_424_509_440); // ~486 GB decimal
+    }
+
+    #[test]
+    fn datasets_are_rank_serial() {
+        let w = FlashIo::tiny(4);
+        for v in 0..w.ncalls() {
+            let mut prev_end = v as u64 * w.dataset_bytes();
+            for r in 0..4 {
+                let (off, bytes) = w.call(r, v);
+                assert_eq!(off, prev_end, "rank {r} var {v} must abut");
+                prev_end = off + bytes;
+            }
+            assert_eq!(prev_end, (v as u64 + 1) * w.dataset_bytes());
+        }
+    }
+
+    #[test]
+    fn plotfiles_are_smaller_than_checkpoint() {
+        let cp = FlashIo::checkpoint(64);
+        let pc = FlashIo::plot_centered(64);
+        let cc = FlashIo::plot_corner(64);
+        assert!(pc.total_bytes() < cp.total_bytes());
+        assert!(cc.total_bytes() > pc.total_bytes()); // corners: 33^3 > 32^3
+        assert_eq!(pc.nvars, 4);
+    }
+
+    #[test]
+    fn independent_pieces_are_per_block() {
+        let w = FlashIo::tiny(4);
+        let pieces = w.independent_pieces(1, 2);
+        assert_eq!(pieces.len(), w.blocks_per_proc);
+        let (base, total) = w.call(1, 2);
+        assert_eq!(pieces[0].0, base);
+        assert_eq!(pieces.iter().map(|&(_, l)| l).sum::<u64>(), total);
+        // Contiguous tiling of the call range.
+        for w2 in pieces.windows(2) {
+            assert_eq!(w2[0].0 + w2[0].1, w2[1].0);
+        }
+    }
+
+    #[test]
+    fn per_rank_segments_are_large_and_few() {
+        // The paper's explanation for Flash's smaller ParColl gain.
+        let w = FlashIo::checkpoint(1024);
+        assert_eq!(w.ncalls(), 24);
+        assert_eq!(w.rank_dataset_bytes(), 80 * 32u64.pow(3) * 8); // 20 MiB
+    }
+}

@@ -1,0 +1,137 @@
+//! IOR: segmented contiguous access to a shared file (paper §5.1).
+//!
+//! "In our IOR experiments, all processes are collectively writing a
+//! contiguous buffer of 512MB, in units of 4MB, into a shared file."
+//! Rank `r` owns the block `[r·B, (r+1)·B)` and writes it in `B/t`
+//! transfers of `t` bytes — IOR's classic segmented mode. The paper runs
+//! it through collective I/O precisely because this access gains nothing
+//! from aggregation, isolating the protocol's synchronization overhead.
+
+use crate::Workload;
+use mpiio::Datatype;
+
+/// IOR configuration.
+#[derive(Debug, Clone)]
+pub struct Ior {
+    /// Number of processes.
+    pub nprocs: usize,
+    /// Bytes each process writes in total (the paper: 512 MB).
+    pub block_size: u64,
+    /// Bytes per collective call (the paper: 4 MB).
+    pub transfer_size: u64,
+    /// Issue only the first `n` transfers of each block (harness knob:
+    /// the per-call behaviour is steady-state, so bandwidth is unchanged
+    /// while host time shrinks). `None` writes the whole block.
+    pub max_calls: Option<usize>,
+}
+
+impl Ior {
+    /// The paper's configuration at a given process count.
+    pub fn paper(nprocs: usize) -> Self {
+        Ior {
+            nprocs,
+            block_size: 512 << 20,
+            transfer_size: 4 << 20,
+            max_calls: None,
+        }
+    }
+
+    /// A miniature configuration for correctness tests.
+    pub fn tiny(nprocs: usize) -> Self {
+        Ior {
+            nprocs,
+            block_size: 4096,
+            transfer_size: 1024,
+            max_calls: None,
+        }
+    }
+}
+
+impl Workload for Ior {
+    fn name(&self) -> &'static str {
+        "ior"
+    }
+
+    fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn view(&self, rank: usize) -> (u64, Datatype) {
+        // Contiguous byte-stream view at the rank's block.
+        (
+            rank as u64 * self.block_size,
+            Datatype::contiguous_bytes(self.transfer_size),
+        )
+    }
+
+    fn ncalls(&self) -> usize {
+        assert!(
+            self.block_size.is_multiple_of(self.transfer_size),
+            "block size must be a multiple of the transfer size"
+        );
+        let full = (self.block_size / self.transfer_size) as usize;
+        self.max_calls.map_or(full, |m| m.min(full))
+    }
+
+    fn call(&self, _rank: usize, call: usize) -> (u64, u64) {
+        (call as u64 * self.transfer_size, self.transfer_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpiio::AccessPlan;
+    use mpiio::FileView;
+
+    #[test]
+    fn paper_configuration() {
+        let w = Ior::paper(512);
+        assert_eq!(w.ncalls(), 128);
+        assert_eq!(w.total_bytes(), 512 * (512u64 << 20));
+    }
+
+    #[test]
+    fn blocks_are_disjoint_and_serial() {
+        let w = Ior::tiny(4);
+        let mut prev_end = 0;
+        for r in 0..4 {
+            let (disp, ft) = w.view(r);
+            let view = FileView::new(disp, &ft);
+            let (off, bytes) = w.call(r, 0);
+            let plan = AccessPlan::from_view(&view, off, bytes);
+            assert_eq!(plan.start().unwrap(), r as u64 * 4096);
+            assert!(plan.start().unwrap() >= prev_end);
+            prev_end = plan.end().unwrap();
+        }
+    }
+
+    #[test]
+    fn calls_advance_within_block() {
+        let w = Ior::tiny(2);
+        let (disp, ft) = w.view(1);
+        let view = FileView::new(disp, &ft);
+        for c in 0..w.ncalls() {
+            let (off, bytes) = w.call(1, c);
+            let plan = AccessPlan::from_view(&view, off, bytes);
+            assert_eq!(plan.start().unwrap(), 4096 + c as u64 * 1024);
+            assert_eq!(plan.total, bytes);
+        }
+    }
+
+    #[test]
+    fn total_bytes_sums_everything() {
+        let w = Ior::tiny(3);
+        assert_eq!(w.total_bytes(), 3 * 4096);
+    }
+
+    #[test]
+    fn max_calls_caps_transfers() {
+        let mut w = Ior::paper(4);
+        w.max_calls = Some(10);
+        assert_eq!(w.ncalls(), 10);
+        assert_eq!(w.total_bytes(), 4 * 10 * (4u64 << 20));
+        w.max_calls = Some(10_000);
+        assert_eq!(w.ncalls(), 128);
+    }
+}

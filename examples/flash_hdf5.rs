@@ -1,0 +1,89 @@
+//! Flash-IO through the hierarchical container, end to end: the paper's
+//! §5.4 pipeline (Flash → HDF5 → MPI-IO → ParColl → Lustre) with every
+//! layer from this repository. Writes a checkpoint of named variables as
+//! datasets with attributes, closes, reopens, and verifies.
+//!
+//! Run with: `cargo run --release --example flash_hdf5`
+
+use h5lite::{AttrValue, H5File};
+use simfs::{FileSystem, FsConfig};
+use simmpi::{Communicator, Info};
+use simnet::{run_cluster, ClusterConfig, IoBuffer, Mapping};
+
+const NPROCS: usize = 16;
+const BLOCKS_PER_PROC: u64 = 4;
+const NB: u64 = 8; // block edge (cells)
+const VARS: [&str; 4] = ["dens", "pres", "temp", "velx"];
+
+fn block_bytes() -> u64 {
+    NB * NB * NB * 8
+}
+
+fn fill(rank: usize, var: usize) -> Vec<u8> {
+    let n = (BLOCKS_PER_PROC * block_bytes()) as usize;
+    (0..n).map(|i| ((rank * 31 + var * 7 + i) % 251) as u8).collect()
+}
+
+fn main() {
+    let fs = FileSystem::new(FsConfig::tiny());
+    let fs2 = fs.clone();
+
+    let profile = run_cluster(ClusterConfig::cray_xt(NPROCS, Mapping::Block), move |ep| {
+        let comm = Communicator::world(&ep);
+        let rank = comm.rank();
+        let info = Info::new()
+            .with("parcoll_groups", 4)
+            .with("parcoll_min_group", 2);
+
+        // --- checkpoint write ---
+        {
+            let mut h5 = H5File::create(&comm, &fs2, "/flash_chk.h5", &info);
+            let gblocks = NPROCS as u64 * BLOCKS_PER_PROC;
+            for (v, name) in VARS.iter().enumerate() {
+                let ds = h5.create_dataset(name, &[gblocks, NB, NB, NB], 8);
+                // Rank r owns blocks [r*BPP, (r+1)*BPP): one hyperslab.
+                ds.write_slab_all(
+                    h5.raw(),
+                    &[rank as u64 * BLOCKS_PER_PROC, 0, 0, 0],
+                    &[BLOCKS_PER_PROC, NB, NB, NB],
+                    &IoBuffer::from_slice(&fill(rank, v)),
+                );
+                h5.set_attr(name, "timestep", AttrValue::Int(100));
+            }
+            h5.set_attr("", "code", AttrValue::Text("flash-sim".into()));
+            h5.close();
+        }
+        comm.barrier();
+
+        // --- restart read ---
+        let mut h5 = H5File::open(&comm, &fs2, "/flash_chk.h5", &info);
+        assert_eq!(
+            h5.attr("", "code"),
+            Some(&AttrValue::Text("flash-sim".into()))
+        );
+        for (v, name) in VARS.iter().enumerate() {
+            let ds = h5.dataset(name);
+            let got = ds.read_slab_all(
+                h5.raw(),
+                &[rank as u64 * BLOCKS_PER_PROC, 0, 0, 0],
+                &[BLOCKS_PER_PROC, NB, NB, NB],
+            );
+            assert_eq!(
+                got.as_slice().unwrap(),
+                fill(rank, v).as_slice(),
+                "rank {rank} var {name} corrupted"
+            );
+        }
+        let _ = ep;
+        h5.close()
+    });
+
+    let total: u64 = NPROCS as u64 * BLOCKS_PER_PROC * block_bytes() * VARS.len() as u64;
+    println!("flash_hdf5: {NPROCS} ranks wrote and restarted a {total}-byte checkpoint");
+    println!("  4 variables as datasets + attributes, via h5lite -> ParColl -> simfs");
+    println!(
+        "  rank 0 profile: sync {} | p2p {} | io {} over {} collective calls",
+        profile[0].sync, profile[0].p2p, profile[0].io, profile[0].calls
+    );
+    println!("  restart verified byte-exact for every variable");
+}

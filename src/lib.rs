@@ -1,0 +1,27 @@
+//! # parcoll-repro — ParColl: Partitioned Collective I/O, reproduced
+//!
+//! An end-to-end reproduction of *ParColl: Partitioned Collective I/O on
+//! the Cray XT* (Yu & Vetter, ICPP 2008) as a Rust workspace:
+//!
+//! * [`simnet`] — virtual-time cluster substrate (clocks, topology,
+//!   SeaStar-calibrated network cost model, rank runtime);
+//! * [`simmpi`] — MPI-like communicators, point-to-point and collectives;
+//! * [`simfs`] — Lustre-like parallel file system (striping, per-OST
+//!   contention, write-back caches, extent-lock conflicts);
+//! * [`mpiio`] — MPI-IO datatypes, file views, independent I/O and the
+//!   extended two-phase collective protocol with phase profiling;
+//! * [`parcoll`] — the paper's contribution: file-area partitioning,
+//!   intermediate file views, aggregator distribution, and the
+//!   partitioned collective read/write;
+//! * [`workloads`] — IOR, MPI-Tile-IO, NAS BT-IO and Flash-IO generators
+//!   plus the measurement runner.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the architecture and
+//! substitutions, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use mpiio;
+pub use parcoll;
+pub use simfs;
+pub use simmpi;
+pub use simnet;
+pub use workloads;

@@ -1,0 +1,112 @@
+//! Model-level integration tests: reduced-scale versions of the paper's
+//! headline effects, asserting the *shapes* the full benchmarks
+//! reproduce. These run the calibrated (Jaguar) cost models, so they are
+//! statements about the simulation, not about host performance.
+
+use workloads::ior::Ior;
+use workloads::runner::{run_workload, IoMode, RunConfig};
+use workloads::tileio::TileIo;
+
+/// The collective wall (Figure 1): the baseline's synchronization share
+/// grows with the process count.
+#[test]
+fn sync_share_grows_with_scale() {
+    // The paper's full tile size (1024x768 x 64 B): the wall is a
+    // full-scale phenomenon, so the workload must be full-sized even at
+    // reduced process counts.
+    let share = |p: usize| {
+        let r = run_workload(TileIo::paper(p), RunConfig::paper(IoMode::Collective));
+        r.profile_avg.sync_fraction()
+    };
+    let s8 = share(8);
+    let s64 = share(64);
+    let s128 = share(128);
+    assert!(
+        s8 < s64 && s64 < s128,
+        "sync share must rise with scale: {s8:.2} -> {s64:.2} -> {s128:.2}"
+    );
+    assert!(s128 > 0.5, "sync dominates at scale: {s128:.2}");
+}
+
+/// Figure 8's effect: more subgroups, less synchronization time, at
+/// fixed workload and process count.
+#[test]
+fn partitioning_reduces_sync_time() {
+    let sync = |groups: usize| {
+        let mode = if groups <= 1 {
+            IoMode::Collective
+        } else {
+            IoMode::Parcoll { groups }
+        };
+        run_workload(TileIo::paper(64), RunConfig::paper(mode))
+            .profile_avg
+            .sync
+            .as_secs()
+    };
+    let s1 = sync(1);
+    let s8 = sync(8);
+    assert!(
+        s8 < s1 * 0.6,
+        "8 subgroups must cut sync time substantially: {s1:.3}s -> {s8:.3}s"
+    );
+}
+
+/// Figure 6's effect at reduced scale: the aligned segmented IOR pattern
+/// collapses under the lock-step baseline and recovers under ParColl.
+#[test]
+fn ior_parcoll_beats_baseline() {
+    // 128 ranks, 64 MB blocks (stripe-cycle aligned), 8 transfers.
+    let make = || Ior {
+        nprocs: 128,
+        block_size: 256 << 20,
+        transfer_size: 4 << 20,
+        max_calls: Some(8),
+    };
+    let base = run_workload(make(), RunConfig::paper(IoMode::Collective));
+    let pc = run_workload(make(), RunConfig::paper(IoMode::Parcoll { groups: 16 }));
+    assert!(
+        pc.write_mbps > 1.5 * base.write_mbps,
+        "ParColl must clearly beat the baseline: {:.0} vs {:.0} MB/s",
+        pc.write_mbps,
+        base.write_mbps
+    );
+}
+
+/// Over-partitioning with an interoperability constraint (scatter
+/// intermediate views) collapses — the right side of Figure 7.
+#[test]
+fn over_partitioning_collapses_under_scatter_views() {
+    // Full-size tiles on a 4x16 grid: 16 groups are whole tile-rows
+    // (disjoint bands); 32 groups split rows and force intermediate
+    // views, which the interoperability constraint makes scatter.
+    let w = || TileIo {
+        ntx: 4,
+        nty: 16,
+        tile_x: 1024,
+        tile_y: 768,
+        elem: 64,
+    };
+    let mut good = RunConfig::paper(IoMode::Parcoll { groups: 16 });
+    good.info.set("parcoll_iview_scatter", "true");
+    let at16 = run_workload(w(), good);
+
+    let mut over = RunConfig::paper(IoMode::Parcoll { groups: 32 });
+    over.info.set("parcoll_iview_scatter", "true");
+    let at32 = run_workload(w(), over);
+
+    assert!(
+        at32.write_mbps < 0.5 * at16.write_mbps,
+        "over-partitioned scatter views must collapse: {:.0} vs {:.0} MB/s",
+        at32.write_mbps,
+        at16.write_mbps
+    );
+}
+
+/// Aggregate bandwidth accounting sanity: reported MB/s equals bytes
+/// over elapsed virtual seconds.
+#[test]
+fn bandwidth_accounting_is_consistent() {
+    let r = run_workload(Ior::tiny(8), RunConfig::paper(IoMode::Collective));
+    let recomputed = r.total_bytes as f64 / r.write_seconds / 1e6;
+    assert!((r.write_mbps - recomputed).abs() < 1e-9);
+}
