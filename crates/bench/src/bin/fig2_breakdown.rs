@@ -19,6 +19,7 @@ fn main() {
             ("sync", "sync_s"),
             ("point-to-point", "p2p_s"),
             ("file I/O", "io_s"),
+            ("local memcpy", "local_s"),
         ] {
             out.push(Row::new(series, r.x, r.extra[key], "s"));
         }

@@ -1,15 +1,30 @@
 //! `ost_heatmap` — per-OST load distribution for a workload run: busy
-//! time, bytes, and request counts per target, plus imbalance metrics.
-//! The busiest target is what every lock-step round waits for; watching
-//! the distribution flatten under ParColl's drifted subgroups shows the
-//! mechanism behind the IOR and Flash wins.
+//! time, queue wait, bytes, and request counts per target, plus imbalance
+//! metrics. The busiest target is what every lock-step round waits for;
+//! watching the distribution flatten under ParColl's drifted subgroups
+//! shows the mechanism behind the IOR and Flash wins.
+//!
+//! The per-OST numbers come from the simtrace OST tracks (`ost/serve`
+//! and `ost/queue` service intervals, `ost_requests` / `ost_req_bytes`
+//! counters) rather than any heatmap-private counting — the same spans a
+//! `trace_dump` run renders in Perfetto.
 //!
 //! Usage mirrors `parcoll_sim`: `ost_heatmap <workload> [--procs N]
 //! [--mode baseline|parcoll] [--groups G]`.
 
+use simtrace::{Event, TraceSink, TrackKey};
 use workloads::ior::Ior;
 use workloads::runner::{run_workload, IoMode, RunConfig};
 use workloads::tileio::TileIo;
+
+/// Per-OST figures folded out of one trace track.
+#[derive(Default, Clone, Copy)]
+struct OstLoad {
+    busy_us: f64,
+    queue_us: f64,
+    requests: u64,
+    bytes: f64,
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -31,8 +46,11 @@ fn main() {
         IoMode::Parcoll { groups }
     };
 
+    let sink = TraceSink::enabled();
+    let mut cfg = RunConfig::paper(mode);
+    cfg.trace = sink.clone();
     let r = match workload.as_str() {
-        "tileio" => run_workload(TileIo::paper(procs), RunConfig::paper(mode)),
+        "tileio" => run_workload(TileIo::paper(procs), cfg),
         _ => {
             let w = Ior {
                 nprocs: procs,
@@ -40,28 +58,67 @@ fn main() {
                 transfer_size: 4 << 20,
                 max_calls: Some(16),
             };
-            run_workload(w, RunConfig::paper(mode))
+            run_workload(w, cfg)
         }
     };
+    let trace = sink.finish();
 
-    let st = &r.fs_stats;
+    // Fold each OST track's service intervals and counters.
+    let mut osts: Vec<OstLoad> = Vec::new();
+    for track in &trace.tracks {
+        let TrackKey::Ost(i) = track.key else {
+            continue;
+        };
+        if osts.len() <= i {
+            osts.resize(i + 1, OstLoad::default());
+        }
+        let load = &mut osts[i];
+        for event in &track.events {
+            if let Event::Span { cat: "ost", name, dur_us, .. } = event {
+                match name.as_ref() {
+                    "serve" => load.busy_us += dur_us,
+                    "queue" => load.queue_us += dur_us,
+                    _ => {}
+                }
+            }
+        }
+        load.requests = track.counters.get("ost_requests").copied().unwrap_or(0);
+        load.bytes = track
+            .hists
+            .get("ost_req_bytes")
+            .map_or(0.0, |h| h.sum);
+    }
+
+    let max_busy = osts.iter().map(|o| o.busy_us).fold(0.0f64, f64::max);
+    let mean_busy = if osts.is_empty() {
+        0.0
+    } else {
+        osts.iter().map(|o| o.busy_us).sum::<f64>() / osts.len() as f64
+    };
+    let imbalance = max_busy / mean_busy.max(1e-12);
+    let active = osts.iter().filter(|o| o.requests > 0).count();
+    let breadth = active as f64 / osts.len().max(1) as f64;
+    let total_reqs: u64 = osts.iter().map(|o| o.requests).sum();
+    let total_bytes: f64 = osts.iter().map(|o| o.bytes).sum();
+    let mean_req = total_bytes / (total_reqs.max(1) as f64);
+
     println!(
         "{workload} {procs} procs {mode:?}: {:.1} MB/s, imbalance {:.2}, breadth {:.0}%, mean req {:.0} KiB",
         r.write_mbps,
-        st.imbalance(),
-        st.utilization_breadth() * 100.0,
-        st.mean_request_bytes() / 1024.0
+        imbalance,
+        breadth * 100.0,
+        mean_req / 1024.0
     );
-    let max_busy = st.max_ost_busy.as_secs().max(1e-12);
-    println!("per-OST busy time ({} targets, # = busiest):", st.osts.len());
-    for (i, o) in st.osts.iter().enumerate() {
-        let frac = o.busy.as_secs() / max_busy;
-        let bars = (frac * 40.0).round() as usize;
+    let scale = max_busy.max(1e-12);
+    println!("per-OST busy time ({} targets, # = busiest):", osts.len());
+    for (i, o) in osts.iter().enumerate() {
+        let bars = (o.busy_us / scale * 40.0).round() as usize;
         println!(
-            "  ost {i:>3} | {:<40} | {:>8.3}s {:>8} reqs",
+            "  ost {i:>3} | {:<40} | {:>8.3}s {:>8} reqs {:>9.3}s queued",
             "#".repeat(bars),
-            o.busy.as_secs(),
-            o.requests
+            o.busy_us / 1e6,
+            o.requests,
+            o.queue_us / 1e6,
         );
     }
 }

@@ -117,6 +117,7 @@ fn main() {
             FsConfig::jaguar()
         },
         read_back: args.flags.contains("verify"),
+        trace: simtrace::TraceSink::disabled(),
     };
     if let Some(n) = args.map.get("cb-nodes") {
         cfg.info.set("cb_nodes", n);

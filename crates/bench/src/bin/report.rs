@@ -1,8 +1,11 @@
 //! `report` — render the JSON series under `bench_results/` as markdown
 //! tables (one per figure), so EXPERIMENTS.md numbers are regenerable
-//! with two commands: run the figure binaries, then `report`.
+//! with two commands: run the figure binaries, then `report`. Simtrace
+//! metrics documents (from `trace_dump`) are folded in as their own
+//! tables.
 
-use bench::Row;
+use bench::{rows_from_json, Row};
+use simtrace::json::Json;
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -22,18 +25,67 @@ fn main() {
     entries.sort();
     for path in entries {
         let name = path.file_stem().unwrap().to_string_lossy().to_string();
-        let rows: Vec<Row> = match std::fs::read_to_string(&path)
-            .ok()
-            .and_then(|s| serde_json::from_str(&s).ok())
-        {
-            Some(r) => r,
-            None => {
-                eprintln!("skipping {name}: unreadable");
-                continue;
-            }
+        let Some(text) = std::fs::read_to_string(&path).ok() else {
+            eprintln!("skipping {name}: unreadable");
+            continue;
         };
-        println!("\n### {name}\n");
-        print_markdown(&rows);
+        if let Some(rows) = rows_from_json(&text) {
+            println!("\n### {name}\n");
+            print_markdown(&rows);
+        } else if let Some(doc) = Json::parse(&text)
+            .ok()
+            .filter(|d| d.get("kind").and_then(Json::as_str) == Some("simtrace_metrics"))
+        {
+            println!("\n### {name} (trace metrics)\n");
+            print_metrics(&doc);
+        } else {
+            eprintln!("skipping {name}: neither rows nor trace metrics");
+        }
+    }
+}
+
+/// Fold a simtrace metrics document into markdown: cross-track counter
+/// totals, histogram summaries and span-duration totals.
+fn print_metrics(doc: &Json) {
+    let Some(totals) = doc.get("totals") else {
+        eprintln!("(malformed metrics document: no totals)");
+        return;
+    };
+    if let Some(counters) = totals.get("counters").and_then(Json::as_obj) {
+        if !counters.is_empty() {
+            println!("| counter | total |");
+            println!("|---|---|");
+            for (k, v) in counters {
+                println!("| {k} | {} |", v.as_u64().unwrap_or(0));
+            }
+            println!();
+        }
+    }
+    if let Some(hists) = totals.get("histograms").and_then(Json::as_obj) {
+        if !hists.is_empty() {
+            println!("| histogram | count | mean | min | max |");
+            println!("|---|---|---|---|---|");
+            for (k, h) in hists {
+                let f = |key: &str| h.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+                println!(
+                    "| {k} | {} | {:.1} | {:.1} | {:.1} |",
+                    h.get("count").and_then(Json::as_u64).unwrap_or(0),
+                    f("mean"),
+                    f("min"),
+                    f("max"),
+                );
+            }
+            println!();
+        }
+    }
+    if let Some(spans) = totals.get("span_totals_us").and_then(Json::as_obj) {
+        if !spans.is_empty() {
+            println!("| span | total (µs, all tracks) |");
+            println!("|---|---|");
+            for (k, v) in spans {
+                println!("| {k} | {:.1} |", v.as_f64().unwrap_or(0.0));
+            }
+        }
     }
 }
 

@@ -41,7 +41,8 @@ pub fn collective_wall(procs: &[usize], full: bool) -> Vec<Row> {
     for &p in procs {
         let w = tileio_at(p, full);
         let r = run_workload(w, RunConfig::paper(IoMode::Collective));
-        let total = r.profile_avg.sync + r.profile_avg.p2p + r.profile_avg.io;
+        let total =
+            r.profile_avg.sync + r.profile_avg.p2p + r.profile_avg.io + r.profile_avg.local;
         let frac = if total.as_secs() > 0.0 {
             r.profile_avg.sync.as_secs() / total.as_secs() * 100.0
         } else {
@@ -52,6 +53,7 @@ pub fn collective_wall(procs: &[usize], full: bool) -> Vec<Row> {
                 .with("sync_s", r.profile_avg.sync.as_secs())
                 .with("p2p_s", r.profile_avg.p2p.as_secs())
                 .with("io_s", r.profile_avg.io.as_secs())
+                .with("local_s", r.profile_avg.local.as_secs())
                 .with("write_mbps", r.write_mbps),
         );
     }

@@ -38,4 +38,4 @@ pub mod scale;
 pub mod table;
 
 pub use scale::Scale;
-pub use table::{emit_json, print_table, Row};
+pub use table::{emit_json, print_table, rows_from_json, rows_to_json, Row};

@@ -1,11 +1,11 @@
 //! Result rows, console tables and JSON emission.
 
-use serde::{Deserialize, Serialize};
+use simtrace::json::Json;
 use std::collections::BTreeMap;
 use std::path::Path;
 
 /// One measured point of a figure.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Series label (e.g. "ParColl-64", "Cray/ext2ph baseline").
     pub series: String,
@@ -36,6 +36,60 @@ impl Row {
         self.extra.insert(key.to_string(), value);
         self
     }
+
+    /// JSON object form (field order matches the seed's serde layout, so
+    /// regenerated `bench_results/*.json` stay byte-compatible).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("series".into(), Json::Str(self.series.clone())),
+            ("x".into(), Json::Num(self.x)),
+            ("y".into(), Json::Num(self.y)),
+            ("unit".into(), Json::Str(self.unit.clone())),
+            (
+                "extra".into(),
+                Json::Obj(
+                    self.extra
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parse one row from its JSON object form.
+    pub fn from_json(doc: &Json) -> Option<Row> {
+        let mut extra = BTreeMap::new();
+        if let Some(members) = doc.get("extra").and_then(Json::as_obj) {
+            for (k, v) in members {
+                extra.insert(k.clone(), v.as_f64()?);
+            }
+        }
+        Some(Row {
+            series: doc.get("series")?.as_str()?.to_string(),
+            x: doc.get("x")?.as_f64()?,
+            y: doc.get("y")?.as_f64()?,
+            unit: doc.get("unit")?.as_str()?.to_string(),
+            extra,
+        })
+    }
+}
+
+/// Serialize rows exactly as the seed's `serde_json::to_string_pretty`
+/// did (2-space indent, insertion-ordered fields, sorted `extra`).
+pub fn rows_to_json(rows: &[Row]) -> String {
+    Json::Arr(rows.iter().map(Row::to_json).collect()).pretty()
+}
+
+/// Parse a `bench_results/*.json` document into rows (`None` when the
+/// file holds something other than a row array, e.g. trace metrics).
+pub fn rows_from_json(text: &str) -> Option<Vec<Row>> {
+    Json::parse(text)
+        .ok()?
+        .as_array()?
+        .iter()
+        .map(Row::from_json)
+        .collect()
 }
 
 /// Print rows as an aligned console table, grouped by series.
@@ -90,15 +144,10 @@ pub fn emit_json(name: &str, rows: &[Row]) {
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(rows) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("warning: cannot write {path:?}: {e}");
-            } else {
-                println!("[wrote {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialize rows: {e}"),
+    if let Err(e) = std::fs::write(&path, rows_to_json(rows)) {
+        eprintln!("warning: cannot write {path:?}: {e}");
+    } else {
+        println!("[wrote {}]", path.display());
     }
 }
 
@@ -124,8 +173,22 @@ mod tests {
 
     #[test]
     fn json_round_trips() {
-        let rows = vec![Row::new("a", 1.0, 2.0, "s")];
-        let json = serde_json::to_string(&rows).unwrap();
-        assert!(json.contains("\"series\":\"a\""));
+        let rows = vec![Row::new("a", 1.0, 2.5, "s").with("sync_s", 0.25)];
+        let json = rows_to_json(&rows);
+        assert!(json.contains("\"series\": \"a\""));
+        let back = rows_from_json(&json).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].series, "a");
+        assert_eq!(back[0].x, 1.0);
+        assert_eq!(back[0].y, 2.5);
+        assert_eq!(back[0].extra["sync_s"], 0.25);
+        // Re-serialization is byte-identical (determinism contract).
+        assert_eq!(rows_to_json(&back), json);
+    }
+
+    #[test]
+    fn non_row_documents_are_rejected_not_mangled() {
+        assert!(rows_from_json("{\"kind\": \"simtrace_metrics\"}").is_none());
+        assert!(rows_from_json("not json").is_none());
     }
 }

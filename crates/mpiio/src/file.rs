@@ -76,15 +76,25 @@ impl<'ep> File<'ep> {
     ) -> File<'ep> {
         let ep = comm.endpoint();
         let mut profile = PhaseProfile::new();
-        // Every client performs its own open against the MDS...
+        // MPI_File_open is collective: the ranks meet, and the serial MDS
+        // bookkeeping for the whole group is charged once at the agreed
+        // clock. Charging per client from concurrently running rank
+        // threads would queue them at the MDS in host-scheduler order and
+        // make virtual time irreproducible run to run.
         let t = PhaseTimer::start(Phase::Io, ep.now());
-        let (fh, done) = fs.open_with_layout(path, stripe_count, stripe_size, ep.now());
-        ep.clock().advance_to(done);
-        t.stop(ep.now(), &mut profile);
-        // ...and MPI_File_open is collective.
+        let fs2 = fs.clone();
+        let parties = comm.size();
+        let path2 = path.to_string();
+        comm.once_at_meet("file_open", move |max| {
+            let done = fs2.open_collective(&path2, stripe_count, stripe_size, max, parties);
+            ((), done)
+        });
+        t.stop_traced(ep.now(), &mut profile, ep.trace());
+        let fh = fs.handle(path);
+        // The post-open agreement barrier MPI_File_open implies.
         let t = PhaseTimer::start(Phase::Sync, ep.now());
         comm.barrier();
-        t.stop(ep.now(), &mut profile);
+        t.stop_traced(ep.now(), &mut profile, ep.trace());
         File {
             comm: comm.clone(),
             fh,
@@ -112,7 +122,7 @@ impl<'ep> File<'ep> {
         let ep = self.comm.endpoint();
         let t = PhaseTimer::start(Phase::Sync, ep.now());
         self.comm.barrier();
-        t.stop(ep.now(), &mut self.profile);
+        t.stop_traced(ep.now(), &mut self.profile, ep.trace());
     }
 
     /// The current view.
@@ -238,7 +248,7 @@ impl<'ep> File<'ep> {
         ep.clock().advance_to(done);
         let t = PhaseTimer::start(Phase::Sync, ep.now());
         self.comm.barrier();
-        t.stop(ep.now(), &mut self.profile);
+        t.stop_traced(ep.now(), &mut self.profile, ep.trace());
     }
 
     /// Collectively preallocate storage up to `size`
@@ -256,12 +266,12 @@ impl<'ep> File<'ep> {
                     ep.now(),
                 );
                 ep.clock().advance_to(done);
-                t.stop(ep.now(), &mut self.profile);
+                t.stop_traced(ep.now(), &mut self.profile, ep.trace());
             }
         }
         let t = PhaseTimer::start(Phase::Sync, ep.now());
         self.comm.barrier();
-        t.stop(ep.now(), &mut self.profile);
+        t.stop_traced(ep.now(), &mut self.profile, ep.trace());
     }
 
     /// Collectively close, returning this rank's profile ("when a file is
@@ -270,7 +280,7 @@ impl<'ep> File<'ep> {
         let ep = self.comm.endpoint();
         let t = PhaseTimer::start(Phase::Sync, ep.now());
         self.comm.barrier();
-        t.stop(ep.now(), &mut self.profile);
+        t.stop_traced(ep.now(), &mut self.profile, ep.trace());
         self.profile
     }
 }

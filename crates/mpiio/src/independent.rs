@@ -30,9 +30,10 @@ pub fn write_plan(
         now = fh.write_at(ext.off, &piece, now);
     }
     ep.clock().advance_to(now);
-    t.stop(ep.now(), prof);
+    t.stop_traced(ep.now(), prof, ep.trace());
+    let t = PhaseTimer::start(Phase::Local, ep.now());
     ep.charge_memcpy(plan.total as usize);
-    prof.charge(Phase::Local, ep.machine().memcpy_time(plan.total as usize));
+    t.stop_traced(ep.now(), prof, ep.trace());
 }
 
 /// Write `buf` through a non-contiguous `plan` using *data sieving*
@@ -60,7 +61,7 @@ pub fn write_plan_sieved(
     let t = PhaseTimer::start(Phase::Io, ep.now());
     let (mut span, done) = fh.read_at(lo, (hi - lo) as usize, ep.now());
     ep.clock().advance_to(done);
-    t.stop(ep.now(), prof);
+    t.stop_traced(ep.now(), prof, ep.trace());
 
     for (buf_off, ext) in plan.with_buffer_offsets() {
         span.copy_in(
@@ -68,13 +69,14 @@ pub fn write_plan_sieved(
             &buf.sub(buf_off as usize, ext.len as usize),
         );
     }
+    let t = PhaseTimer::start(Phase::Local, ep.now());
     ep.charge_memcpy(plan.total as usize);
-    prof.charge(Phase::Local, ep.machine().memcpy_time(plan.total as usize));
+    t.stop_traced(ep.now(), prof, ep.trace());
 
     let t = PhaseTimer::start(Phase::Io, ep.now());
     let done = fh.write_at(lo, &span, ep.now());
     ep.clock().advance_to(done);
-    t.stop(ep.now(), prof);
+    t.stop_traced(ep.now(), prof, ep.trace());
 }
 
 /// Read `plan.total` bytes through `plan`.
@@ -106,7 +108,7 @@ pub fn read_plan(
             now = done;
         }
         ep.clock().advance_to(now);
-        t.stop(ep.now(), prof);
+        t.stop_traced(ep.now(), prof, ep.trace());
         return out.finish();
     }
 
@@ -119,7 +121,7 @@ pub fn read_plan(
         let t = PhaseTimer::start(Phase::Io, ep.now());
         let (chunk, done) = fh.read_at(chunk_lo, (chunk_hi - chunk_lo) as usize, ep.now());
         ep.clock().advance_to(done);
-        t.stop(ep.now(), prof);
+        t.stop_traced(ep.now(), prof, ep.trace());
 
         let mut copied = 0usize;
         while ext_idx < plan.extents.len() {
@@ -137,8 +139,9 @@ pub fn read_plan(
                 break; // run continues into the next chunk
             }
         }
+        let t = PhaseTimer::start(Phase::Local, ep.now());
         ep.charge_memcpy(copied);
-        prof.charge(Phase::Local, ep.machine().memcpy_time(copied));
+        t.stop_traced(ep.now(), prof, ep.trace());
         chunk_lo = chunk_hi;
     }
     let result = out.finish();

@@ -25,6 +25,18 @@ pub enum Phase {
     Local,
 }
 
+impl Phase {
+    /// Stable lowercase name, used for trace span naming.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Sync => "sync",
+            Phase::P2p => "p2p",
+            Phase::Io => "io",
+            Phase::Local => "local",
+        }
+    }
+}
+
 /// Per-rank accumulated phase times for one open file.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PhaseProfile {
@@ -111,11 +123,13 @@ impl PhaseProfile {
         PhaseProfile::from_micros_vec(&v)
     }
 
-    /// Element-wise mean across the communicator (collective).
+    /// Element-wise mean across the communicator (collective). Rounded
+    /// to the nearest microsecond — flooring would erase sub-µs means
+    /// entirely (a profile averaging 0.9 µs/rank must not report 0).
     pub fn reduce_avg(&self, comm: &Communicator<'_>) -> PhaseProfile {
         let v = comm.allreduce_u64(&self.to_micros_vec(), ReduceOp::Sum);
         let p = comm.size() as u64;
-        let avg: Vec<u64> = v.iter().map(|x| x / p).collect();
+        let avg: Vec<u64> = v.iter().map(|x| (x + p / 2) / p).collect();
         PhaseProfile::from_micros_vec(&avg)
     }
 }
@@ -135,6 +149,22 @@ impl PhaseTimer {
 
     /// Stop at `now`, charging the elapsed virtual time.
     pub fn stop(self, now: SimTime, profile: &mut PhaseProfile) {
+        profile.charge(self.phase, now - self.start);
+    }
+
+    /// Stop at `now`, charging the profile AND emitting a `phase` span on
+    /// `rec` from the *identical* timestamps. Trace span totals per phase
+    /// therefore reconcile with the profile buckets by construction.
+    pub fn stop_traced(self, now: SimTime, profile: &mut PhaseProfile, rec: &simtrace::Recorder) {
+        if rec.enabled() && now > self.start {
+            rec.span(
+                "phase",
+                self.phase.name(),
+                self.start.as_micros(),
+                now.as_micros(),
+                Vec::new(),
+            );
+        }
         profile.charge(self.phase, now - self.start);
     }
 }
@@ -222,5 +252,40 @@ mod tests {
         for p in &out {
             assert!((p.io.as_millis() - 3.0).abs() < 0.01); // mean of 0,2,4,6
         }
+    }
+
+    #[test]
+    fn reduce_avg_rounds_instead_of_flooring() {
+        // Ranks contribute 0, 1, 1 µs: the mean is 2/3 µs. Flooring the
+        // integer division would report 0 and erase the bucket entirely.
+        let out = run_cluster(ClusterConfig::ideal(3), |ep| {
+            let comm = Communicator::world(&ep);
+            let mine = PhaseProfile {
+                sync: SimTime::micros(if ep.rank() == 0 { 0.0 } else { 1.0 }),
+                ..Default::default()
+            };
+            mine.reduce_avg(&comm)
+        });
+        for p in &out {
+            assert_eq!(
+                p.sync,
+                SimTime::micros(1.0),
+                "mean of 2/3 µs must round to 1 µs, not floor to 0"
+            );
+        }
+    }
+
+    #[test]
+    fn stop_traced_span_matches_charge_exactly() {
+        let sink = simtrace::TraceSink::enabled();
+        let rec = sink.recorder(simtrace::TrackKey::Rank(0));
+        let mut p = PhaseProfile::new();
+        let t = PhaseTimer::start(Phase::Sync, SimTime::micros(10.0));
+        t.stop_traced(SimTime::micros(35.5), &mut p, &rec);
+        assert!((p.sync.as_micros() - 25.5).abs() < 1e-9);
+        let trace = sink.finish();
+        let track = trace.track(simtrace::TrackKey::Rank(0)).unwrap();
+        let total = track.span_total_us("phase", Some("sync"));
+        assert!((total - 25.5).abs() < 1e-9, "span total {total} != charge");
     }
 }

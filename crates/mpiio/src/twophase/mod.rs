@@ -148,7 +148,7 @@ fn setup(
     let t = PhaseTimer::start(Phase::Sync, ep.now());
     let my_range: Option<(u64, u64)> = plan.start().map(|s| (s, plan.end().unwrap()));
     let ranges = comm.allgather_t(my_range, 16);
-    t.stop(ep.now(), prof);
+    t.stop_traced(ep.now(), prof, ep.trace());
 
     let min_st = ranges.iter().flatten().map(|r| r.0).min()?;
     let max_end = ranges.iter().flatten().map(|r| r.1).max().unwrap();
@@ -167,7 +167,7 @@ fn setup(
         counts_row[cfg.aggregators[a]] = pieces.len() as u64;
     }
     let counts_from = comm.alltoall_t(counts_row, 8);
-    t.stop(ep.now(), prof);
+    t.stop_traced(ep.now(), prof, ep.trace());
 
     // (3b) Point-to-point transfer of the (offset, len) lists.
     let t = PhaseTimer::start(Phase::P2p, ep.now());
@@ -202,7 +202,7 @@ fn setup(
                 .collect();
         }
     }
-    t.stop(ep.now(), prof);
+    t.stop_traced(ep.now(), prof, ep.trace());
 
     // (4) Round count: ceil(touched-range / cb_buffer) per aggregator,
     // allreduce MAX — global sync.
@@ -221,7 +221,7 @@ fn setup(
     };
     let t = PhaseTimer::start(Phase::Sync, ep.now());
     let ntimes = comm.allreduce_u64(&[my_ntimes], ReduceOp::Max)[0];
-    t.stop(ep.now(), prof);
+    t.stop_traced(ep.now(), prof, ep.trace());
 
     Some(Setup {
         my_req,
@@ -267,6 +267,7 @@ pub fn write_all(
 
     for round in 0..setup.ntimes {
         prof.rounds += 1;
+        let round_start = ep.now();
         // Aggregator's window for this round.
         let window = setup.my_agg_idx.map(|_| {
             let lo = setup.st_loc + round * cfg.cb_buffer_size;
@@ -284,31 +285,36 @@ pub fn write_all(
             }
         }
         let expected = comm.alltoall_sizes(row);
-        t.stop(ep.now(), prof);
+        t.stop_traced(ep.now(), prof, ep.trace());
 
-        // Senders: pack and post this round's bytes for each aggregator.
+        // Senders: pack (local memcpy) and post (p2p) this round's bytes
+        // for each aggregator.
         let mut self_payload: Option<IoBuffer> = None;
-        let t = PhaseTimer::start(Phase::P2p, ep.now());
         for (a, &agg_rank) in cfg.aggregators.iter().enumerate() {
             let n = expected[agg_rank];
             if n == 0 {
                 continue;
             }
+            let t = PhaseTimer::start(Phase::Local, ep.now());
             let mut payload = BufferBuilder::with_capacity(n as usize);
             send_cursors[a].consume(n, |piece| {
                 payload.push(&buf.sub(piece.buf_off as usize, piece.len as usize));
             });
             ep.charge_memcpy(n as usize);
             let payload = payload.finish();
+            t.stop_traced(ep.now(), prof, ep.trace());
             if agg_rank == comm.rank() {
                 self_payload = Some(payload);
             } else {
+                let t = PhaseTimer::start(Phase::P2p, ep.now());
                 comm.isend(agg_rank, TAG_DATA, payload);
+                t.stop_traced(ep.now(), prof, ep.trace());
             }
         }
 
         // Aggregator: collect this round's payloads.
         let mut incoming: Vec<(usize, IoBuffer)> = Vec::new();
+        let t = PhaseTimer::start(Phase::P2p, ep.now());
         if setup.my_agg_idx.is_some() {
             let my_expect = {
                 // Recompute my row (what I announced) — cheap and local.
@@ -334,12 +340,31 @@ pub fn write_all(
                 ));
             }
         }
-        t.stop(ep.now(), prof);
+        t.stop_traced(ep.now(), prof, ep.trace());
 
         // Aggregator: assemble the staging buffer and perform file I/O.
         if let (Some((lo, hi)), Some(cursors)) = (window, recv_cursors.as_mut()) {
             write_window(comm, fh, space, prof, lo, hi, cursors, incoming);
         }
+
+        let rec = ep.trace();
+        if rec.enabled() {
+            rec.span(
+                "round",
+                "write_round",
+                round_start.as_micros(),
+                ep.now().as_micros(),
+                vec![
+                    ("round", simtrace::ArgValue::from(round)),
+                    ("of", simtrace::ArgValue::from(setup.ntimes)),
+                ],
+            );
+        }
+    }
+    let rec = ep.trace();
+    if rec.enabled() {
+        rec.count("ext2ph_write_calls", 1);
+        rec.observe("ext2ph_rounds", setup.ntimes as f64);
     }
 
     // No trailing barrier: as in ROMIO, a rank returns once its own
@@ -365,6 +390,7 @@ fn write_window(
         return;
     }
     // Targets: where each payload's bytes land, plus coverage tracking.
+    let t = PhaseTimer::start(Phase::Local, ep.now());
     let mut coverage = RangeSet::new();
     let mut placements: Vec<(u64, IoBuffer)> = Vec::new(); // (file_off, data)
     let mut total_bytes = 0u64;
@@ -383,6 +409,7 @@ fn write_window(
         });
     }
     ep.charge_memcpy(total_bytes as usize); // staging-buffer assembly
+    t.stop_traced(ep.now(), prof, ep.trace());
 
     let write_lo = coverage.ranges().first().expect("non-empty round").0;
     let write_hi = coverage.ranges().last().unwrap().1;
@@ -395,15 +422,17 @@ fn write_window(
         let t = PhaseTimer::start(Phase::Io, ep.now());
         let (mut window_buf, done) = space.read(fh, write_lo, span, ep.now());
         ep.clock().advance_to(done);
-        t.stop(ep.now(), prof);
+        t.stop_traced(ep.now(), prof, ep.trace());
+        let t = PhaseTimer::start(Phase::Local, ep.now());
         for (off, data) in &placements {
             window_buf.copy_in((off - write_lo) as usize, data);
         }
         ep.charge_memcpy(total_bytes as usize);
+        t.stop_traced(ep.now(), prof, ep.trace());
         let t = PhaseTimer::start(Phase::Io, ep.now());
         let done = space.write(fh, write_lo, &window_buf, ep.now());
         ep.clock().advance_to(done);
-        t.stop(ep.now(), prof);
+        t.stop_traced(ep.now(), prof, ep.trace());
     } else {
         // Contiguous coverage: one large write per covered run (usually
         // exactly one). Skip the zero-fill when any payload is synthetic
@@ -423,7 +452,7 @@ fn write_window(
             now = space.write(fh, s, &chunk, now);
         }
         ep.clock().advance_to(now);
-        t.stop(ep.now(), prof);
+        t.stop_traced(ep.now(), prof, ep.trace());
     }
 }
 
@@ -454,6 +483,7 @@ pub fn read_all(
 
     for round in 0..setup.ntimes {
         prof.rounds += 1;
+        let round_start = ep.now();
         let window = setup.my_agg_idx.map(|_| {
             let lo = setup.st_loc + round * cfg.cb_buffer_size;
             (lo, lo + cfg.cb_buffer_size)
@@ -468,7 +498,7 @@ pub fn read_all(
             }
         }
         let expected = comm.alltoall_sizes(row);
-        t.stop(ep.now(), prof);
+        t.stop_traced(ep.now(), prof, ep.trace());
 
         // Aggregator: read the window span once, carve out each source's
         // pieces, send.
@@ -484,14 +514,14 @@ pub fn read_all(
                 let t = PhaseTimer::start(Phase::Io, ep.now());
                 let (window_buf, done) = space.read(fh, read_lo, read_hi - read_lo, ep.now());
                 ep.clock().advance_to(done);
-                t.stop(ep.now(), prof);
+                t.stop_traced(ep.now(), prof, ep.trace());
 
-                let t = PhaseTimer::start(Phase::P2p, ep.now());
                 for src in 0..p {
                     let n: u64 = in_window[src].iter().map(|p| p.len).sum();
                     if n == 0 {
                         continue;
                     }
+                    let t = PhaseTimer::start(Phase::Local, ep.now());
                     let mut payload = BufferBuilder::with_capacity(n as usize);
                     cursors[src].consume(n, |piece| {
                         payload.push(
@@ -501,13 +531,15 @@ pub fn read_all(
                     });
                     ep.charge_memcpy(n as usize);
                     let payload = payload.finish();
+                    t.stop_traced(ep.now(), prof, ep.trace());
                     if src == comm.rank() {
                         self_payload = Some(payload);
                     } else {
+                        let t = PhaseTimer::start(Phase::P2p, ep.now());
                         comm.isend(src, TAG_DATA, payload);
+                        t.stop_traced(ep.now(), prof, ep.trace());
                     }
                 }
-                t.stop(ep.now(), prof);
             }
         }
 
@@ -528,8 +560,11 @@ pub fn read_all(
         if let Some(selfp) = self_payload.take() {
             arrived.push((comm.rank(), selfp));
         }
-        t.stop(ep.now(), prof);
+        t.stop_traced(ep.now(), prof, ep.trace());
 
+        // Unpack: scatter received pieces into the user buffer — local
+        // memory movement.
+        let t = PhaseTimer::start(Phase::Local, ep.now());
         for (agg_rank, payload) in arrived {
             let a = cfg
                 .aggregators
@@ -547,6 +582,26 @@ pub fn read_all(
             });
             ep.charge_memcpy(n as usize);
         }
+        t.stop_traced(ep.now(), prof, ep.trace());
+
+        let rec = ep.trace();
+        if rec.enabled() {
+            rec.span(
+                "round",
+                "read_round",
+                round_start.as_micros(),
+                ep.now().as_micros(),
+                vec![
+                    ("round", simtrace::ArgValue::from(round)),
+                    ("of", simtrace::ArgValue::from(setup.ntimes)),
+                ],
+            );
+        }
+    }
+    let rec = ep.trace();
+    if rec.enabled() {
+        rec.count("ext2ph_read_calls", 1);
+        rec.observe("ext2ph_rounds", setup.ntimes as f64);
     }
 
     user_buf

@@ -22,7 +22,7 @@
 use crate::adaptive::AdaptiveGroups;
 use crate::aggdist::distribute_aggregators;
 use crate::config::ParcollConfig;
-use crate::fa::{partition_file_areas, partition_file_areas_by};
+use crate::fa::{partition_file_areas, partition_file_areas_by, Grouping};
 use crate::iview::{LogicalMap, MappedSpace};
 use mpiio::profile::{Phase, PhaseTimer};
 use mpiio::twophase::{self, CollConfig};
@@ -139,6 +139,46 @@ pub fn split_count(cache: &Option<GroupCacheBox<'_>>) -> u64 {
     cache.as_ref().map_or(0, |c| c.splits)
 }
 
+/// Record the pattern classification (and, with an alignment unit in
+/// force, how many subgroup FA boundaries land on a stripe boundary — the
+/// figure of merit for aligned partitioning).
+fn trace_partition(
+    ep: &simnet::Endpoint,
+    pattern: &'static str,
+    grouping: Option<&Grouping>,
+    align: Option<u64>,
+) {
+    let rec = ep.trace();
+    if !rec.enabled() {
+        return;
+    }
+    let groups = grouping.map_or(1, Grouping::n_groups);
+    rec.instant(
+        "parcoll",
+        "partition",
+        ep.now().as_micros(),
+        vec![
+            ("pattern", simtrace::ArgValue::from(pattern)),
+            ("groups", simtrace::ArgValue::from(groups)),
+        ],
+    );
+    if let Some(g) = grouping {
+        let mut boundaries = 0u64;
+        let mut aligned = 0u64;
+        for &(s, e) in &g.fas {
+            if s == e {
+                continue;
+            }
+            boundaries += 1;
+            if align.is_some_and(|unit| unit > 0 && s.is_multiple_of(unit)) {
+                aligned += 1;
+            }
+        }
+        rec.count("fa_boundaries", boundaries);
+        rec.count("fa_stripe_aligned", aligned);
+    }
+}
+
 fn run_partitioned<'ep>(
     file: &mut File<'ep>,
     pcfg: &ParcollConfig,
@@ -204,7 +244,7 @@ fn run_partitioned<'ep>(
     let t = PhaseTimer::start(Phase::Sync, ep.now());
     let my_range: Option<(u64, u64)> = plan.start().map(|s| (s, plan.end().unwrap()));
     let ranges = comm.allgather_t(my_range, 16);
-    t.stop(ep.now(), file.profile_mut());
+    t.stop_traced(ep.now(), file.profile_mut(), ep.trace());
 
     if ranges.iter().all(Option::is_none) {
         // Nobody moves bytes; run the degenerate path for its collective
@@ -222,6 +262,7 @@ fn run_partitioned<'ep>(
     match attempt {
         Some(grouping) => {
             let n_groups = grouping.n_groups();
+            trace_partition(ep, "direct", Some(&grouping), file.hints().cb_align);
             let (sub, subcfg) = subgroup_setup(file, cache, &grouping.group_of, n_groups);
             if let Some(boxed) = cache.as_mut() {
                 boxed.cache.mode = CachedMode::Direct;
@@ -232,6 +273,7 @@ fn run_partitioned<'ep>(
         }
         None if pcfg.force_iview == Some(false) => {
             // View switching forbidden: degenerate to the baseline.
+            trace_partition(ep, "single", None, None);
             (PartitionMode::Single, fallback(file, &plan, write_buf))
         }
         None => {
@@ -240,7 +282,7 @@ fn run_partitioned<'ep>(
             let t = PhaseTimer::start(Phase::Sync, ep.now());
             let pairs: Vec<(u64, u64)> = plan.extents.iter().map(|e| (e.off, e.len)).collect();
             let all_lists = comm.allgather(codec::encode_pairs(&pairs));
-            t.stop(ep.now(), file.profile_mut());
+            t.stop_traced(ep.now(), file.profile_mut(), ep.trace());
             let extent_lists: Vec<Vec<Ext>> = all_lists
                 .iter()
                 .map(|b| {
@@ -263,6 +305,7 @@ fn run_partitioned<'ep>(
             let grouping = partition_file_areas(&logical_ranges, groups)
                 .expect("logical rank regions are serial and disjoint");
             let n_groups = grouping.n_groups();
+            trace_partition(ep, "iview", Some(&grouping), file.hints().cb_align);
             let (sub, subcfg) = subgroup_setup(file, cache, &grouping.group_of, n_groups);
 
             let (ls, le) = map.rank_range(comm.rank());
@@ -347,7 +390,7 @@ fn subgroup_setup<'ep>(
     let sub = comm
         .split(Some(my_group as i64), 0)
         .expect("every rank belongs to a subgroup");
-    t.stop(ep.now(), file.profile_mut());
+    t.stop_traced(ep.now(), file.profile_mut(), ep.trace());
 
     // Translate my group's aggregators from parent ranks to sub ranks.
     let sub_aggs: Vec<usize> = aggs_per_group[my_group]
@@ -358,6 +401,20 @@ fn subgroup_setup<'ep>(
                 .expect("aggregator belongs to this subgroup")
         })
         .collect();
+    let rec = ep.trace();
+    if rec.enabled() {
+        rec.instant(
+            "parcoll",
+            "aggregators",
+            ep.now().as_micros(),
+            vec![
+                ("group", simtrace::ArgValue::from(my_group)),
+                ("n_groups", simtrace::ArgValue::from(n_groups)),
+                ("aggs", simtrace::ArgValue::from(sub_aggs.len())),
+                ("sub_size", simtrace::ArgValue::from(sub.size())),
+            ],
+        );
+    }
     let subcfg = CollConfig {
         aggregators: sub_aggs,
         cb_buffer_size: parent_cfg.cb_buffer_size,
@@ -519,7 +576,7 @@ impl<'ep> ParcollFile<'ep> {
         let elapsed_us = (ep.now() - t0).as_micros().round() as u64;
         let t = mpiio::profile::PhaseTimer::start(mpiio::profile::Phase::Sync, ep.now());
         let agreed = comm.allreduce_u64(&[elapsed_us], simmpi::ReduceOp::Max)[0];
-        t.stop(ep.now(), self.file.profile_mut());
+        t.stop_traced(ep.now(), self.file.profile_mut(), ep.trace());
         let before = a.next_groups();
         a.record(agreed as f64 * 1e-6);
         // Invalidate the cached split only when the group count actually

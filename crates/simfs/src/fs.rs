@@ -108,6 +108,16 @@ impl FileSystem {
         &self.inner.cfg
     }
 
+    /// Attach a trace sink: each OST gets a recorder on its own `ost<i>`
+    /// track and emits service intervals, queue waits and volume metrics
+    /// for every request it serves. With a disabled sink this is a no-op
+    /// installation (recording calls stay single-branch cheap).
+    pub fn attach_trace(&self, sink: &simtrace::TraceSink) {
+        for (i, ost) in self.inner.osts.iter().enumerate() {
+            ost.attach_trace(sink.recorder(simtrace::TrackKey::Ost(i)));
+        }
+    }
+
     /// Open (creating if absent) with the default stripe parameters.
     /// Returns the handle and the virtual completion time of the open.
     pub fn open(&self, path: &str, now: SimTime) -> (FileHandle, SimTime) {
@@ -165,6 +175,72 @@ impl FileSystem {
             },
             done,
         )
+    }
+
+    /// Charge one *collective* open: `parties` clients that have already
+    /// agreed on a common clock `now` are served back-to-back by the
+    /// serial MDS bookkeeping. Returns the completion instant of the
+    /// last-served client. Creates the file (with the given striping) if
+    /// absent, exactly as [`open_with_layout`](Self::open_with_layout);
+    /// fetch per-client handles afterwards with [`handle`](Self::handle).
+    ///
+    /// Charging the whole group in one call is what keeps virtual time
+    /// independent of host-thread arrival order: `parties` concurrent
+    /// per-client opens would be queued in whatever order the OS ran the
+    /// threads.
+    pub fn open_collective(
+        &self,
+        path: &str,
+        stripe_count: usize,
+        stripe_size: u64,
+        now: SimTime,
+        parties: usize,
+    ) -> SimTime {
+        let cfg = &self.inner.cfg;
+        let mut mds = self.inner.mds.lock();
+        mds.opens += parties as u64;
+        let start = mds.next_free.max(now + cfg.rpc_latency);
+        mds.next_free = start + cfg.open_per_client * parties as f64;
+        let done = mds.next_free + cfg.open_base + cfg.rpc_latency;
+        if !mds.files.contains_key(path) {
+            let first = mds.next_first_ost;
+            mds.next_first_ost = (mds.next_first_ost + 1) % cfg.n_osts;
+            let entry = Arc::new(FileEntry {
+                layout: StripeLayout::new(first, stripe_count, stripe_size, cfg.n_osts),
+                storage: Mutex::new(Storage::new()),
+                shared_ptr: std::sync::atomic::AtomicU64::new(0),
+            });
+            mds.files.insert(path.to_string(), entry);
+        }
+        done
+    }
+
+    /// A handle to an already-opened file, with a fresh client identity.
+    /// Used by clients whose open was charged collectively via
+    /// [`open_collective`](Self::open_collective).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` has never been opened.
+    pub fn handle(&self, path: &str) -> FileHandle {
+        let entry = self
+            .inner
+            .mds
+            .lock()
+            .files
+            .get(path)
+            .map(Arc::clone)
+            .expect("handle() requires a prior open of the path");
+        let client = self
+            .inner
+            .next_client
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        FileHandle {
+            fs: self.clone(),
+            path: path.to_string(),
+            entry,
+            client,
+        }
     }
 
     /// Remove a file's metadata and contents. Existing handles keep their

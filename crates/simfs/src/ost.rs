@@ -27,6 +27,11 @@ struct OstState {
     /// locks persist after the I/O completes, so a later small write by a
     /// different client conflicts even on an idle target.
     lock_holder: Option<u64>,
+    /// Trace recorder for this target's timeline (disabled by default;
+    /// installed by `FileSystem::attach_trace`). Emissions happen under
+    /// the state mutex, and the sink content-sorts OST events at export,
+    /// so host arrival order cannot leak into the merged trace.
+    trace: simtrace::Recorder,
 }
 
 /// One object storage target.
@@ -57,8 +62,15 @@ impl Ost {
                 rng: SplitMix64::new(seed),
                 completions: std::collections::VecDeque::new(),
                 lock_holder: None,
+                trace: simtrace::Recorder::disabled(),
             }),
         }
+    }
+
+    /// Install a trace recorder; every subsequent [`serve`](Ost::serve)
+    /// emits its service interval, queue wait and volume metrics on it.
+    pub fn attach_trace(&self, rec: simtrace::Recorder) {
+        self.state.lock().trace = rec;
     }
 
     /// Serve a request of `bytes` in `requests` chunk units arriving at
@@ -126,6 +138,32 @@ impl Ost {
         st.stats.busy += service;
         st.stats.bytes += bytes;
         st.stats.requests += requests;
+        if st.trace.enabled() {
+            let queue_wait = backlog_start - arrival;
+            if queue_wait > SimTime::ZERO {
+                st.trace.span(
+                    "ost",
+                    "queue",
+                    arrival.as_micros(),
+                    backlog_start.as_micros(),
+                    vec![("depth", simtrace::ArgValue::from(depth))],
+                );
+            }
+            st.trace.span(
+                "ost",
+                "serve",
+                backlog_start.as_micros(),
+                backlog_done.as_micros(),
+                vec![
+                    ("bytes", simtrace::ArgValue::from(bytes)),
+                    ("requests", simtrace::ArgValue::from(requests)),
+                    ("queue_wait_us", simtrace::ArgValue::from(queue_wait.as_micros())),
+                ],
+            );
+            st.trace.counter("ost_queue_depth", arrival.as_micros(), depth);
+            st.trace.count("ost_requests", requests);
+            st.trace.observe("ost_req_bytes", bytes as f64);
+        }
         done
     }
 

@@ -12,16 +12,33 @@
 //! wall), `MPI_Allreduce` (round count), plus the general set needed by
 //! applications.
 
-use crate::comm::Communicator;
+use crate::comm::{Communicator, MeetLabel};
 use crate::ReduceOp;
-use simnet::IoBuffer;
+use simnet::{CollectiveAlg, IoBuffer};
 
 impl Communicator<'_> {
+    /// Trace name of the algorithm the cost model charges for alltoall.
+    fn alltoall_alg(&self) -> &'static str {
+        match self.ep.net().alltoall_alg {
+            CollectiveAlg::Bruck => "bruck",
+            CollectiveAlg::Pairwise => "pairwise",
+            CollectiveAlg::Binomial => "binomial",
+            CollectiveAlg::RecursiveDoubling => "recursive_doubling",
+        }
+    }
+
     /// Synchronize all members (`MPI_Barrier`).
     pub fn barrier(&self) {
         let net = self.ep.net().clone();
         let p = self.size();
-        let _ = self.meet((), move |_: Vec<()>, max| ((), max + net.barrier_cost(p)));
+        let label = MeetLabel {
+            op: "barrier",
+            alg: "dissemination",
+            bytes: 0,
+        };
+        let _ = self.meet(label, (), move |_: Vec<()>, max| {
+            ((), max + net.barrier_cost(p))
+        });
     }
 
     /// Broadcast `root`'s buffer to everyone (`MPI_Bcast`). Non-root ranks
@@ -31,7 +48,12 @@ impl Communicator<'_> {
         debug_assert_eq!(buf.is_some(), self.rank() == root, "only root supplies data");
         let net = self.ep.net().clone();
         let p = self.size();
-        let out = self.meet(buf, move |inputs: Vec<Option<IoBuffer>>, max| {
+        let label = MeetLabel {
+            op: "bcast",
+            alg: "binomial",
+            bytes: buf.as_ref().map_or(0, |b| b.len() as u64),
+        };
+        let out = self.meet(label, buf, move |inputs: Vec<Option<IoBuffer>>, max| {
             let data = inputs
                 .into_iter()
                 .flatten()
@@ -53,7 +75,12 @@ impl Communicator<'_> {
         debug_assert_eq!(val.is_some(), self.rank() == root, "only root supplies data");
         let net = self.ep.net().clone();
         let p = self.size();
-        let out = self.meet(val, move |inputs: Vec<Option<T>>, max| {
+        let label = MeetLabel {
+            op: "bcast",
+            alg: "binomial",
+            bytes: bytes as u64,
+        };
+        let out = self.meet(label, val, move |inputs: Vec<Option<T>>, max| {
             let data = inputs
                 .into_iter()
                 .flatten()
@@ -70,7 +97,12 @@ impl Communicator<'_> {
         assert!(root < self.size(), "gather root {root} out of range");
         let net = self.ep.net().clone();
         let p = self.size();
-        let out = self.meet(buf, move |inputs: Vec<IoBuffer>, max| {
+        let label = MeetLabel {
+            op: "gather",
+            alg: "binomial",
+            bytes: buf.len() as u64,
+        };
+        let out = self.meet(label, buf, move |inputs: Vec<IoBuffer>, max| {
             let n_each = inputs.iter().map(IoBuffer::len).max().unwrap_or(0);
             let cost = net.gather_cost(p, n_each);
             (inputs, max + cost)
@@ -85,7 +117,14 @@ impl Communicator<'_> {
         debug_assert_eq!(bufs.is_some(), self.rank() == root);
         let net = self.ep.net().clone();
         let p = self.size();
-        let out = self.meet(bufs, move |inputs: Vec<Option<Vec<IoBuffer>>>, max| {
+        let label = MeetLabel {
+            op: "scatter",
+            alg: "binomial",
+            bytes: bufs
+                .as_ref()
+                .map_or(0, |v| v.iter().map(IoBuffer::len).sum::<usize>() as u64),
+        };
+        let out = self.meet(label, bufs, move |inputs: Vec<Option<Vec<IoBuffer>>>, max| {
             let data = inputs
                 .into_iter()
                 .flatten()
@@ -104,7 +143,12 @@ impl Communicator<'_> {
     pub fn allgather(&self, buf: IoBuffer) -> Vec<IoBuffer> {
         let net = self.ep.net().clone();
         let p = self.size();
-        let out = self.meet(buf, move |inputs: Vec<IoBuffer>, max| {
+        let label = MeetLabel {
+            op: "allgather",
+            alg: "recursive_doubling",
+            bytes: buf.len() as u64,
+        };
+        let out = self.meet(label, buf, move |inputs: Vec<IoBuffer>, max| {
             let n_each = inputs.iter().map(IoBuffer::len).max().unwrap_or(0);
             let cost = net.allgather_cost(p, n_each);
             (inputs, max + cost)
@@ -120,7 +164,12 @@ impl Communicator<'_> {
     {
         let net = self.ep.net().clone();
         let p = self.size();
-        let out = self.meet(val, move |inputs: Vec<T>, max| {
+        let label = MeetLabel {
+            op: "allgather",
+            alg: "recursive_doubling",
+            bytes: bytes_each as u64,
+        };
+        let out = self.meet(label, val, move |inputs: Vec<T>, max| {
             let cost = net.allgather_cost(p, bytes_each);
             (inputs, max + cost)
         });
@@ -146,7 +195,12 @@ impl Communicator<'_> {
         assert_eq!(bufs.len(), p, "alltoall needs one buffer per member");
         let net = self.ep.net().clone();
         let me = self.rank();
-        let out = self.meet(bufs, move |inputs: Vec<Vec<IoBuffer>>, max| {
+        let label = MeetLabel {
+            op: if vector { "alltoallv" } else { "alltoall" },
+            alg: self.alltoall_alg(),
+            bytes: bufs.iter().map(IoBuffer::len).sum::<usize>() as u64,
+        };
+        let out = self.meet(label, bufs, move |inputs: Vec<Vec<IoBuffer>>, max| {
             let cost = if vector {
                 let max_total: usize = inputs
                     .iter()
@@ -183,7 +237,12 @@ impl Communicator<'_> {
         assert_eq!(row.len(), p, "alltoall needs one value per member");
         let net = self.ep.net().clone();
         let me = self.rank();
-        let out = self.meet(row, move |inputs: Vec<Vec<T>>, max| {
+        let label = MeetLabel {
+            op: "alltoall",
+            alg: self.alltoall_alg(),
+            bytes: (bytes_per_pair * p) as u64,
+        };
+        let out = self.meet(label, row, move |inputs: Vec<Vec<T>>, max| {
             let cost = net.alltoall_cost(p, bytes_per_pair);
             let transposed: Vec<Vec<T>> = (0..p)
                 .map(|dst| inputs.iter().map(|r| r[dst].clone()).collect())
@@ -205,7 +264,12 @@ impl Communicator<'_> {
         assert_eq!(row.len(), p, "alltoall needs one value per member");
         let net = self.ep.net().clone();
         let me = self.rank();
-        let out = self.meet(row, move |inputs: Vec<Vec<u64>>, max| {
+        let label = MeetLabel {
+            op: "alltoall_sizes",
+            alg: self.alltoall_alg(),
+            bytes: (row.len() * 8) as u64,
+        };
+        let out = self.meet(label, row, move |inputs: Vec<Vec<u64>>, max| {
             let cross: u64 = inputs
                 .iter()
                 .enumerate()
@@ -236,7 +300,12 @@ impl Communicator<'_> {
         let net = self.ep.net().clone();
         let p = self.size();
         let bytes = vals.len() * 8;
-        let out = self.meet(vals.to_vec(), move |inputs: Vec<Vec<u64>>, max| {
+        let label = MeetLabel {
+            op: "allreduce",
+            alg: "recursive_doubling",
+            bytes: bytes as u64,
+        };
+        let out = self.meet(label, vals.to_vec(), move |inputs: Vec<Vec<u64>>, max| {
             let reduced = reduce_rows_u64(&inputs, op);
             (reduced, max + net.allreduce_cost(p, bytes))
         });
@@ -248,7 +317,12 @@ impl Communicator<'_> {
         let net = self.ep.net().clone();
         let p = self.size();
         let bytes = vals.len() * 8;
-        let out = self.meet(vals.to_vec(), move |inputs: Vec<Vec<f64>>, max| {
+        let label = MeetLabel {
+            op: "allreduce",
+            alg: "recursive_doubling",
+            bytes: bytes as u64,
+        };
+        let out = self.meet(label, vals.to_vec(), move |inputs: Vec<Vec<f64>>, max| {
             let width = inputs[0].len();
             let mut acc = inputs[0].clone();
             for row in &inputs[1..] {
@@ -268,7 +342,12 @@ impl Communicator<'_> {
         let net = self.ep.net().clone();
         let p = self.size();
         let bytes = vals.len() * 8;
-        let out = self.meet(vals.to_vec(), move |inputs: Vec<Vec<u64>>, max| {
+        let label = MeetLabel {
+            op: "reduce",
+            alg: "recursive_doubling",
+            bytes: bytes as u64,
+        };
+        let out = self.meet(label, vals.to_vec(), move |inputs: Vec<Vec<u64>>, max| {
             let reduced = reduce_rows_u64(&inputs, op);
             (reduced, max + net.reduce_cost(p, bytes))
         });
@@ -282,7 +361,12 @@ impl Communicator<'_> {
         let p = self.size();
         let bytes = vals.len() * 8;
         let me = self.rank();
-        let out = self.meet(vals.to_vec(), move |inputs: Vec<Vec<u64>>, max| {
+        let label = MeetLabel {
+            op: "scan",
+            alg: "recursive_doubling",
+            bytes: bytes as u64,
+        };
+        let out = self.meet(label, vals.to_vec(), move |inputs: Vec<Vec<u64>>, max| {
             let width = inputs[0].len();
             let mut prefixes = Vec::with_capacity(inputs.len());
             let mut acc = inputs[0].clone();

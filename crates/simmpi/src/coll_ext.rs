@@ -4,7 +4,7 @@
 //! codes use reduce-scatter for load statistics; checkpoint headers use
 //! vector broadcasts).
 
-use crate::comm::Communicator;
+use crate::comm::{Communicator, MeetLabel};
 use crate::ReduceOp;
 use simnet::IoBuffer;
 
@@ -17,7 +17,12 @@ impl Communicator<'_> {
         let p = self.size();
         let bytes = vals.len() * 8;
         let me = self.rank();
-        let out = self.meet(vals.to_vec(), move |inputs: Vec<Vec<u64>>, max| {
+        let label = MeetLabel {
+            op: "exscan",
+            alg: "recursive_doubling",
+            bytes: bytes as u64,
+        };
+        let out = self.meet(label, vals.to_vec(), move |inputs: Vec<Vec<u64>>, max| {
             let width = inputs[0].len();
             let identity = match op {
                 ReduceOp::Min => u64::MAX,
@@ -51,7 +56,12 @@ impl Communicator<'_> {
         let net = self.ep.net().clone();
         let bytes = vals.len() * 8;
         let me = self.rank();
-        let out = self.meet(vals.to_vec(), move |inputs: Vec<Vec<u64>>, max| {
+        let label = MeetLabel {
+            op: "reduce_scatter",
+            alg: "recursive_doubling",
+            bytes: bytes as u64,
+        };
+        let out = self.meet(label, vals.to_vec(), move |inputs: Vec<Vec<u64>>, max| {
             let width = inputs[0].len();
             let mut acc = inputs[0].clone();
             for row in &inputs[1..] {
@@ -74,7 +84,14 @@ impl Communicator<'_> {
         debug_assert_eq!(bufs.is_some(), self.rank() == root);
         let net = self.ep.net().clone();
         let p = self.size();
-        let out = self.meet(bufs, move |inputs: Vec<Option<Vec<IoBuffer>>>, max| {
+        let label = MeetLabel {
+            op: "bcast",
+            alg: "binomial",
+            bytes: bufs
+                .as_ref()
+                .map_or(0, |v| v.iter().map(IoBuffer::len).sum::<usize>() as u64),
+        };
+        let out = self.meet(label, bufs, move |inputs: Vec<Option<Vec<IoBuffer>>>, max| {
             let data = inputs
                 .into_iter()
                 .flatten()

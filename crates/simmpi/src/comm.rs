@@ -43,6 +43,16 @@ pub struct Communicator<'ep> {
     pub(crate) my_local: usize,
 }
 
+/// Trace label for one collective entering the group rendezvous: the
+/// MPI-level operation name, the algorithm the cost model charges for it,
+/// and this rank's contributed byte count.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MeetLabel {
+    pub(crate) op: &'static str,
+    pub(crate) alg: &'static str,
+    pub(crate) bytes: u64,
+}
+
 impl Clone for Communicator<'_> {
     fn clone(&self) -> Self {
         Communicator {
@@ -121,18 +131,70 @@ impl<'ep> Communicator<'ep> {
     ///
     /// `combine` receives the inputs ordered by local rank and the maximum
     /// entry clock, and returns the shared result plus the completion time.
-    pub(crate) fn meet<T, R, F>(&self, input: T, combine: F) -> Arc<R>
+    ///
+    /// When tracing is enabled, each rank emits a `rdv` span on its own
+    /// timeline covering its entry to the last participant's arrival (the
+    /// span duration *is* the collective wall this rank paid), tagged with
+    /// the straggler's global rank and the operation's algorithm/volume.
+    pub(crate) fn meet<T, R, F>(&self, label: MeetLabel, input: T, combine: F) -> Arc<R>
     where
         T: Send + 'static,
         R: Send + Sync + 'static,
         F: FnOnce(Vec<T>, SimTime) -> (R, SimTime),
     {
-        let (result, completion) =
+        let entry = self.ep.now();
+        let (result, completion, info) =
             self.shared
                 .rdv
-                .meet(self.my_local, self.ep.now(), input, combine);
+                .meet_info(self.my_local, entry, input, combine);
         self.ep.clock().advance_to(completion);
+        let rec = self.ep.trace();
+        if rec.enabled() {
+            rec.span(
+                "rdv",
+                label.op,
+                entry.as_micros(),
+                info.last_arrival.as_micros(),
+                vec![
+                    ("ctx", simtrace::ArgValue::from(self.shared.ctx as u64)),
+                    ("seq", simtrace::ArgValue::from(info.seq)),
+                    ("n", simtrace::ArgValue::from(self.size())),
+                    (
+                        "straggler",
+                        simtrace::ArgValue::from(self.shared.members[info.straggler]),
+                    ),
+                    ("alg", simtrace::ArgValue::from(label.alg)),
+                    ("bytes", simtrace::ArgValue::from(label.bytes)),
+                    ("done_us", simtrace::ArgValue::from(completion.as_micros())),
+                ],
+            );
+        }
         result
+    }
+
+    /// Run `f` exactly once at the group's meeting point and advance
+    /// every member's clock to the completion instant `f` returns.
+    ///
+    /// `f` receives the latest entry clock among the members. Only the
+    /// last-arriving member's closure executes, so side effects happen
+    /// once per collective — which is what lets I/O layers charge a
+    /// shared serial resource (e.g. a file system's metadata server) for
+    /// the whole group at a virtual-time-keyed instant, independent of
+    /// the order the OS happened to run the rank threads.
+    pub fn once_at_meet<R, F>(&self, op: &'static str, f: F) -> Arc<R>
+    where
+        R: Send + Sync + 'static,
+        F: FnOnce(SimTime) -> (R, SimTime),
+    {
+        self.meet(
+            MeetLabel {
+                op,
+                alg: "rendezvous",
+                bytes: 0,
+            },
+            (),
+            move |_: Vec<()>, max| f(max),
+        )
     }
 
     /// Split into disjoint sub-communicators by `color`, ordering members
@@ -154,6 +216,11 @@ impl<'ep> Communicator<'ep> {
         // (shared state, local rank) assignment.
         type SplitOut = Vec<Option<(Arc<CommShared>, usize)>>;
         let assignment: Arc<SplitOut> = self.meet(
+            MeetLabel {
+                op: "comm_split",
+                alg: "recursive_doubling",
+                bytes: 16,
+            },
             (color, key),
             move |inputs: Vec<(Option<i64>, i64)>, max_clock| {
                 let mut by_color: std::collections::BTreeMap<i64, Vec<(i64, usize)>> =
@@ -204,7 +271,12 @@ impl<'ep> Communicator<'ep> {
         let net = self.ep.net().clone();
         let p = self.size();
         let members = self.shared.members.clone();
-        let shared: Arc<Arc<CommShared>> = self.meet((), move |_inputs: Vec<()>, max_clock| {
+        let label = MeetLabel {
+            op: "comm_dup",
+            alg: "dissemination",
+            bytes: 0,
+        };
+        let shared: Arc<Arc<CommShared>> = self.meet(label, (), move |_inputs: Vec<()>, max_clock| {
             let shared = Arc::new(CommShared {
                 ctx: ctx_alloc.fetch_add(1, Ordering::Relaxed),
                 members,

@@ -22,6 +22,11 @@ impl Communicator<'_> {
     /// Blocking standard send to `dst` (local rank).
     pub fn send(&self, dst: usize, tag: i32, buf: IoBuffer) {
         let global = self.global_rank(dst);
+        let rec = self.ep.trace();
+        if rec.enabled() {
+            rec.observe("p2p_send_bytes", buf.len() as f64);
+            rec.count("p2p_sends", 1);
+        }
         self.ep.send(global, self.shared.ctx, tag, buf);
     }
 
@@ -35,7 +40,23 @@ impl Communicator<'_> {
     /// Blocking receive from `src` (local rank) with `tag`.
     pub fn recv(&self, src: usize, tag: i32) -> IoBuffer {
         let global = self.global_rank(src);
-        self.ep.recv(global, self.shared.ctx, tag)
+        let entry = self.ep.now();
+        let buf = self.ep.recv(global, self.shared.ctx, tag);
+        let rec = self.ep.trace();
+        if rec.enabled() {
+            rec.span(
+                "p2p",
+                "recv",
+                entry.as_micros(),
+                self.ep.now().as_micros(),
+                vec![
+                    ("src", simtrace::ArgValue::from(global)),
+                    ("tag", simtrace::ArgValue::from(tag as u64)),
+                    ("bytes", simtrace::ArgValue::from(buf.len())),
+                ],
+            );
+        }
+        buf
     }
 
     /// Post a non-blocking receive; complete it with
@@ -51,6 +72,7 @@ impl Communicator<'_> {
     /// request order; the clock advances to the latest arrival plus one
     /// receive overhead per message (the CPU cost of completing each).
     pub fn waitall(&self, reqs: &[RecvRequest]) -> Vec<IoBuffer> {
+        let entry = self.ep.now();
         let mut payloads = Vec::with_capacity(reqs.len());
         let mut latest = SimTime::ZERO;
         let mut overhead = SimTime::ZERO;
@@ -63,6 +85,20 @@ impl Communicator<'_> {
         }
         self.ep.clock().advance_to(latest);
         self.ep.clock().advance(overhead);
+        let rec = self.ep.trace();
+        if rec.enabled() && !reqs.is_empty() {
+            let bytes: usize = payloads.iter().map(IoBuffer::len).sum();
+            rec.span(
+                "p2p",
+                "waitall",
+                entry.as_micros(),
+                self.ep.now().as_micros(),
+                vec![
+                    ("n", simtrace::ArgValue::from(reqs.len())),
+                    ("bytes", simtrace::ArgValue::from(bytes)),
+                ],
+            );
+        }
         payloads
     }
 

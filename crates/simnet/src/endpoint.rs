@@ -25,6 +25,7 @@ pub struct Endpoint {
     poison: Arc<PoisonFlag>,
     world_rdv: Arc<Rendezvous>,
     ctx_counter: Arc<AtomicU32>,
+    trace: simtrace::Recorder,
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -49,6 +50,7 @@ impl Endpoint {
         poison: Arc<PoisonFlag>,
         world_rdv: Arc<Rendezvous>,
         ctx_counter: Arc<AtomicU32>,
+        trace: simtrace::Recorder,
     ) -> Self {
         Endpoint {
             rank,
@@ -61,6 +63,7 @@ impl Endpoint {
             poison,
             world_rdv,
             ctx_counter,
+            trace,
         }
     }
 
@@ -112,6 +115,14 @@ impl Endpoint {
     /// Charge a local memory copy of `n` bytes.
     pub fn charge_memcpy(&self, n: usize) {
         self.clock.advance(self.machine.memcpy_time(n));
+    }
+
+    /// This rank's trace recorder (a no-op unless the cluster was run
+    /// with an enabled [`simtrace::TraceSink`]). Higher layers use it to
+    /// emit spans, instants, counters and histogram observations on this
+    /// rank's timeline.
+    pub fn trace(&self) -> &simtrace::Recorder {
+        &self.trace
     }
 
     /// The cluster-wide poison flag (for building further blocking

@@ -56,7 +56,7 @@ pub use endpoint::Endpoint;
 pub use error::{SimError, SimResult};
 pub use model::{CollectiveAlg, MachineModel, NetworkModel};
 pub use noise::SplitMix64;
-pub use rendezvous::Rendezvous;
+pub use rendezvous::{MeetInfo, Rendezvous};
 pub use runtime::{run_cluster, ClusterConfig};
 pub use time::SimTime;
 pub use topology::{Mapping, Topology};

@@ -48,13 +48,28 @@ impl PoisonFlag {
 type BoxedInput = Box<dyn Any + Send>;
 type SharedResult = Arc<dyn Any + Send + Sync>;
 
+/// Arrival attribution for one completed meeting: which participant the
+/// others waited for, and when it showed up. Computed once by the last
+/// arrival and observed identically by every participant, so it is as
+/// deterministic as the meeting result itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeetInfo {
+    /// Generation number of the meeting (0-based, per rendezvous).
+    pub seq: u64,
+    /// Participant index with the latest entry clock (lowest index wins
+    /// ties) — the straggler every other participant waited for.
+    pub straggler: usize,
+    /// The straggler's entry clock == `max(entry clocks)`.
+    pub last_arrival: SimTime,
+}
+
 #[derive(Default)]
 struct State {
     generation: u64,
     arrived: usize,
     inputs: Vec<Option<BoxedInput>>,
     clocks: Vec<SimTime>,
-    result: Option<(SharedResult, SimTime)>,
+    result: Option<(SharedResult, SimTime, MeetInfo)>,
     draining: usize,
 }
 
@@ -116,6 +131,25 @@ impl Rendezvous {
         R: Send + Sync + 'static,
         F: FnOnce(Vec<T>, SimTime) -> (R, SimTime),
     {
+        let (result, completion, _) = self.meet_info(idx, now, input, combine);
+        (result, completion)
+    }
+
+    /// Like [`meet`](Self::meet), additionally returning the
+    /// [`MeetInfo`] arrival attribution (straggler index, its entry
+    /// clock, and the meeting's generation number).
+    pub fn meet_info<T, R, F>(
+        &self,
+        idx: usize,
+        now: SimTime,
+        input: T,
+        combine: F,
+    ) -> (Arc<R>, SimTime, MeetInfo)
+    where
+        T: Send + 'static,
+        R: Send + Sync + 'static,
+        F: FnOnce(Vec<T>, SimTime) -> (R, SimTime),
+    {
         assert!(idx < self.n, "participant {idx} out of {}", self.n);
         let mut st = self.state.lock();
 
@@ -145,17 +179,25 @@ impl Rendezvous {
                         .expect("all participants use the same input type")
                 })
                 .collect();
-            let max_clock = st
+            let straggler = st
                 .clocks
                 .iter()
-                .copied()
-                .fold(SimTime::ZERO, SimTime::max);
+                .enumerate()
+                .max_by(|(ia, a), (ib, b)| a.partial_cmp(b).unwrap().then(ib.cmp(ia)))
+                .map(|(i, _)| i)
+                .expect("at least one participant");
+            let max_clock = st.clocks[straggler];
+            let info = MeetInfo {
+                seq: gen,
+                straggler,
+                last_arrival: max_clock,
+            };
             let (result, completion) = combine(inputs, max_clock);
             debug_assert!(
                 completion >= max_clock,
                 "collective completion {completion:?} precedes last arrival {max_clock:?}"
             );
-            st.result = Some((Arc::new(result), completion));
+            st.result = Some((Arc::new(result), completion, info));
             st.draining = self.n;
             self.cv.notify_all();
         } else {
@@ -164,7 +206,7 @@ impl Rendezvous {
             }
         }
 
-        let (shared, completion) = st
+        let (shared, completion, info) = st
             .result
             .clone()
             .expect("result present when a participant is released");
@@ -180,7 +222,7 @@ impl Rendezvous {
         let typed = shared
             .downcast::<R>()
             .expect("all participants use the same result type");
-        (typed, completion)
+        (typed, completion, info)
     }
 
     fn poisonable_wait(&self, st: &mut parking_lot::MutexGuard<'_, State>) {
@@ -287,6 +329,57 @@ mod tests {
         let (_, done1) = h.join().unwrap();
         assert_eq!(done0, SimTime::secs(10.0));
         assert_eq!(done1, SimTime::secs(10.0));
+    }
+
+    #[test]
+    fn meet_info_names_the_straggler() {
+        let clocks = [1.0, 7.0, 3.0];
+        let r = rdv(3);
+        let handles: Vec<_> = (0..3)
+            .map(|i| {
+                let r = Arc::clone(&r);
+                thread::spawn(move || {
+                    r.meet_info(i, SimTime::secs(clocks[i]), (), |_, max| {
+                        ((), max + SimTime::secs(1.0))
+                    })
+                })
+            })
+            .collect();
+        for h in handles {
+            let (_, done, info) = h.join().unwrap();
+            assert_eq!(info.seq, 0);
+            assert_eq!(info.straggler, 1);
+            assert!((info.last_arrival.as_secs() - 7.0).abs() < 1e-12);
+            assert!((done.as_secs() - 8.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn straggler_ties_break_to_lowest_index() {
+        let r = rdv(4);
+        let handles: Vec<_> = (0..4)
+            .rev()
+            .map(|i| {
+                let r = Arc::clone(&r);
+                thread::spawn(move || {
+                    let (_, _, info) =
+                        r.meet_info(i, SimTime::secs(2.0), (), |_, max| ((), max));
+                    info
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap().straggler, 0);
+        }
+    }
+
+    #[test]
+    fn meet_info_seq_counts_generations() {
+        let r = rdv(1);
+        for expect in 0..3 {
+            let (_, _, info) = r.meet_info(0, SimTime::ZERO, (), |_, max| ((), max));
+            assert_eq!(info.seq, expect);
+        }
     }
 
     #[test]

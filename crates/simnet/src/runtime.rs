@@ -22,6 +22,10 @@ pub struct ClusterConfig {
     /// Stack size per rank thread. The protocols here recurse shallowly,
     /// and runs spawn up to 1024 threads, so the default is a modest 1 MiB.
     pub stack_size: usize,
+    /// Trace sink shared by every rank. Disabled by default: each
+    /// recording call returns after one branch, so uninstrumented runs
+    /// keep their virtual and host timings.
+    pub trace: simtrace::TraceSink,
 }
 
 impl ClusterConfig {
@@ -33,6 +37,7 @@ impl ClusterConfig {
             net: NetworkModel::cray_xt_seastar(),
             machine: MachineModel::catamount(),
             stack_size: 1 << 20,
+            trace: simtrace::TraceSink::disabled(),
         }
     }
 
@@ -43,6 +48,7 @@ impl ClusterConfig {
             net: NetworkModel::ideal(),
             machine: MachineModel::ideal(),
             stack_size: 1 << 20,
+            trace: simtrace::TraceSink::disabled(),
         }
     }
 }
@@ -99,6 +105,10 @@ where
 
     let handles: Vec<_> = (0..n)
         .map(|rank| {
+            let trace = cfg.trace.recorder_on_node(
+                simtrace::TrackKey::Rank(rank),
+                Some(topology.node_of(rank)),
+            );
             let ep = Endpoint::new(
                 rank,
                 Arc::clone(&mailboxes),
@@ -109,6 +119,7 @@ where
                 Arc::clone(&poison),
                 Arc::clone(&world_rdv),
                 Arc::clone(&ctx_counter),
+                trace,
             );
             let f = Arc::clone(&f);
             let guard_flag = Arc::clone(&poison);

@@ -1,0 +1,38 @@
+//! # simtrace — cross-layer virtual-time tracing and metrics
+//!
+//! The reproduction's observability layer. Every simulated rank and OST
+//! owns a *track* of timeline events (spans, instants, counter samples)
+//! keyed by **virtual time**, plus monotone metrics (counters, log2
+//! histograms). Recording goes through a [`TraceSink`] that is a no-op by
+//! default: the instrumented layers pay one branch when tracing is off, so
+//! release benchmark numbers are unchanged.
+//!
+//! What the five instrumented layers record:
+//!
+//! * **simnet rendezvous** — who-waits-for-whom: one `rdv` span per
+//!   participant per collective (arrival → last arrival) carrying the
+//!   straggler's global rank, the direct attribution of the paper's
+//!   collective wall (§2.2, Figures 1–2).
+//! * **simmpi** — collective op spans with algorithm and byte counts;
+//!   p2p byte histograms and wait spans.
+//! * **simfs** — per-OST service intervals, queue-wait, queue-depth
+//!   counter samples.
+//! * **mpiio::twophase** — `phase` spans mirroring [`PhaseProfile`]
+//!   charges exactly (they reconcile to <1 µs), plus per-round brackets
+//!   of the extended two-phase exchange.
+//! * **parcoll** — pattern classification, file-area boundaries,
+//!   aggregator assignment and subgroup splits.
+//!
+//! Merging is deterministic (see [`TraceSink::finish`]); export targets
+//! are Chrome/Perfetto trace-event JSON ([`chrome_trace_json`]) and a
+//! machine-readable metrics document ([`metrics_json`]).
+//!
+//! [`PhaseProfile`]: https://crates.io/crates/mpiio (in-workspace)
+
+pub mod json;
+
+mod export;
+mod sink;
+
+pub use export::{chrome_trace_json, collective_ops, metrics_json, CollectiveOp};
+pub use sink::{ArgValue, Event, Hist, Recorder, Trace, TraceSink, TrackData, TrackKey};

@@ -56,6 +56,9 @@ pub struct RunConfig {
     pub fs: FsConfig,
     /// Also measure a collective read-back pass.
     pub read_back: bool,
+    /// Trace sink wired through the cluster, the MPI/IO layers and the
+    /// OSTs. Disabled (zero-cost) by default.
+    pub trace: simtrace::TraceSink,
 }
 
 impl RunConfig {
@@ -69,6 +72,7 @@ impl RunConfig {
             mapping: Mapping::Block,
             fs: FsConfig::jaguar(),
             read_back: false,
+            trace: simtrace::TraceSink::disabled(),
         }
     }
 
@@ -81,6 +85,7 @@ impl RunConfig {
             mapping: Mapping::Block,
             fs: FsConfig::tiny(),
             read_back: true,
+            trace: simtrace::TraceSink::disabled(),
         }
     }
 }
@@ -123,6 +128,7 @@ where
     let nprocs = workload.nprocs();
     let total_bytes = workload.total_bytes();
     let fs = FileSystem::new(cfg.fs.clone());
+    fs.attach_trace(&cfg.trace);
     let workload = Arc::new(workload);
     let mut net = simnet::NetworkModel::cray_xt_seastar();
     tweak(&mut net);
@@ -131,6 +137,7 @@ where
         net,
         machine: simnet::MachineModel::catamount(),
         stack_size: 1 << 20,
+        trace: cfg.trace.clone(),
     };
 
     struct RankOut {
@@ -178,10 +185,9 @@ where
                     }
                 }
                 // Close-time sync: wait for the server caches to drain.
-                let drain0 = ep.now();
+                let t = mpiio::profile::PhaseTimer::start(mpiio::profile::Phase::Io, ep.now());
                 ep.clock().advance_to(fs.drain_time());
-                f.profile_mut()
-                    .charge(mpiio::profile::Phase::Io, ep.now() - drain0);
+                t.stop_traced(ep.now(), f.profile_mut(), ep.trace());
                 comm.barrier();
                 let write_s = (ep.now() - t0).as_secs();
                 let read_s = measure_read_plain(&mut f, w.as_ref(), rank, &cfg2, &comm, &ep);
@@ -201,11 +207,9 @@ where
                     f.write_at_all(off, &make_buf(call, bytes));
                 }
                 // Close-time sync: wait for the server caches to drain.
-                let drain0 = ep.now();
+                let t = mpiio::profile::PhaseTimer::start(mpiio::profile::Phase::Io, ep.now());
                 ep.clock().advance_to(fs.drain_time());
-                f.inner_mut()
-                    .profile_mut()
-                    .charge(mpiio::profile::Phase::Io, ep.now() - drain0);
+                t.stop_traced(ep.now(), f.inner_mut().profile_mut(), ep.trace());
                 comm.barrier();
                 let write_s = (ep.now() - t0).as_secs();
                 let read_s = measure_read_parcoll(&mut f, w.as_ref(), rank, &cfg2, &comm, &ep);

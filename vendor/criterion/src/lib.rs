@@ -1,0 +1,186 @@
+//! Offline drop-in subset of the `criterion` benchmarking API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the slice of criterion its benches use: `Criterion::bench_function`,
+//! `benchmark_group` (+ `sample_size`), `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is intentionally simple: per benchmark it warms up once,
+//! then times `samples` batches and reports the median per-iteration time.
+//! No statistics, plots, or baseline comparisons — the numbers are
+//! indicative, which is all the virtual-time workloads here need (their
+//! interesting output is *virtual* seconds, measured in the binaries).
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How batch setup cost relates to measurement; only a routing hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter`/`iter_batched` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            last: None,
+        }
+    }
+
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        hint::black_box(routine()); // warm-up
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            hint::black_box(routine());
+            times.push(t0.elapsed());
+        }
+        self.record(times);
+    }
+
+    /// Time `routine` on inputs produced by `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        hint::black_box(routine(setup())); // warm-up
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            hint::black_box(routine(input));
+            times.push(t0.elapsed());
+        }
+        self.record(times);
+    }
+
+    fn record(&mut self, mut times: Vec<Duration>) {
+        times.sort();
+        self.last = times.get(times.len() / 2).copied();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        report(id, b.last);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: self.samples,
+            _parent: self,
+        }
+    }
+}
+
+/// Named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), b.last);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn report(id: &str, median: Option<Duration>) {
+    match median {
+        Some(d) => println!("{id:<44} time: {d:>12.3?}/iter (median)"),
+        None => println!("{id:<44} time: <no samples>"),
+    }
+}
+
+/// Declare a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare `main` running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher::new(3);
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.last.is_some());
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup_value() {
+        let mut b = Bencher::new(3);
+        b.iter_batched(
+            || vec![1u8; 16],
+            |v| v.into_iter().map(u64::from).sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.last.is_some());
+    }
+
+    #[test]
+    fn group_runs_and_finishes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}
