@@ -10,14 +10,14 @@ use workloads::runner::{run_workload, IoMode, RunConfig};
 
 fn main() {
     let scale = Scale::from_args();
-    let (p, block, calls) = match scale {
-        Scale::Paper => (256usize, 256u64 << 20, Some(48)),
-        Scale::Quick => (16, 1 << 20, Some(8)),
+    let (p, block, transfer, calls) = match scale {
+        Scale::Paper => (256usize, 256u64 << 20, 4u64 << 20, Some(48)),
+        Scale::Quick => (16, 1 << 20, 256 << 10, Some(8)),
     };
     let make = || Ior {
         nprocs: p,
         block_size: block,
-        transfer_size: 4 << 20,
+        transfer_size: transfer,
         max_calls: calls,
     };
     let mut rows = Vec::new();

@@ -1,0 +1,96 @@
+//! `critical_path` — happens-before critical-path breakdown for the
+//! figure workloads. For MPI-Tile-IO at a sweep of process counts (and
+//! both I/O protocols), runs the workload traced, reconstructs the
+//! event graph, extracts the path that bounds the virtual wall, and
+//! prints where that path spends its time: the collective wall as a
+//! *chain of stragglers* rather than an averaged share.
+//!
+//! Alongside the per-phase path breakdown it prints the what-if panel —
+//! three "wall if sync were free" estimates (the Figure 1/2
+//! uniform-share estimate, the dependency-aware per-rank bound, and the
+//! path-only subtraction) whose spread is the point: averaged sync
+//! share overstates what removing synchronization could recover.
+//!
+//! Emits `bench_results/critical_path.json` rows, so `report` folds the
+//! table in with the figures. `--quick` runs reduced scale.
+
+use bench::figures::tileio_at;
+use bench::{emit_json, Row, Scale};
+use simtrace::{critical_path, rank_slack, what_if, TraceSink};
+use workloads::runner::{run_workload, IoMode, RunConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let full = scale == Scale::Paper;
+    let procs: &[usize] = scale.pick(&[16, 64, 128], &[8, 16]);
+
+    let mut rows = Vec::new();
+    for &p in procs {
+        for (label, mode) in [
+            ("baseline", IoMode::Collective),
+            ("parcoll", IoMode::Parcoll { groups: (p / 8).max(2) }),
+        ] {
+            let sink = TraceSink::enabled();
+            let mut cfg = RunConfig::paper(mode);
+            cfg.trace = sink.clone();
+            run_workload(tileio_at(p, full), cfg);
+            let trace = sink.finish();
+            let Some(path) = critical_path(&trace) else {
+                eprintln!("{label} {p}: no path (empty trace?)");
+                continue;
+            };
+            let w = what_if(&trace, &path);
+            let chain = path.straggler_chain();
+            let slack = rank_slack(&trace, &path);
+
+            println!(
+                "\n== tile-io {p} procs, {label}: wall {:.1} ms, path visits {} ranks in {} hops ==",
+                w.wall_us / 1e3,
+                path.time_on_rank().len(),
+                chain.len(),
+            );
+            print!("  path breakdown:");
+            for (phase, us) in path.breakdown() {
+                print!(" {phase} {:.1} ms ({:.0}%),", us / 1e3, us / w.wall_us * 100.0);
+            }
+            println!();
+            print!("  straggler chain (first hops):");
+            for (rank, us) in chain.iter().take(6) {
+                print!(" r{rank} {:.1} ms >", us / 1e3);
+            }
+            println!(" ...");
+            let mut tight: Vec<_> = slack.iter().collect();
+            tight.sort_by(|a, b| a.slack_us.total_cmp(&b.slack_us));
+            print!("  least slack:");
+            for s in tight.iter().take(4) {
+                print!(" r{} {:.1} ms,", s.rank, s.slack_us / 1e3);
+            }
+            println!();
+            println!(
+                "  sync share {:.1}% | sync-free wall: figure {:.1} ms, rank bound {:.1} ms, path {:.1} ms",
+                w.sync_share * 100.0,
+                w.sync_free_figure_us / 1e3,
+                w.sync_free_rank_bound_us / 1e3,
+                w.sync_free_path_us / 1e3,
+            );
+
+            let x = p as f64;
+            rows.push(
+                Row::new(format!("{label} wall"), x, w.wall_us / 1e3, "ms")
+                    .with("sync_share_pct", w.sync_share * 100.0)
+                    .with("chain_hops", chain.len() as f64),
+            );
+            for (phase, us) in path.breakdown() {
+                rows.push(Row::new(format!("{label} path {phase}"), x, us / 1e3, "ms"));
+            }
+            for (name, us) in [
+                ("syncfree figure", w.sync_free_figure_us),
+                ("syncfree rank-bound", w.sync_free_rank_bound_us),
+                ("syncfree path", w.sync_free_path_us),
+            ] {
+                rows.push(Row::new(format!("{label} {name}"), x, us / 1e3, "ms"));
+            }
+        }
+    }
+    emit_json("critical_path", &rows);
+}

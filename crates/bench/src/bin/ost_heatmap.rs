@@ -12,19 +12,11 @@
 //! Usage mirrors `parcoll_sim`: `ost_heatmap <workload> [--procs N]
 //! [--mode baseline|parcoll] [--groups G]`.
 
-use simtrace::{Event, TraceSink, TrackKey};
+use bench::{ost_loads, summarize_ost_loads};
+use simtrace::TraceSink;
 use workloads::ior::Ior;
 use workloads::runner::{run_workload, IoMode, RunConfig};
 use workloads::tileio::TileIo;
-
-/// Per-OST figures folded out of one trace track.
-#[derive(Default, Clone, Copy)]
-struct OstLoad {
-    busy_us: f64,
-    queue_us: f64,
-    requests: u64,
-    bytes: f64,
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,52 +56,17 @@ fn main() {
     let trace = sink.finish();
 
     // Fold each OST track's service intervals and counters.
-    let mut osts: Vec<OstLoad> = Vec::new();
-    for track in &trace.tracks {
-        let TrackKey::Ost(i) = track.key else {
-            continue;
-        };
-        if osts.len() <= i {
-            osts.resize(i + 1, OstLoad::default());
-        }
-        let load = &mut osts[i];
-        for event in &track.events {
-            if let Event::Span { cat: "ost", name, dur_us, .. } = event {
-                match name.as_ref() {
-                    "serve" => load.busy_us += dur_us,
-                    "queue" => load.queue_us += dur_us,
-                    _ => {}
-                }
-            }
-        }
-        load.requests = track.counters.get("ost_requests").copied().unwrap_or(0);
-        load.bytes = track
-            .hists
-            .get("ost_req_bytes")
-            .map_or(0.0, |h| h.sum);
-    }
-
-    let max_busy = osts.iter().map(|o| o.busy_us).fold(0.0f64, f64::max);
-    let mean_busy = if osts.is_empty() {
-        0.0
-    } else {
-        osts.iter().map(|o| o.busy_us).sum::<f64>() / osts.len() as f64
-    };
-    let imbalance = max_busy / mean_busy.max(1e-12);
-    let active = osts.iter().filter(|o| o.requests > 0).count();
-    let breadth = active as f64 / osts.len().max(1) as f64;
-    let total_reqs: u64 = osts.iter().map(|o| o.requests).sum();
-    let total_bytes: f64 = osts.iter().map(|o| o.bytes).sum();
-    let mean_req = total_bytes / (total_reqs.max(1) as f64);
+    let osts = ost_loads(&trace);
+    let s = summarize_ost_loads(&osts);
 
     println!(
         "{workload} {procs} procs {mode:?}: {:.1} MB/s, imbalance {:.2}, breadth {:.0}%, mean req {:.0} KiB",
         r.write_mbps,
-        imbalance,
-        breadth * 100.0,
-        mean_req / 1024.0
+        s.imbalance,
+        s.breadth * 100.0,
+        s.mean_request_bytes / 1024.0
     );
-    let scale = max_busy.max(1e-12);
+    let scale = s.max_busy_us.max(1e-12);
     println!("per-OST busy time ({} targets, # = busiest):", osts.len());
     for (i, o) in osts.iter().enumerate() {
         let bars = (o.busy_us / scale * 40.0).round() as usize;

@@ -1,0 +1,43 @@
+//! `regress` — the perf-regression gate: compare freshly regenerated
+//! figure rows against a committed baseline, point by point.
+//!
+//! ```text
+//! regress <fresh_dir> [<baseline_dir>]   (baseline defaults to bench_results)
+//! ```
+//!
+//! Every `*.json` row document in the baseline must be reproduced in
+//! the fresh directory with each (series, x) point matching within its
+//! series tolerance (1 ppm relative by default — the simulator is
+//! deterministic, so only cross-platform libm variance is tolerated).
+//! Missing files, lost or new points, unit changes and drifted extras
+//! are all failures. Exits nonzero on any finding, so CI can regenerate
+//! the quick-scale figures into a scratch directory and gate on this.
+
+use bench::regress::compare_dirs;
+use std::path::Path;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(fresh) = args.first() else {
+        eprintln!("usage: regress <fresh_dir> [<baseline_dir>=bench_results]");
+        std::process::exit(2);
+    };
+    let baseline = args.get(1).map(String::as_str).unwrap_or("bench_results");
+
+    match compare_dirs(Path::new(fresh), Path::new(baseline)) {
+        Err(e) => {
+            eprintln!("regress: {e}");
+            std::process::exit(2);
+        }
+        Ok(findings) if findings.is_empty() => {
+            println!("regress: {fresh} reproduces {baseline} within tolerance");
+        }
+        Ok(findings) => {
+            eprintln!("regress: {} finding(s) vs {baseline}:", findings.len());
+            for f in &findings {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

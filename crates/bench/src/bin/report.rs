@@ -4,7 +4,7 @@
 //! metrics documents (from `trace_dump`) are folded in as their own
 //! tables.
 
-use bench::{rows_from_json, Row};
+use bench::{print_metrics_doc, rows_from_json, Row};
 use simtrace::json::Json;
 use std::collections::BTreeMap;
 use std::path::Path;
@@ -37,54 +37,9 @@ fn main() {
             .filter(|d| d.get("kind").and_then(Json::as_str) == Some("simtrace_metrics"))
         {
             println!("\n### {name} (trace metrics)\n");
-            print_metrics(&doc);
+            print_metrics_doc(&doc);
         } else {
             eprintln!("skipping {name}: neither rows nor trace metrics");
-        }
-    }
-}
-
-/// Fold a simtrace metrics document into markdown: cross-track counter
-/// totals, histogram summaries and span-duration totals.
-fn print_metrics(doc: &Json) {
-    let Some(totals) = doc.get("totals") else {
-        eprintln!("(malformed metrics document: no totals)");
-        return;
-    };
-    if let Some(counters) = totals.get("counters").and_then(Json::as_obj) {
-        if !counters.is_empty() {
-            println!("| counter | total |");
-            println!("|---|---|");
-            for (k, v) in counters {
-                println!("| {k} | {} |", v.as_u64().unwrap_or(0));
-            }
-            println!();
-        }
-    }
-    if let Some(hists) = totals.get("histograms").and_then(Json::as_obj) {
-        if !hists.is_empty() {
-            println!("| histogram | count | mean | min | max |");
-            println!("|---|---|---|---|---|");
-            for (k, h) in hists {
-                let f = |key: &str| h.get(key).and_then(Json::as_f64).unwrap_or(0.0);
-                println!(
-                    "| {k} | {} | {:.1} | {:.1} | {:.1} |",
-                    h.get("count").and_then(Json::as_u64).unwrap_or(0),
-                    f("mean"),
-                    f("min"),
-                    f("max"),
-                );
-            }
-            println!();
-        }
-    }
-    if let Some(spans) = totals.get("span_totals_us").and_then(Json::as_obj) {
-        if !spans.is_empty() {
-            println!("| span | total (µs, all tracks) |");
-            println!("|---|---|");
-            for (k, v) in spans {
-                println!("| {k} | {:.1} |", v.as_f64().unwrap_or(0.0));
-            }
         }
     }
 }

@@ -34,8 +34,11 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod metrics;
+pub mod regress;
 pub mod scale;
 pub mod table;
 
+pub use metrics::{ost_loads, print_metrics_doc, summarize_ost_loads, OstLoad, OstSummary};
 pub use scale::Scale;
 pub use table::{emit_json, print_table, rows_from_json, rows_to_json, Row};

@@ -1,0 +1,123 @@
+//! Acceptance tests for the critical-path analysis on a real traced run:
+//! the extracted path must tile the run exactly (its length *is* the
+//! virtual wall time), and the what-if "sync-free" estimate must
+//! reproduce the Figure 1/2 sync share the same run's phase profile
+//! reports.
+
+use simtrace::{critical_path, rank_slack, TraceSink, TrackKey};
+use workloads::runner::{run_workload, IoMode, RunConfig};
+use workloads::tileio::TileIo;
+
+fn traced_tileio(procs: usize) -> (simtrace::Trace, workloads::runner::RunResult) {
+    let sink = TraceSink::enabled();
+    let mut cfg = RunConfig::paper(IoMode::Collective);
+    cfg.trace = sink.clone();
+    let result = run_workload(TileIo::tiny(procs), cfg);
+    (sink.finish(), result)
+}
+
+#[test]
+fn path_length_equals_virtual_wall_time_exactly() {
+    let (trace, _) = traced_tileio(16);
+    let path = critical_path(&trace).expect("a traced run yields a path");
+
+    // The wall is the latest span end over every rank track.
+    let wall = trace
+        .rank_tracks()
+        .flat_map(|t| {
+            t.events.iter().filter_map(|e| match e {
+                simtrace::Event::Span { start_us, dur_us, .. } => Some(start_us + dur_us),
+                _ => None,
+            })
+        })
+        .fold(0.0f64, f64::max);
+    assert_eq!(path.wall_us, wall);
+    // Exact: the segments tile [0, wall] with shared boundaries, so the
+    // path length is the wall bitwise, not approximately.
+    assert_eq!(path.length_us(), wall);
+    assert_eq!(path.segments.first().unwrap().start_us, 0.0);
+    assert_eq!(path.segments.last().unwrap().end_us, wall);
+    for pair in path.segments.windows(2) {
+        assert_eq!(
+            pair[0].end_us, pair[1].start_us,
+            "path segments must tile contiguously"
+        );
+    }
+    // The walk visits more than one rank on a 16-rank collective write.
+    assert!(path.straggler_chain().len() > 1, "path never left one rank");
+}
+
+#[test]
+fn what_if_sync_free_matches_figure_sync_share() {
+    // Paper-scale tiles at 16 ranks: the regime where the collective
+    // wall is real (Figure 1 reports ~52 % sync share here), so the 5 %
+    // tolerance actually discriminates.
+    let sink = TraceSink::enabled();
+    let mut cfg = RunConfig::paper(IoMode::Collective);
+    cfg.trace = sink.clone();
+    let result = run_workload(TileIo::paper(16), cfg);
+    let trace = sink.finish();
+    let path = critical_path(&trace).expect("a traced run yields a path");
+
+    // Figure 1/2 sync share: average per-rank sync seconds over average
+    // per-rank total seconds (bench::figures::collective_wall).
+    let p = &result.profile_avg;
+    let total = p.sync + p.p2p + p.io + p.local;
+    let fig_share = p.sync.as_secs() / total.as_secs();
+
+    let w = simtrace::what_if(&trace, &path);
+    eprintln!(
+        "wall {:.1} us | figure share {:.1}% (trace) vs {:.1}% (profile) | sync-free: figure {:.1} us, rank bound {:.1} us, path {:.1} us",
+        w.wall_us,
+        w.sync_share * 100.0,
+        fig_share * 100.0,
+        w.sync_free_figure_us,
+        w.sync_free_rank_bound_us,
+        w.sync_free_path_us,
+    );
+    // The graph-derived share must reproduce the figure's share: at this
+    // scale Figure 1 reports ~52 %, so 5 % absolute actually bites.
+    assert!(
+        fig_share > 0.30,
+        "expected a substantial collective wall at paper scale, got {:.1}%",
+        fig_share * 100.0
+    );
+    assert!(
+        (w.sync_share - fig_share).abs() < 0.05,
+        "graph sync share {:.1}% diverges from profile sync share {:.1}%",
+        w.sync_share * 100.0,
+        fig_share * 100.0
+    );
+    // And the three estimates order as the model predicts: the figure's
+    // uniform-recovery estimate is below the dependency-aware floor,
+    // which is below the path-only estimate, which is below the wall.
+    assert!(w.sync_free_figure_us <= w.sync_free_rank_bound_us + 1e-6);
+    assert!(w.sync_free_rank_bound_us <= w.sync_free_path_us + 1e-6);
+    assert!(w.sync_free_path_us <= w.wall_us + 1e-6);
+}
+
+#[test]
+fn slack_is_zero_only_for_path_ranks() {
+    let (trace, _) = traced_tileio(8);
+    let path = critical_path(&trace).unwrap();
+    let slack = rank_slack(&trace, &path);
+    assert_eq!(slack.len(), 8);
+    for s in &slack {
+        assert!(s.on_path_us >= 0.0 && s.on_path_us <= path.wall_us + 1e-6);
+        assert!((s.slack_us - (path.wall_us - s.on_path_us)).abs() < 1e-9);
+        assert_eq!(
+            trace
+                .track(TrackKey::Rank(s.rank))
+                .unwrap()
+                .span_total_us("phase", Some("sync")),
+            s.sync_us
+        );
+    }
+    // Path time across ranks sums to the wall.
+    let on_path: f64 = slack.iter().map(|s| s.on_path_us).sum();
+    assert!(
+        (on_path - path.wall_us).abs() < 1e-6,
+        "per-rank path time {on_path} != wall {}",
+        path.wall_us
+    );
+}

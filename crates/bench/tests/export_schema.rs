@@ -1,0 +1,162 @@
+//! Schema tests for the simtrace exporters on a *real* traced run (the
+//! unit tests in `simtrace::export` use hand-built traces). Three
+//! contracts consumers rely on:
+//!
+//! 1. `chrome_trace_json` is well-formed trace-event JSON: every event
+//!    carries a known `ph`, pid/tid routing, non-negative timestamps
+//!    and durations, and per-track events appear in completion order
+//!    (Perfetto tolerates disorder; our determinism contract does not).
+//! 2. `metrics_json` totals are exactly the fold of the recorder state
+//!    the `Trace` holds — counters, histogram counts/sums, span totals.
+//! 3. Both documents survive a parse → pretty round-trip byte-for-byte
+//!    (the in-repo JSON printer is its own parser's fixed point), which
+//!    is what keeps committed artifacts diff-stable.
+
+use simtrace::json::Json;
+use simtrace::{chrome_trace_json, metrics_json, Event, Trace, TraceSink};
+use std::collections::BTreeMap;
+use workloads::runner::{run_workload, IoMode, RunConfig};
+use workloads::tileio::TileIo;
+
+fn traced_run() -> Trace {
+    let sink = TraceSink::enabled();
+    let mut cfg = RunConfig::paper(IoMode::Parcoll { groups: 2 });
+    cfg.trace = sink.clone();
+    run_workload(TileIo::tiny(8), cfg);
+    sink.finish()
+}
+
+#[test]
+fn chrome_export_schema_holds_on_a_real_run() {
+    let trace = traced_run();
+    let doc = Json::parse(&chrome_trace_json(&trace)).expect("export parses");
+    assert_eq!(doc.get("displayTimeUnit").and_then(Json::as_str), Some("ms"));
+    let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+    assert!(events.len() > 100, "a traced 8-rank run is not this small");
+
+    // Completion time of the last event seen per ordering key. A rank
+    // lane is written by one thread on a clock that never runs
+    // backwards, so the whole lane is in completion order. A storage
+    // lane is appended per *request* (queue span, serve span, then a
+    // depth counter stamped at arrival), requests ordered by admission
+    // — so order holds per event kind, not across kinds.
+    const STORAGE_PID: u64 = 1_000_000;
+    let mut last_done: BTreeMap<(u64, u64, String), f64> = BTreeMap::new();
+    for e in events {
+        let ph = e.get("ph").and_then(Json::as_str).expect("every event has ph");
+        assert!(
+            matches!(ph, "M" | "X" | "i" | "C"),
+            "unexpected event phase {ph:?}"
+        );
+        let pid = e.get("pid").and_then(Json::as_u64).expect("pid");
+        let tid = e.get("tid").and_then(Json::as_u64).expect("tid");
+        if ph == "M" {
+            continue; // metadata carries no timestamp
+        }
+        let ts = e.get("ts").and_then(Json::as_f64).expect("ts");
+        assert!(ts >= 0.0, "negative virtual time {ts}");
+        let done = if ph == "X" {
+            let dur = e.get("dur").and_then(Json::as_f64).expect("X events have dur");
+            assert!(dur >= 0.0, "negative duration {dur}");
+            assert!(e.get("args").is_some(), "X events carry args");
+            ts + dur
+        } else {
+            ts
+        };
+        // Epsilon: the recorder stores start and duration, so `ts + dur`
+        // reintroduces last-bit rounding against the original end.
+        let kind = if pid == STORAGE_PID {
+            format!("{ph}/{}", e.get("name").and_then(Json::as_str).unwrap_or(""))
+        } else {
+            String::new()
+        };
+        let prev = last_done.entry((pid, tid, kind)).or_insert(0.0);
+        assert!(
+            done >= *prev - 1e-6,
+            "lane ({pid},{tid}) went backwards: {done} after {prev}"
+        );
+        *prev = done;
+    }
+
+    // Every rank and OST track got a thread_name metadata record.
+    let names: Vec<&str> = events
+        .iter()
+        .filter(|e| e.get("name").and_then(Json::as_str) == Some("thread_name"))
+        .map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(Json::as_str)
+                .unwrap()
+        })
+        .collect();
+    for r in 0..8 {
+        assert!(names.contains(&format!("rank {r}").as_str()), "rank {r} unnamed");
+    }
+    assert!(names.iter().any(|n| n.starts_with("ost ")), "no storage lanes");
+}
+
+#[test]
+fn metrics_totals_match_recorder_state() {
+    let trace = traced_run();
+    let doc = Json::parse(&metrics_json(&trace)).expect("metrics parse");
+    assert_eq!(doc.get("kind").and_then(Json::as_str), Some("simtrace_metrics"));
+
+    // Fold the trace independently of the exporter.
+    let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut hist_counts: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut hist_sums: BTreeMap<&str, f64> = BTreeMap::new();
+    let mut spans: BTreeMap<String, f64> = BTreeMap::new();
+    for track in &trace.tracks {
+        for (name, v) in &track.counters {
+            *counters.entry(name).or_insert(0) += v;
+        }
+        for (name, h) in &track.hists {
+            *hist_counts.entry(name).or_insert(0) += h.count;
+            *hist_sums.entry(name).or_insert(0.0) += h.sum;
+        }
+        for event in &track.events {
+            if let Event::Span { cat, name, dur_us, .. } = event {
+                *spans.entry(format!("{cat}/{name}")).or_insert(0.0) += dur_us;
+            }
+        }
+    }
+    assert!(!counters.is_empty() && !spans.is_empty(), "run recorded nothing");
+
+    let totals = doc.get("totals").unwrap();
+    let doc_counters = totals.get("counters").and_then(Json::as_obj).unwrap();
+    assert_eq!(doc_counters.len(), counters.len());
+    for (name, v) in &counters {
+        assert_eq!(
+            doc_counters.iter().find(|(k, _)| k.as_str() == *name).unwrap().1.as_u64(),
+            Some(*v),
+            "counter {name} total"
+        );
+    }
+    let doc_hists = totals.get("histograms").and_then(Json::as_obj).unwrap();
+    assert_eq!(doc_hists.len(), hist_counts.len());
+    for (name, h) in doc_hists {
+        assert_eq!(h.get("count").and_then(Json::as_u64), Some(hist_counts[name.as_str()]));
+        let sum = h.get("sum").and_then(Json::as_f64).unwrap();
+        assert!((sum - hist_sums[name.as_str()]).abs() < 1e-6, "hist {name} sum");
+    }
+    let doc_spans = totals.get("span_totals_us").and_then(Json::as_obj).unwrap();
+    assert_eq!(doc_spans.len(), spans.len());
+    for (name, us) in doc_spans {
+        assert!(
+            (us.as_f64().unwrap() - spans[name]).abs() < 1e-6,
+            "span total {name}"
+        );
+    }
+    // The per-track list mirrors the trace's tracks one-to-one.
+    let tracks = doc.get("tracks").unwrap().as_array().unwrap();
+    assert_eq!(tracks.len(), trace.tracks.len());
+}
+
+#[test]
+fn exports_are_parse_pretty_fixed_points() {
+    let trace = traced_run();
+    for text in [chrome_trace_json(&trace), metrics_json(&trace)] {
+        let reprinted = Json::parse(&text).unwrap().pretty();
+        assert_eq!(text, reprinted, "export is not its parser's fixed point");
+    }
+}

@@ -42,11 +42,12 @@ struct OstState {
 /// jitter. Different OSTs are independent, so striped requests proceed in
 /// parallel across targets while colliding clients on one target queue.
 ///
-/// Note on determinism: the queue order follows *host* arrival order.
-/// Virtual arrival times themselves are deterministic, and the total busy
-/// time of a target is order-independent, so aggregate bandwidths are
-/// stable; per-request completion times may permute when two requests
-/// carry equal virtual arrivals. Single-client tests are exact.
+/// Note on determinism: inside a cluster run, requests are admitted in
+/// `(virtual arrival, rank)` order by the [`simnet::progress`] gate, so
+/// queue depths, jitter draws and completion times are a pure function of
+/// virtual time — concurrent-writer runs are byte-reproducible. Outside a
+/// cluster (direct unit-test calls) the gate is a no-op and the queue
+/// order is simply call order.
 #[derive(Debug)]
 pub struct Ost {
     state: Mutex<OstState>,
@@ -94,6 +95,11 @@ impl Ost {
         writer: Option<(u64, SimTime, u64)>,
         cache_window: SimTime,
     ) -> SimTime {
+        // Deterministic admission: the OST mutates seeded RNG and queue
+        // state, so concurrent requests must enter in virtual-time order,
+        // not host-thread order. Declared before `st` so the admission is
+        // held for the whole state mutation.
+        let _admission = simnet::progress::admit(arrival);
         let mut st = self.state.lock();
         while st.completions.front().is_some_and(|&(c, _)| c <= arrival) {
             st.completions.pop_front();
@@ -149,16 +155,25 @@ impl Ost {
                     vec![("depth", simtrace::ArgValue::from(depth))],
                 );
             }
+            let mut args = vec![
+                ("bytes", simtrace::ArgValue::from(bytes)),
+                ("requests", simtrace::ArgValue::from(requests)),
+                ("queue_wait_us", simtrace::ArgValue::from(queue_wait.as_micros())),
+                // The completion instant the requester observes (the
+                // write-back cache can make it earlier than the span's
+                // backlog end) — the queue→serve edge target for
+                // critical-path reconstruction.
+                ("done_us", simtrace::ArgValue::from(done.as_micros())),
+            ];
+            if let Some(rank) = simnet::progress::current_rank() {
+                args.push(("rank", simtrace::ArgValue::from(rank)));
+            }
             st.trace.span(
                 "ost",
                 "serve",
                 backlog_start.as_micros(),
                 backlog_done.as_micros(),
-                vec![
-                    ("bytes", simtrace::ArgValue::from(bytes)),
-                    ("requests", simtrace::ArgValue::from(requests)),
-                    ("queue_wait_us", simtrace::ArgValue::from(queue_wait.as_micros())),
-                ],
+                args,
             );
             st.trace.counter("ost_queue_depth", arrival.as_micros(), depth);
             st.trace.count("ost_requests", requests);

@@ -243,8 +243,11 @@ impl<'ep> Communicator<'ep> {
                     );
                     let shared = Arc::new(CommShared {
                         ctx: ctx_alloc.fetch_add(1, Ordering::Relaxed),
+                        rdv: Arc::new(Rendezvous::for_ranks(
+                            group_members.clone(),
+                            Arc::clone(&poison),
+                        )),
                         members: group_members,
-                        rdv: Arc::new(Rendezvous::new(group.len(), Arc::clone(&poison))),
                     });
                     for (new_local, &(_, parent_local)) in group.iter().enumerate() {
                         out[parent_local] = Some((Arc::clone(&shared), new_local));
@@ -279,8 +282,11 @@ impl<'ep> Communicator<'ep> {
         let shared: Arc<Arc<CommShared>> = self.meet(label, (), move |_inputs: Vec<()>, max_clock| {
             let shared = Arc::new(CommShared {
                 ctx: ctx_alloc.fetch_add(1, Ordering::Relaxed),
+                rdv: Arc::new(Rendezvous::for_ranks(
+                    members.clone(),
+                    Arc::clone(&poison),
+                )),
                 members,
-                rdv: Arc::new(Rendezvous::new(p, Arc::clone(&poison))),
             });
             (shared, max_clock + net.barrier_cost(p))
         });

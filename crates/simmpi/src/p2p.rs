@@ -41,7 +41,9 @@ impl Communicator<'_> {
     pub fn recv(&self, src: usize, tag: i32) -> IoBuffer {
         let global = self.global_rank(src);
         let entry = self.ep.now();
-        let buf = self.ep.recv(global, self.shared.ctx, tag);
+        let (buf, info) = self.ep.recv_meta(global, self.shared.ctx, tag);
+        self.ep.clock().advance_to(info.arrival);
+        self.ep.clock().advance(self.ep.net().recv_overhead(buf.len()));
         let rec = self.ep.trace();
         if rec.enabled() {
             rec.span(
@@ -53,6 +55,10 @@ impl Communicator<'_> {
                     ("src", simtrace::ArgValue::from(global)),
                     ("tag", simtrace::ArgValue::from(tag as u64)),
                     ("bytes", simtrace::ArgValue::from(buf.len())),
+                    // Send→recv edge identity for trace analysis: when
+                    // the sender posted and when the last byte landed.
+                    ("sent_us", simtrace::ArgValue::from(info.sent.as_micros())),
+                    ("arrival_us", simtrace::ArgValue::from(info.arrival.as_micros())),
                 ],
             );
         }
@@ -76,10 +82,16 @@ impl Communicator<'_> {
         let mut payloads = Vec::with_capacity(reqs.len());
         let mut latest = SimTime::ZERO;
         let mut overhead = SimTime::ZERO;
+        // The message whose arrival bounds the batch (ties → first in
+        // request order), exported as the waitall's binding edge.
+        let mut bind: Option<(usize, simnet::RecvInfo)> = None;
         for req in reqs {
             let global = self.global_rank(req.src_local);
-            let (payload, arrival) = self.ep.recv_raw(global, self.shared.ctx, req.tag);
-            latest = latest.max(arrival);
+            let (payload, info) = self.ep.recv_meta(global, self.shared.ctx, req.tag);
+            if info.arrival > latest || bind.is_none() {
+                bind = Some((global, info));
+            }
+            latest = latest.max(info.arrival);
             overhead += self.ep.net().recv_overhead(payload.len());
             payloads.push(payload);
         }
@@ -88,6 +100,7 @@ impl Communicator<'_> {
         let rec = self.ep.trace();
         if rec.enabled() && !reqs.is_empty() {
             let bytes: usize = payloads.iter().map(IoBuffer::len).sum();
+            let (bind_src, bind_info) = bind.expect("nonempty batch has a binding message");
             rec.span(
                 "p2p",
                 "waitall",
@@ -96,6 +109,11 @@ impl Communicator<'_> {
                 vec![
                     ("n", simtrace::ArgValue::from(reqs.len())),
                     ("bytes", simtrace::ArgValue::from(bytes)),
+                    // Binding-edge identity: the latest-arriving message
+                    // (global sender, post instant, landing instant).
+                    ("bind_src", simtrace::ArgValue::from(bind_src)),
+                    ("bind_sent_us", simtrace::ArgValue::from(bind_info.sent.as_micros())),
+                    ("bind_arrival_us", simtrace::ArgValue::from(bind_info.arrival.as_micros())),
                 ],
             );
         }

@@ -11,6 +11,18 @@ use crate::topology::Topology;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
+/// Wire timing of one received message: when the sender posted it and
+/// when its last byte arrived at the receiver. These two instants define
+/// the send→recv happens-before edge in trace analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecvInfo {
+    /// Sender's virtual clock at the instant the send was posted.
+    pub sent: SimTime,
+    /// Virtual instant the payload is fully available at the receiver:
+    /// `sent + transfer_time(len)`.
+    pub arrival: SimTime,
+}
+
 /// A rank's handle: identity, virtual clock, raw messaging, and access to
 /// the shared cost models. One `Endpoint` is passed to each rank closure by
 /// [`crate::run_cluster`]; it is not `Sync` and must stay on its thread.
@@ -160,6 +172,9 @@ impl Endpoint {
         assert!(dst < self.size(), "send to invalid rank {dst}");
         self.clock.advance(self.net.send_overhead(payload.len()));
         if self.net.nic_serialize {
+            // The NIC is stateful (its queue tail depends on injection
+            // order), so admissions are gated into virtual-time order.
+            let _admission = crate::progress::admit(self.now());
             let done =
                 self.nics[self.node()].inject(self.now(), payload.len(), self.net.byte_time);
             self.clock.advance_to(done);
@@ -177,8 +192,8 @@ impl Endpoint {
     /// Blocking receive from `src`. Advances this rank's clock to
     /// `max(now, sent + L + n·G) + o` and returns the payload.
     pub fn recv(&self, src: usize, ctx: u32, tag: i32) -> IoBuffer {
-        let (payload, arrival) = self.recv_raw(src, ctx, tag);
-        self.clock.advance_to(arrival);
+        let (payload, info) = self.recv_meta(src, ctx, tag);
+        self.clock.advance_to(info.arrival);
         self.clock.advance(self.net.recv_overhead(payload.len()));
         payload
     }
@@ -188,10 +203,26 @@ impl Endpoint {
     /// Used to implement `waitall` over multiple posted receives, where
     /// the clock must advance to the *maximum* arrival, not the sum.
     pub fn recv_raw(&self, src: usize, ctx: u32, tag: i32) -> (IoBuffer, SimTime) {
+        let (payload, info) = self.recv_meta(src, ctx, tag);
+        (payload, info.arrival)
+    }
+
+    /// Receive without advancing the clock, returning the full wire
+    /// timing ([`RecvInfo`]): when the sender posted the message and when
+    /// the last byte lands here. Trace consumers use the pair to emit the
+    /// send→recv edge that lets `simtrace::analysis` walk the critical
+    /// path across ranks.
+    pub fn recv_meta(&self, src: usize, ctx: u32, tag: i32) -> (IoBuffer, RecvInfo) {
         assert!(src < self.size(), "recv from invalid rank {src}");
         let pkt = self.mailboxes[self.rank].recv(src, ctx, tag);
         let arrival = pkt.sent_clock + self.net.transfer_time(pkt.payload.len());
-        (pkt.payload, arrival)
+        (
+            pkt.payload,
+            RecvInfo {
+                sent: pkt.sent_clock,
+                arrival,
+            },
+        )
     }
 
     /// Non-blocking receive attempt; on success behaves like [`recv`].

@@ -45,6 +45,7 @@ pub mod mailbox;
 pub mod model;
 pub mod nic;
 pub mod noise;
+pub mod progress;
 pub mod rendezvous;
 pub mod runtime;
 pub mod time;
@@ -52,10 +53,11 @@ pub mod topology;
 
 pub use buffer::IoBuffer;
 pub use clock::Clock;
-pub use endpoint::Endpoint;
+pub use endpoint::{Endpoint, RecvInfo};
 pub use error::{SimError, SimResult};
 pub use model::{CollectiveAlg, MachineModel, NetworkModel};
 pub use noise::SplitMix64;
+pub use progress::{admit, current_rank, Admission};
 pub use rendezvous::{MeetInfo, Rendezvous};
 pub use runtime::{run_cluster, ClusterConfig};
 pub use time::SimTime;

@@ -37,6 +37,9 @@ type Key = (usize, u32, i32);
 
 /// One rank's incoming-message store.
 pub struct Mailbox {
+    /// The rank that receives from this mailbox — identifies which rank
+    /// to report to the progress registry on blocking and delivery.
+    owner: usize,
     queues: Mutex<HashMap<Key, VecDeque<Packet>>>,
     cv: Condvar,
     poison: Arc<PoisonFlag>,
@@ -51,9 +54,11 @@ impl std::fmt::Debug for Mailbox {
 const POISON_POLL: Duration = Duration::from_millis(50);
 
 impl Mailbox {
-    /// New empty mailbox sharing the cluster poison flag.
-    pub fn new(poison: Arc<PoisonFlag>) -> Self {
+    /// New empty mailbox for receiving rank `owner`, sharing the cluster
+    /// poison flag.
+    pub fn new(owner: usize, poison: Arc<PoisonFlag>) -> Self {
         Mailbox {
+            owner,
             queues: Mutex::new(HashMap::new()),
             cv: Condvar::new(),
             poison,
@@ -61,9 +66,18 @@ impl Mailbox {
     }
 
     /// Deposit a packet (called by the sender's thread).
+    ///
+    /// Holding the queues lock, this also downgrades the owner's
+    /// progress-registry mode if it was blocked on exactly this match:
+    /// once the packet is queued the owner is no longer waiting on the
+    /// sender's future, and the registry must never observe the stale
+    /// blocked mode with the packet already present.
     pub fn deliver(&self, pkt: Packet) {
         let key = (pkt.src, pkt.ctx, pkt.tag);
-        self.queues.lock().entry(key).or_default().push_back(pkt);
+        let mut q = self.queues.lock();
+        q.entry(key).or_default().push_back(pkt);
+        crate::progress::tl_deliver_downgrade(self.owner, key.0, key.1, key.2);
+        drop(q);
         self.cv.notify_all();
     }
 
@@ -72,18 +86,41 @@ impl Mailbox {
     pub fn recv(&self, src: usize, ctx: u32, tag: i32) -> Packet {
         let key = (src, ctx, tag);
         let mut q = self.queues.lock();
+        let mut registered = false;
+        let mut polls = 0u32;
         loop {
             if let Some(dq) = q.get_mut(&key) {
                 if let Some(pkt) = dq.pop_front() {
                     if dq.is_empty() {
                         q.remove(&key);
                     }
+                    if registered {
+                        // Normally the delivering sender already
+                        // downgraded us; self-clear covers delivery from
+                        // threads without a progress context.
+                        crate::progress::tl_unblock();
+                    }
                     return pkt;
                 }
+            }
+            if !registered {
+                // No matching packet exists: this rank's further progress
+                // (and all its future resource requests) now depends on
+                // the sender. Registered under the queues lock so that
+                // `deliver` cannot race the registration.
+                crate::progress::tl_block_recv(src, ctx, tag);
+                registered = true;
             }
             self.poison.check();
             self.cv.wait_for(&mut q, POISON_POLL);
             self.poison.check();
+            polls += 1;
+            if polls == crate::progress::STALL_DEBUG_POLLS && crate::progress::stall_debug() {
+                eprintln!(
+                    "mailbox stalled: rank {} waiting on ({src},{ctx},{tag})",
+                    self.owner
+                );
+            }
         }
     }
 
@@ -111,7 +148,7 @@ mod tests {
     use std::thread;
 
     fn mbox() -> Arc<Mailbox> {
-        Arc::new(Mailbox::new(Arc::new(PoisonFlag::default())))
+        Arc::new(Mailbox::new(0, Arc::new(PoisonFlag::default())))
     }
 
     fn pkt(src: usize, ctx: u32, tag: i32, bytes: &[u8]) -> Packet {
@@ -173,7 +210,7 @@ mod tests {
     #[should_panic(expected = "poisoned")]
     fn poisoned_recv_panics_instead_of_hanging() {
         let poison = Arc::new(PoisonFlag::default());
-        let m = Mailbox::new(Arc::clone(&poison));
+        let m = Mailbox::new(0, Arc::clone(&poison));
         poison.poison();
         let _ = m.recv(0, 0, 0);
     }

@@ -17,9 +17,13 @@
 use crate::time::SimTime;
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Process-global id source for rendezvous instances, so the progress
+/// registry can tell meeting points apart when downgrading waiters.
+static RDV_ID: AtomicU64 = AtomicU64::new(0);
 
 /// Shared flag that aborts all blocked substrate waits when any rank
 /// panics, so a failing test reports the panic instead of deadlocking.
@@ -76,6 +80,15 @@ struct State {
 /// A reusable meeting point for a fixed set of `n` participants.
 pub struct Rendezvous {
     n: usize,
+    /// Process-unique id, reported to the progress registry.
+    id: u64,
+    /// Global ranks of the participants (index-aligned with `idx`), when
+    /// known. Cluster-created rendezvous always carry this so the
+    /// progress registry can bound parked waiters by the participants'
+    /// clocks; `None` (unit-test constructor) registers waiters with an
+    /// empty membership, which is sound but cannot exploit the
+    /// requester-dependence rule.
+    participants: Option<Arc<Vec<usize>>>,
     state: Mutex<State>,
     cv: Condvar,
     poison: Arc<PoisonFlag>,
@@ -94,9 +107,25 @@ const POISON_POLL: Duration = Duration::from_millis(50);
 impl Rendezvous {
     /// Create a meeting point for `n` participants sharing `poison`.
     pub fn new(n: usize, poison: Arc<PoisonFlag>) -> Self {
+        Self::build(n, None, poison)
+    }
+
+    /// Create a meeting point for the given **global ranks** (participant
+    /// index `i` is `ranks[i]`). Cluster code must use this constructor:
+    /// the membership lets the progress registry bound a parked waiter's
+    /// wake time by the participants' clocks — in particular, a meeting
+    /// that includes the requesting rank never delays its admission.
+    pub fn for_ranks(ranks: Vec<usize>, poison: Arc<PoisonFlag>) -> Self {
+        let n = ranks.len();
+        Self::build(n, Some(Arc::new(ranks)), poison)
+    }
+
+    fn build(n: usize, participants: Option<Arc<Vec<usize>>>, poison: Arc<PoisonFlag>) -> Self {
         assert!(n > 0, "rendezvous needs at least one participant");
         Rendezvous {
             n,
+            id: RDV_ID.fetch_add(1, Ordering::Relaxed),
+            participants,
             state: Mutex::new(State {
                 inputs: (0..n).map(|_| None).collect(),
                 clocks: vec![SimTime::ZERO; n],
@@ -154,8 +183,16 @@ impl Rendezvous {
         let mut st = self.state.lock();
 
         // Wait for the previous generation to fully drain before joining.
+        let mut polls = 0u32;
         while st.result.is_some() {
             self.poisonable_wait(&mut st);
+            polls += 1;
+            if polls == crate::progress::STALL_DEBUG_POLLS && crate::progress::stall_debug() {
+                eprintln!(
+                    "rendezvous drain stalled: id {} gen {} idx {idx} draining {}",
+                    self.id, st.generation, st.draining
+                );
+            }
         }
 
         let gen = st.generation;
@@ -199,11 +236,40 @@ impl Rendezvous {
             );
             st.result = Some((Arc::new(result), completion, info));
             st.draining = self.n;
+            // The meeting is complete: downgrade every parked waiter in
+            // the progress registry before any of them can wake. Done
+            // under the state lock so no gate check observes a waiter
+            // still marked as parked in a finished meeting.
+            if let Some(members) = &self.participants {
+                crate::progress::tl_complete_rdv(self.id, members);
+            }
             self.cv.notify_all();
         } else {
+            // Register this rank as parked in the meeting (atomic with
+            // the deposit, under the state lock): its wake is bounded by
+            // the other participants' entry clocks, which the progress
+            // registry exploits when ordering resource admissions.
+            let members = self
+                .participants
+                .as_ref()
+                .map(Arc::clone)
+                .unwrap_or_default();
+            crate::progress::tl_block_rdv(self.id, members);
+            let mut polls = 0u32;
             while st.generation == gen && st.result.is_none() {
                 self.poisonable_wait(&mut st);
+                polls += 1;
+                if polls == crate::progress::STALL_DEBUG_POLLS && crate::progress::stall_debug() {
+                    eprintln!(
+                        "rendezvous stalled: id {} gen {gen} idx {idx} arrived {}/{}",
+                        self.id, st.arrived, self.n
+                    );
+                }
             }
+            // Normally the last arrival already downgraded us;
+            // self-clear covers meetings completed by threads without a
+            // progress context.
+            crate::progress::tl_unblock();
         }
 
         let (shared, completion, info) = st

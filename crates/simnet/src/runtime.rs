@@ -4,6 +4,7 @@ use crate::endpoint::Endpoint;
 use crate::mailbox::Mailbox;
 use crate::nic::Nic;
 use crate::model::{MachineModel, NetworkModel};
+use crate::progress::{self, ProgressRegistry};
 use crate::rendezvous::{PoisonFlag, Rendezvous};
 use crate::topology::{Mapping, Topology};
 use std::sync::atomic::AtomicU32;
@@ -82,14 +83,21 @@ where
 {
     let n = cfg.topology.nranks();
     let poison = Arc::new(PoisonFlag::default());
-    let mailboxes: Arc<Vec<Mailbox>> =
-        Arc::new((0..n).map(|_| Mailbox::new(Arc::clone(&poison))).collect());
+    let registry = Arc::new(ProgressRegistry::new(n, Arc::clone(&poison)));
+    let mailboxes: Arc<Vec<Mailbox>> = Arc::new(
+        (0..n)
+            .map(|r| Mailbox::new(r, Arc::clone(&poison)))
+            .collect(),
+    );
     let nics: Arc<Vec<Nic>> =
         Arc::new((0..cfg.topology.nnodes()).map(|_| Nic::new()).collect());
     let topology = Arc::new(cfg.topology);
     let net = Arc::new(cfg.net);
     let machine = Arc::new(cfg.machine);
-    let world_rdv = Arc::new(Rendezvous::new(n, Arc::clone(&poison)));
+    let world_rdv = Arc::new(Rendezvous::for_ranks(
+        (0..n).collect(),
+        Arc::clone(&poison),
+    ));
     let ctx_counter = Arc::new(AtomicU32::new(1)); // 0 is reserved for world
     let f = Arc::new(f);
 
@@ -123,11 +131,17 @@ where
             );
             let f = Arc::clone(&f);
             let guard_flag = Arc::clone(&poison);
+            let registry = Arc::clone(&registry);
             thread::Builder::new()
                 .name(format!("rank-{rank}"))
                 .stack_size(cfg.stack_size)
                 .spawn(move || {
                     let _guard = PoisonOnPanic(guard_flag);
+                    // Progress context: lets shared resources (OSTs, the
+                    // NIC) admit this rank's requests in virtual-time
+                    // order. Dropped (rank -> Finished) after `f`, even
+                    // on panic, so gate waiters never deadlock on us.
+                    let _ctx = progress::install(registry, rank);
                     f(ep)
                 })
                 .expect("failed to spawn rank thread")

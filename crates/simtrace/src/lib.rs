@@ -29,10 +29,15 @@
 //!
 //! [`PhaseProfile`]: https://crates.io/crates/mpiio (in-workspace)
 
+pub mod analysis;
 pub mod json;
 
 mod export;
 mod sink;
 
+pub use analysis::{
+    critical_path, rank_slack, sync_share, what_if, what_if_rank_bound_us, CriticalPath,
+    PathEdge, PathSegment, RankSlack, WhatIf,
+};
 pub use export::{chrome_trace_json, collective_ops, metrics_json, CollectiveOp};
 pub use sink::{ArgValue, Event, Hist, Recorder, Trace, TraceSink, TrackData, TrackKey};
