@@ -1,0 +1,202 @@
+//! `hostperf` — wall-clock timing of figure regeneration (host seconds,
+//! not virtual seconds). Complements `regress`, which pins the *virtual*
+//! results: this harness pins how long the simulator takes to produce
+//! them, so host-performance regressions are visible in review instead
+//! of silently making the paper-scale gate impractical.
+//!
+//! ```text
+//! hostperf [--quick] [--iters N] [--warmup N] [--series LABEL]
+//!          [--stack-size BYTES] [--check <baseline.json>] [--no-emit]
+//! ```
+//!
+//! Each tracked figure sweep runs in-process (no exec overhead): `warmup`
+//! discarded runs, then `iters` timed runs; the row reports the median
+//! with min/max/mean extras. Series are labeled `<figure>@<LABEL>` so one
+//! document can hold several builds side by side — the committed
+//! `bench_results/BENCH_hostperf.json` carries the pre-PR baseline series
+//! next to the current one, which is how speedups stay reviewable.
+//!
+//! `--check` compares this run's medians against the matching series in a
+//! baseline document and exits nonzero when any figure regressed by more
+//! than 25% wall-clock — the CI smoke gate. `--stack-size` overrides the
+//! per-rank thread stack for every cluster the sweeps spawn (see
+//! `ClusterConfig::stack_size` for the measured high-water mark).
+
+use bench::figures::{collective_wall, tileio_group_sweep, tileio_scalability};
+use bench::{emit_json, print_table, rows_from_json, Row, Scale};
+use std::time::Instant;
+
+/// Wall-clock regression tolerance for `--check`: fresh median may be at
+/// most `1 + HOSTPERF_TOL` times the baseline median.
+const HOSTPERF_TOL: f64 = 0.25;
+
+struct Args {
+    scale: Scale,
+    iters: usize,
+    warmup: usize,
+    series: String,
+    check: Option<String>,
+    emit: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        scale: Scale::from_args(),
+        iters: 5,
+        warmup: 1,
+        series: "HEAD".to_string(),
+        check: None,
+        emit: true,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> &str {
+            argv.get(i + 1).unwrap_or_else(|| {
+                eprintln!("hostperf: {} needs a value", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--quick" => {}
+            "--iters" => {
+                out.iters = value(i).parse().expect("--iters: not a number");
+                i += 1;
+            }
+            "--warmup" => {
+                out.warmup = value(i).parse().expect("--warmup: not a number");
+                i += 1;
+            }
+            "--series" => {
+                out.series = value(i).to_string();
+                i += 1;
+            }
+            "--stack-size" => {
+                let bytes: usize = value(i).parse().expect("--stack-size: not a number");
+                simnet::set_default_stack_size(bytes);
+                i += 1;
+            }
+            "--check" => {
+                out.check = Some(value(i).to_string());
+                i += 1;
+            }
+            "--no-emit" => out.emit = false,
+            other => {
+                eprintln!("hostperf: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    assert!(out.iters >= 1, "--iters must be at least 1");
+    out
+}
+
+/// The figure sweeps the trajectory tracks. `fig1_collective_wall` is the
+/// headline (the sweep every PR's speedup claim is judged on); the others
+/// cover the ParColl subgroup path and the multi-size scalability sweep.
+fn tracked(scale: Scale) -> Vec<(&'static str, Box<dyn Fn()>)> {
+    let full = scale == Scale::Paper;
+    vec![
+        (
+            "fig1_collective_wall",
+            Box::new(move || {
+                let procs: &[usize] = if full { &[16, 32, 64, 128, 256, 512] } else { &[8, 16, 32] };
+                std::hint::black_box(collective_wall(procs, full));
+            }) as Box<dyn Fn()>,
+        ),
+        (
+            "fig7_tileio_groups",
+            Box::new(move || {
+                let (procs, groups): (usize, &[usize]) = if full {
+                    (512, &[1, 2, 4, 8, 16, 32, 64, 128, 256])
+                } else {
+                    (16, &[1, 2, 4])
+                };
+                std::hint::black_box(tileio_group_sweep(procs, groups, full));
+            }),
+        ),
+        (
+            "fig9_scalability",
+            Box::new(move || {
+                let procs: &[usize] = if full { &[64, 128, 256, 512, 1024] } else { &[8, 16] };
+                std::hint::black_box(tileio_scalability(procs, |p| (p / 8).min(64), full));
+            }),
+        ),
+    ]
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let mut rows = Vec::new();
+    for (name, run) in tracked(args.scale) {
+        for _ in 0..args.warmup {
+            run();
+        }
+        let mut samples = Vec::with_capacity(args.iters);
+        for _ in 0..args.iters {
+            let t0 = Instant::now();
+            run();
+            samples.push(t0.elapsed().as_secs_f64());
+        }
+        samples.sort_by(f64::total_cmp);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        rows.push(
+            Row::new(format!("{name}@{}", args.series), 0.0, median(&samples), "s")
+                .with("min", samples[0])
+                .with("max", *samples.last().unwrap())
+                .with("mean", mean)
+                .with("iters", args.iters as f64),
+        );
+    }
+    print_table("hostperf: figure regeneration wall-clock (median)", "-", &rows);
+
+    if let Some(baseline_path) = &args.check {
+        let text = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!("hostperf: cannot read baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let baseline = rows_from_json(&text).unwrap_or_else(|| {
+            eprintln!("hostperf: {baseline_path} is not a row document");
+            std::process::exit(2);
+        });
+        let mut failures = 0usize;
+        for fresh in &rows {
+            let Some(base) = baseline.iter().find(|b| b.series == fresh.series) else {
+                println!("hostperf: {} has no baseline series (skipped)", fresh.series);
+                continue;
+            };
+            let ratio = fresh.y / base.y.max(f64::MIN_POSITIVE);
+            let verdict = if ratio > 1.0 + HOSTPERF_TOL {
+                failures += 1;
+                "FAIL"
+            } else {
+                "ok"
+            };
+            println!(
+                "hostperf: {} {:.4}s vs baseline {:.4}s ({:+.1}%) {verdict}",
+                fresh.series,
+                fresh.y,
+                base.y,
+                (ratio - 1.0) * 100.0
+            );
+        }
+        if failures > 0 {
+            eprintln!("hostperf: {failures} figure(s) regressed >25% wall-clock");
+            std::process::exit(1);
+        }
+    }
+
+    if args.emit {
+        emit_json("BENCH_hostperf", &rows);
+    }
+}

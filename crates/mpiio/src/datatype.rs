@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 /// A contiguous byte run within a datatype's extent or within a file:
 /// `[off, off + len)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ext {
     /// Start offset in bytes.
     pub off: u64,
@@ -51,7 +51,7 @@ impl Ext {
 /// assert_eq!(flat.size, 12);          // data bytes per repetition
 /// assert_eq!(flat.extent, 4 * 6 * 2); // tiling stride
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Datatype {
     /// `len` contiguous bytes (the elementary type).
     Bytes(u64),
@@ -241,6 +241,36 @@ impl Datatype {
             extent: self.extent(),
             segs: coalesced,
         }
+    }
+
+    /// Memoized [`flatten`](Self::flatten): returns a shared flattened
+    /// form from a per-thread cache keyed by the datatype itself.
+    ///
+    /// Workloads set the same view on every open/call of a run (the tile
+    /// subarray, the BT-IO cell type), and each `set_view` used to pay a
+    /// full type-tree walk plus sort. Rank threads are long-lived, so the
+    /// thread-local cache turns every repetition after the first into a
+    /// hash lookup. Purely host-side: the cost model's charges for view
+    /// processing are issued by the protocol layer regardless.
+    pub fn flatten_cached(&self) -> Arc<FlatType> {
+        thread_local! {
+            static FLAT_CACHE: std::cell::RefCell<std::collections::HashMap<Datatype, Arc<FlatType>>> =
+                std::cell::RefCell::new(std::collections::HashMap::new());
+        }
+        /// Rank threads see a handful of distinct types; the bound only
+        /// guards pathological type churn from pinning memory.
+        const FLAT_CACHE_MAX: usize = 128;
+        FLAT_CACHE.with_borrow_mut(|cache| {
+            if let Some(flat) = cache.get(self) {
+                return Arc::clone(flat);
+            }
+            let flat = Arc::new(self.flatten());
+            if cache.len() >= FLAT_CACHE_MAX {
+                cache.clear();
+            }
+            cache.insert(self.clone(), Arc::clone(&flat));
+            flat
+        })
     }
 
     fn emit(&self, base: u64, out: &mut Vec<Ext>) {

@@ -431,7 +431,7 @@ mod tests {
             let comm = Communicator::world(&ep);
             let mut f = File::open(&comm, &fs2, "/partial", &Info::new());
             let buf = if comm.rank() < 2 {
-                IoBuffer::from_slice(&fill(comm.rank(), 256))
+                IoBuffer::from_vec(fill(comm.rank(), 256))
             } else {
                 IoBuffer::empty()
             };
@@ -473,7 +473,7 @@ mod tests {
             let comm = Communicator::world(&ep);
             let mut f = File::open(&comm, &fs2, "/cr", &Info::new());
             let n = 512usize;
-            f.write_at((comm.rank() * n) as u64, &IoBuffer::from_slice(&fill(comm.rank(), n)));
+            f.write_at((comm.rank() * n) as u64, &IoBuffer::from_vec(fill(comm.rank(), n)));
             comm.barrier();
             // Everyone collectively reads the rank-reversed block.
             let peer = comm.size() - 1 - comm.rank();

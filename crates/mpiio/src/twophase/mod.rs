@@ -36,7 +36,7 @@ use crate::profile::{Phase, PhaseProfile, PhaseTimer};
 use crate::space::FileSpace;
 use crate::view::AccessPlan;
 use domains::{compute_file_domains, compute_file_domains_aligned};
-use reqs::{bytes_in_window, calc_my_req, pieces_in_window, Piece};
+use reqs::{calc_my_req, pieces_in_window, Piece, PieceIndex};
 use simfs::{FileHandle, RangeSet};
 use simmpi::{codec, Communicator, ReduceOp};
 use simnet::buffer::BufferBuilder;
@@ -120,8 +120,9 @@ impl<'a> PieceCursor<'a> {
 struct Setup {
     /// Per-aggregator piece lists of *my* access.
     my_req: Vec<Vec<Piece>>,
-    /// If I am an aggregator: per-source piece lists inside my domain.
-    others_req: Option<Vec<Vec<Piece>>>,
+    /// If I am an aggregator: per-source piece lists inside my domain,
+    /// indexed for O(log n) per-round window queries.
+    others_req: Option<Vec<PieceIndex>>,
     /// My index in the aggregator list, if any.
     my_agg_idx: Option<usize>,
     /// Start of the touched range in my domain (aggregators only).
@@ -204,17 +205,27 @@ fn setup(
     }
     t.stop_traced(ep.now(), prof, ep.trace());
 
+    // Index the received lists once; every round's window query reuses
+    // the prefix sums.
+    let others_req: Option<Vec<PieceIndex>> =
+        others_req.map(|o| o.into_iter().map(PieceIndex::new).collect());
+
     // (4) Round count: ceil(touched-range / cb_buffer) per aggregator,
     // allreduce MAX — global sync.
     let (st_loc, my_ntimes) = match (&others_req, my_agg_idx) {
         (Some(others), Some(_)) => {
             let st = others
                 .iter()
-                .flatten()
+                .flat_map(PieceIndex::pieces)
                 .map(|p| p.file_off)
                 .min()
                 .unwrap_or(0);
-            let end = others.iter().flatten().map(Piece::end).max().unwrap_or(0);
+            let end = others
+                .iter()
+                .flat_map(PieceIndex::pieces)
+                .map(Piece::end)
+                .max()
+                .unwrap_or(0);
             (st, (end - st).div_ceil(cfg.cb_buffer_size))
         }
         _ => (0, 0),
@@ -263,7 +274,7 @@ pub fn write_all(
     let mut recv_cursors: Option<Vec<PieceCursor<'_>>> = setup
         .others_req
         .as_ref()
-        .map(|o| o.iter().map(|v| PieceCursor::new(v)).collect());
+        .map(|o| o.iter().map(|idx| PieceCursor::new(idx.pieces())).collect());
 
     for round in 0..setup.ntimes {
         prof.rounds += 1;
@@ -280,10 +291,12 @@ pub fn write_all(
         let t = PhaseTimer::start(Phase::Sync, ep.now());
         let mut row = vec![0u64; p];
         if let (Some((lo, hi)), Some(others)) = (window, setup.others_req.as_ref()) {
-            for (src, pieces) in others.iter().enumerate() {
-                row[src] = bytes_in_window(pieces, lo, hi);
+            for (src, idx) in others.iter().enumerate() {
+                row[src] = idx.bytes_in_window(lo, hi);
             }
         }
+        // Keep what I announced: the receive phase needs the same values.
+        let my_row = setup.my_agg_idx.map(|_| row.clone());
         let expected = comm.alltoall_sizes(row);
         t.stop_traced(ep.now(), prof, ep.trace());
 
@@ -316,14 +329,7 @@ pub fn write_all(
         let mut incoming: Vec<(usize, IoBuffer)> = Vec::new();
         let t = PhaseTimer::start(Phase::P2p, ep.now());
         if setup.my_agg_idx.is_some() {
-            let my_expect = {
-                // Recompute my row (what I announced) — cheap and local.
-                let (lo, hi) = window.expect("aggregator has a window");
-                let others = setup.others_req.as_ref().expect("aggregator state");
-                (0..p)
-                    .map(|src| bytes_in_window(&others[src], lo, hi))
-                    .collect::<Vec<u64>>()
-            };
+            let my_expect = my_row.expect("aggregator announced a row");
             let reqs: Vec<(usize, simmpi::RecvRequest)> = (0..p)
                 .filter(|&src| src != comm.rank() && my_expect[src] > 0)
                 .map(|src| (src, comm.irecv(src, TAG_DATA)))
@@ -479,7 +485,7 @@ pub fn read_all(
     let mut send_cursors: Option<Vec<PieceCursor<'_>>> = setup
         .others_req
         .as_ref()
-        .map(|o| o.iter().map(|v| PieceCursor::new(v)).collect());
+        .map(|o| o.iter().map(|idx| PieceCursor::new(idx.pieces())).collect());
 
     for round in 0..setup.ntimes {
         prof.rounds += 1;
@@ -493,8 +499,8 @@ pub fn read_all(
         let t = PhaseTimer::start(Phase::Sync, ep.now());
         let mut row = vec![0u64; p];
         if let (Some((lo, hi)), Some(others)) = (window, setup.others_req.as_ref()) {
-            for (src, pieces) in others.iter().enumerate() {
-                row[src] = bytes_in_window(pieces, lo, hi);
+            for (src, idx) in others.iter().enumerate() {
+                row[src] = idx.bytes_in_window(lo, hi);
             }
         }
         let expected = comm.alltoall_sizes(row);
@@ -506,7 +512,7 @@ pub fn read_all(
         if let (Some((lo, hi)), Some(cursors)) = (window, send_cursors.as_mut()) {
             let others = setup.others_req.as_ref().expect("aggregator state");
             let in_window: Vec<Vec<Piece>> = (0..p)
-                .map(|src| pieces_in_window(&others[src], lo, hi))
+                .map(|src| pieces_in_window(others[src].pieces(), lo, hi))
                 .collect();
             let read_lo = in_window.iter().flatten().map(|p| p.file_off).min();
             if let Some(read_lo) = read_lo {

@@ -90,9 +90,87 @@ pub fn pieces_in_window(pieces: &[Piece], lo: u64, hi: u64) -> Vec<Piece> {
     out
 }
 
-/// Total bytes of `pieces` overlapping `[lo, hi)`.
+/// Total bytes of `pieces` overlapping `[lo, hi)`. Allocation-free: the
+/// boundary pieces are clipped arithmetically instead of materialized.
 pub fn bytes_in_window(pieces: &[Piece], lo: u64, hi: u64) -> u64 {
-    pieces_in_window(pieces, lo, hi).iter().map(|p| p.len).sum()
+    if lo >= hi {
+        return 0;
+    }
+    let start = pieces.partition_point(|p| p.end() <= lo);
+    let mut total = 0;
+    for p in &pieces[start..] {
+        if p.file_off >= hi {
+            break;
+        }
+        total += p.end().min(hi) - p.file_off.max(lo);
+    }
+    total
+}
+
+/// A sorted piece list with a prefix-sum index over piece lengths, making
+/// window byte counts O(log n) and allocation-free.
+///
+/// The two-phase round loop asks "how many bytes does rank r contribute
+/// to window w?" for every (source, round) pair — p × ntimes queries per
+/// collective call over lists computed once at setup. ROMIO answers by
+/// re-walking the request lists each round; with the index, rounds after
+/// the first pay only for the runs they actually touch.
+#[derive(Debug, Clone, Default)]
+pub struct PieceIndex {
+    pieces: Vec<Piece>,
+    /// `prefix[i]` = total length of `pieces[..i]`; `len()+1` entries.
+    prefix: Vec<u64>,
+}
+
+impl PieceIndex {
+    /// Index a piece list (must be sorted by `file_off`, as produced by
+    /// [`calc_my_req`]).
+    pub fn new(pieces: Vec<Piece>) -> Self {
+        debug_assert!(pieces.windows(2).all(|w| w[0].file_off <= w[1].file_off));
+        let mut prefix = Vec::with_capacity(pieces.len() + 1);
+        let mut acc = 0u64;
+        prefix.push(0);
+        for p in &pieces {
+            acc += p.len;
+            prefix.push(acc);
+        }
+        PieceIndex { pieces, prefix }
+    }
+
+    /// The underlying sorted pieces.
+    pub fn pieces(&self) -> &[Piece] {
+        &self.pieces
+    }
+
+    /// Total bytes across all pieces.
+    pub fn total_bytes(&self) -> u64 {
+        self.prefix.last().copied().unwrap_or(0)
+    }
+
+    /// Total bytes overlapping `[lo, hi)`: two binary searches plus
+    /// arithmetic clipping of the two boundary pieces.
+    pub fn bytes_in_window(&self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            return 0;
+        }
+        // First piece extending past `lo`, first piece starting at/after
+        // `hi`: the overlapping pieces are exactly `pieces[i..j]`.
+        let i = self.pieces.partition_point(|p| p.end() <= lo);
+        let j = self.pieces.partition_point(|p| p.file_off < hi);
+        if i >= j {
+            return 0;
+        }
+        let mut total = self.prefix[j] - self.prefix[i];
+        let head = &self.pieces[i];
+        if head.file_off < lo {
+            total -= lo - head.file_off;
+        }
+        let tail = &self.pieces[j - 1];
+        if tail.end() > hi {
+            total -= tail.end() - hi;
+        }
+        total
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +274,46 @@ mod tests {
         assert!(pieces_in_window(&pieces, 15, 30).is_empty());
         assert!(pieces_in_window(&pieces, 20, 10).is_empty()); // inverted
         assert_eq!(bytes_in_window(&pieces, 0, 100), 5);
+    }
+
+    #[test]
+    fn piece_index_matches_linear_scan() {
+        let pieces = vec![
+            Piece { file_off: 0, len: 10, buf_off: 0 },
+            Piece { file_off: 20, len: 10, buf_off: 10 },
+            Piece { file_off: 30, len: 5, buf_off: 20 },
+            Piece { file_off: 40, len: 10, buf_off: 25 },
+        ];
+        let idx = PieceIndex::new(pieces.clone());
+        assert_eq!(idx.total_bytes(), 35);
+        for lo in 0..55u64 {
+            for hi in lo..=55u64 {
+                assert_eq!(
+                    idx.bytes_in_window(lo, hi),
+                    bytes_in_window(&pieces, lo, hi),
+                    "window [{lo}, {hi})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn piece_index_single_piece_spanning_window() {
+        // One piece wider than the window: head and tail clip the same
+        // piece.
+        let idx = PieceIndex::new(vec![Piece { file_off: 10, len: 100, buf_off: 0 }]);
+        assert_eq!(idx.bytes_in_window(40, 60), 20);
+        assert_eq!(idx.bytes_in_window(0, 1000), 100);
+        assert_eq!(idx.bytes_in_window(0, 10), 0);
+        assert_eq!(idx.bytes_in_window(110, 120), 0);
+    }
+
+    #[test]
+    fn piece_index_empty() {
+        let idx = PieceIndex::default();
+        assert_eq!(idx.total_bytes(), 0);
+        assert_eq!(idx.bytes_in_window(0, 100), 0);
+        assert!(idx.pieces().is_empty());
     }
 
     #[test]

@@ -22,9 +22,11 @@ pub struct FileView {
 }
 
 impl FileView {
-    /// Build a view from a displacement and a filetype.
+    /// Build a view from a displacement and a filetype. Flattening is
+    /// memoized per thread ([`Datatype::flatten_cached`]), so re-setting
+    /// the same view every call/open costs a hash lookup.
     pub fn new(disp: u64, filetype: &Datatype) -> Self {
-        Self::from_flat(disp, Arc::new(filetype.flatten()))
+        Self::from_flat(disp, filetype.flatten_cached())
     }
 
     /// Build from an already-flattened type.

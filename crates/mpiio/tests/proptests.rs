@@ -175,3 +175,71 @@ proptest! {
         }
     }
 }
+
+/// One collective tile write: `ntx * nty` ranks each own one tile of a
+/// 2-D array and write it through a subarray view; returns the full file
+/// image, read back through the storage layer after the cluster exits.
+fn tileio_write_image(ntx: usize, nty: usize, tile_x: usize, tile_y: usize, elem: u64) -> Vec<u8> {
+    use simfs::{FsConfig, FileSystem};
+    use simmpi::{Communicator, Info};
+    use simnet::{run_cluster, ClusterConfig, IoBuffer, SimTime};
+
+    let nprocs = ntx * nty;
+    let rows = nty * tile_y;
+    let cols = ntx * tile_x;
+    let total = (rows * cols) as u64 * elem;
+    let fs = FileSystem::new(FsConfig::tiny());
+    let fs_in = fs.clone();
+    run_cluster(ClusterConfig::ideal(nprocs), move |ep| {
+        let comm = Communicator::world(&ep);
+        let mut f = mpiio::File::open(&comm, &fs_in, "/tile", &Info::new());
+        let r = comm.rank();
+        let ft = Datatype::tile_2d(
+            rows,
+            cols,
+            tile_y,
+            tile_x,
+            (r / ntx) * tile_y,
+            (r % ntx) * tile_x,
+            elem,
+        );
+        f.set_view(0, &ft);
+        let mine: Vec<u8> = (0..tile_x * tile_y * elem as usize)
+            .map(|i| (r * 41 + i * 7) as u8)
+            .collect();
+        f.write_at_all(0, &IoBuffer::from_vec(mine));
+        f.close();
+    });
+    let (img, _) = fs.handle("/tile").read_at(0, total as usize, SimTime::ZERO);
+    img.as_slice()
+        .expect("written file holds real bytes")
+        .to_vec()
+}
+
+proptest! {
+    // Each case runs two full clusters; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The scratch-buffer pool is a host-side allocation cache: for any
+    /// tile geometry, a pooled two-phase collective write must produce a
+    /// byte-identical file to an unpooled one (a stale recycled byte
+    /// anywhere in the pack/unpack path would corrupt the image).
+    #[test]
+    fn pooled_and_unpooled_twophase_writes_agree(
+        ntx in 1usize..4,
+        nty in 1usize..3,
+        tile_x in 1usize..17,
+        tile_y in 1usize..9,
+        elem in 1u64..9,
+    ) {
+        let run = |pooled: bool| {
+            simnet::set_buffer_pooling(pooled);
+            let img = tileio_write_image(ntx, nty, tile_x, tile_y, elem);
+            simnet::set_buffer_pooling(true);
+            img
+        };
+        let pooled = run(true);
+        let unpooled = run(false);
+        prop_assert_eq!(pooled, unpooled);
+    }
+}

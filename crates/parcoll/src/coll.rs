@@ -686,14 +686,14 @@ mod tests {
             let mut base = File::open(&comm, &fs2, "/base", &Info::new());
             base.write_at_all(
                 (comm.rank() * n) as u64,
-                &IoBuffer::from_slice(&fill(comm.rank(), n)),
+                &IoBuffer::from_vec(fill(comm.rank(), n)),
             );
             base.close();
             // ParColl file, 4 groups of 2.
             let mut pc = ParcollFile::open(&comm, &fs2, "/pc", &info_groups(4));
             pc.write_at_all(
                 (comm.rank() * n) as u64,
-                &IoBuffer::from_slice(&fill(comm.rank(), n)),
+                &IoBuffer::from_vec(fill(comm.rank(), n)),
             );
             assert_eq!(pc.last_mode(), Some(PartitionMode::Direct { groups: 4 }));
             comm.barrier();
@@ -884,7 +884,7 @@ mod tests {
             let n = 128usize;
             for call in 0..4u64 {
                 let off = (call as usize * 8 * n + comm.rank() * n) as u64;
-                pc.write_at_all(off, &IoBuffer::from_slice(&fill(comm.rank(), n)));
+                pc.write_at_all(off, &IoBuffer::from_vec(fill(comm.rank(), n)));
             }
             // Same rank ordering every call: exactly one split.
             assert_eq!(pc.split_count(), 1);
@@ -903,7 +903,7 @@ mod tests {
             let mut pc = ParcollFile::open(&comm, &fs2, "/one", &info_groups(1));
             pc.write_at_all(
                 (comm.rank() * 64) as u64,
-                &IoBuffer::from_slice(&fill(comm.rank(), 64)),
+                &IoBuffer::from_vec(fill(comm.rank(), 64)),
             );
             assert_eq!(pc.last_mode(), Some(PartitionMode::Single));
             pc.close();

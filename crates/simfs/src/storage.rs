@@ -90,7 +90,7 @@ impl Storage {
             out[(copy_start - offset) as usize..(copy_end - offset) as usize]
                 .copy_from_slice(src);
         }
-        IoBuffer::Real(out)
+        IoBuffer::from_vec(out)
     }
 
     /// Truncate to `size` bytes, discarding later content.

@@ -14,7 +14,7 @@ pub fn encode_u64s(vals: &[u64]) -> IoBuffer {
     for v in vals {
         out.extend_from_slice(&v.to_le_bytes());
     }
-    IoBuffer::Real(out)
+    IoBuffer::from_vec(out)
 }
 
 /// Decode a buffer produced by [`encode_u64s`]. Panics on a synthetic or
@@ -41,7 +41,7 @@ pub fn encode_i64s(vals: &[i64]) -> IoBuffer {
     for v in vals {
         out.extend_from_slice(&v.to_le_bytes());
     }
-    IoBuffer::Real(out)
+    IoBuffer::from_vec(out)
 }
 
 /// Decode a buffer produced by [`encode_i64s`].
@@ -67,7 +67,7 @@ pub fn encode_pairs(pairs: &[(u64, u64)]) -> IoBuffer {
         out.extend_from_slice(&a.to_le_bytes());
         out.extend_from_slice(&b.to_le_bytes());
     }
-    IoBuffer::Real(out)
+    IoBuffer::from_vec(out)
 }
 
 /// Decode a buffer produced by [`encode_pairs`].

@@ -445,7 +445,7 @@ mod tests {
     fn gatherv_with_unequal_lengths() {
         let out = run_cluster(ClusterConfig::ideal(3), |ep| {
             let comm = Communicator::world(&ep);
-            let mine = IoBuffer::from_slice(&vec![7u8; comm.rank() * 3]);
+            let mine = IoBuffer::from_vec(vec![7u8; comm.rank() * 3]);
             comm.gather(1, mine)
         });
         let at_root = out[1].as_ref().unwrap();
@@ -510,7 +510,7 @@ mod tests {
             let comm = Communicator::world(&ep);
             let me = comm.rank();
             let bufs: Vec<IoBuffer> = (0..3)
-                .map(|dst| IoBuffer::from_slice(&vec![me as u8; me * 3 + dst]))
+                .map(|dst| IoBuffer::from_vec(vec![me as u8; me * 3 + dst]))
                 .collect();
             comm.alltoallv(bufs)
         });

@@ -18,9 +18,135 @@
 //! result to synthetic. Performance runs are all-synthetic and correctness
 //! runs are all-real, so degradation never silently loses test data; it is
 //! nevertheless well-defined.
+//!
+//! # Zero-copy representation
+//!
+//! Real contents live behind a shared backing store ([`RealBuf`]:
+//! `Arc<Vec<u8>>` plus an `(offset, len)` window). [`IoBuffer::sub`] and
+//! the single-piece [`BufferBuilder`] path are O(1) reference bumps, so
+//! the pack/unpack choreography of two-phase exchange touches each byte
+//! once instead of once per slicing step. Mutation goes through
+//! [`IoBuffer::as_mut_slice`], which copies the window out first when the
+//! backing is shared (copy-on-write) — handles never observe each other's
+//! writes, exactly as with the old owned-`Vec` representation.
+//!
+//! Host-side copies are *performance* of the simulator, not of the
+//! simulated machine: the cost model's `charge_memcpy` calls are issued by
+//! the protocols independently of what this module really does, so
+//! virtual timestamps are bit-identical with or without the fast paths.
+//!
+//! # Scratch-buffer pooling
+//!
+//! Freshly-allocated backing stores come from a per-thread pool of
+//! recycled `Vec`s ([`set_buffer_pooling`] gates it, default on; sizes
+//! outside [64 B, 16 MiB] bypass it). A backing store returns to its
+//! thread's pool when the last handle drops. Pooling changes neither
+//! contents (buffers are cleared and zero-filled exactly as a fresh
+//! allocation would be) nor virtual time; `trace_determinism` asserts the
+//! ON/OFF equivalence byte-for-byte.
 
-/// A buffer of bytes that may be real (`Vec<u8>`) or synthetic (length
-/// only). See the module documentation for the rationale.
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Gate for the per-thread scratch pool (process-global, default on).
+static POOLING: AtomicBool = AtomicBool::new(true);
+
+/// Enable or disable scratch-buffer pooling process-wide. Purely a host
+/// performance knob: results and virtual times are identical either way.
+pub fn set_buffer_pooling(on: bool) {
+    POOLING.store(on, Ordering::SeqCst);
+}
+
+/// True if scratch-buffer pooling is enabled.
+pub fn buffer_pooling() -> bool {
+    POOLING.load(Ordering::SeqCst)
+}
+
+/// Most recycled buffers a thread retains.
+const POOL_MAX_BUFS: usize = 32;
+/// Capacity bounds for pooled backing stores: tiny ones are cheaper to
+/// allocate fresh, huge ones would pin memory for the thread's lifetime.
+const POOL_MIN_CAP: usize = 64;
+const POOL_MAX_CAP: usize = 16 << 20;
+
+thread_local! {
+    static POOL: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An empty `Vec` with at least `min_cap` capacity, recycled when the
+/// pool has one that fits.
+fn pool_take(min_cap: usize) -> Vec<u8> {
+    if buffer_pooling() && (POOL_MIN_CAP..=POOL_MAX_CAP).contains(&min_cap) {
+        let recycled = POOL.with_borrow_mut(|pool| {
+            pool.iter()
+                .position(|v| v.capacity() >= min_cap)
+                .map(|i| pool.swap_remove(i))
+        });
+        if let Some(mut v) = recycled {
+            v.clear();
+            return v;
+        }
+    }
+    Vec::with_capacity(min_cap)
+}
+
+/// Offer a no-longer-used backing store to this thread's pool.
+fn pool_put(mut v: Vec<u8>) {
+    if !buffer_pooling() || !(POOL_MIN_CAP..=POOL_MAX_CAP).contains(&v.capacity()) {
+        return;
+    }
+    v.clear();
+    POOL.with_borrow_mut(|pool| {
+        if pool.len() < POOL_MAX_BUFS {
+            pool.push(v);
+        }
+    });
+}
+
+/// Shared real contents: a window into a reference-counted backing store.
+/// Slicing clones the `Arc` and narrows the window; mutation copies the
+/// window out first unless this handle is the only one (copy-on-write).
+#[derive(Clone)]
+pub struct RealBuf {
+    data: Arc<Vec<u8>>,
+    off: usize,
+    len: usize,
+}
+
+impl RealBuf {
+    fn new(v: Vec<u8>) -> Self {
+        let len = v.len();
+        RealBuf {
+            data: Arc::new(v),
+            off: 0,
+            len,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.off..self.off + self.len]
+    }
+}
+
+impl Drop for RealBuf {
+    fn drop(&mut self) {
+        // Last handle to the backing store: recycle it. `get_mut`
+        // succeeding is exactly the uniqueness test.
+        if let Some(v) = Arc::get_mut(&mut self.data) {
+            pool_put(std::mem::take(v));
+        }
+    }
+}
+
+impl std::fmt::Debug for RealBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("RealBuf").field(&self.as_slice()).finish()
+    }
+}
+
+/// A buffer of bytes that may be real (shared backing store) or synthetic
+/// (length only). See the module documentation for the rationale.
 ///
 /// # Examples
 ///
@@ -35,10 +161,10 @@
 /// assert_eq!(huge.len(), 1 << 40);
 /// assert!(huge.as_slice().is_none());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub enum IoBuffer {
     /// A buffer with actual contents.
-    Real(Vec<u8>),
+    Real(RealBuf),
     /// A buffer that only tracks its length; contents are unmaterialized.
     Synthetic {
         /// The number of bytes this buffer stands for.
@@ -46,20 +172,46 @@ pub enum IoBuffer {
     },
 }
 
+/// Equality is by content (and kind), not by backing-store identity: two
+/// real buffers are equal iff their bytes are.
+impl PartialEq for IoBuffer {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (IoBuffer::Real(a), IoBuffer::Real(b)) => a.as_slice() == b.as_slice(),
+            (IoBuffer::Synthetic { len: a }, IoBuffer::Synthetic { len: b }) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for IoBuffer {}
+
 impl IoBuffer {
     /// An empty real buffer.
     pub fn empty() -> Self {
-        IoBuffer::Real(Vec::new())
+        IoBuffer::Real(RealBuf::new(Vec::new()))
     }
 
     /// A real buffer initialized to zero.
     pub fn zeroed(len: usize) -> Self {
-        IoBuffer::Real(vec![0u8; len])
+        let mut v = pool_take(len);
+        v.resize(len, 0);
+        IoBuffer::Real(RealBuf::new(v))
     }
 
     /// A real buffer copying the given bytes.
     pub fn from_slice(bytes: &[u8]) -> Self {
-        IoBuffer::Real(bytes.to_vec())
+        let mut v = pool_take(bytes.len());
+        v.extend_from_slice(bytes);
+        IoBuffer::Real(RealBuf::new(v))
+    }
+
+    /// A real buffer taking ownership of `bytes` — no copy. Prefer this
+    /// over [`from_slice`](Self::from_slice) whenever the `Vec` was built
+    /// for the purpose; `from_slice(&v)` on a just-built vector copies the
+    /// contents a second time.
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        IoBuffer::Real(RealBuf::new(bytes))
     }
 
     /// A synthetic buffer of the given length.
@@ -70,7 +222,7 @@ impl IoBuffer {
     /// Number of bytes represented.
     pub fn len(&self) -> usize {
         match self {
-            IoBuffer::Real(v) => v.len(),
+            IoBuffer::Real(b) => b.len,
             IoBuffer::Synthetic { len } => *len,
         }
     }
@@ -88,24 +240,40 @@ impl IoBuffer {
     /// Borrow the contents if real.
     pub fn as_slice(&self) -> Option<&[u8]> {
         match self {
-            IoBuffer::Real(v) => Some(v),
+            IoBuffer::Real(b) => Some(b.as_slice()),
             IoBuffer::Synthetic { .. } => None,
         }
     }
 
-    /// Mutably borrow the contents if real.
+    /// Mutably borrow the contents if real. Copies the window into a
+    /// private backing store first when it is shared with other handles
+    /// (copy-on-write), so no other buffer observes the writes.
     pub fn as_mut_slice(&mut self) -> Option<&mut [u8]> {
         match self {
-            IoBuffer::Real(v) => Some(v),
+            IoBuffer::Real(b) => {
+                if Arc::get_mut(&mut b.data).is_none() {
+                    let owned = {
+                        let s = b.as_slice();
+                        let mut v = pool_take(s.len());
+                        v.extend_from_slice(s);
+                        v
+                    };
+                    *b = RealBuf::new(owned);
+                }
+                let (off, len) = (b.off, b.len);
+                let v = Arc::get_mut(&mut b.data).expect("unique after copy-on-write");
+                Some(&mut v[off..off + len])
+            }
             IoBuffer::Synthetic { .. } => None,
         }
     }
 
     /// Extract a sub-range `[start, start+len)` as a new buffer.
     ///
-    /// A synthetic buffer yields a synthetic sub-buffer. Panics if the
-    /// range exceeds the buffer, mirroring slice semantics: range errors
-    /// in the I/O protocols are bugs, not recoverable conditions.
+    /// A synthetic buffer yields a synthetic sub-buffer; a real one
+    /// yields a zero-copy window into the same backing store. Panics if
+    /// the range exceeds the buffer, mirroring slice semantics: range
+    /// errors in the I/O protocols are bugs, not recoverable conditions.
     pub fn sub(&self, start: usize, len: usize) -> IoBuffer {
         assert!(
             start.checked_add(len).is_some_and(|end| end <= self.len()),
@@ -113,7 +281,11 @@ impl IoBuffer {
             self.len()
         );
         match self {
-            IoBuffer::Real(v) => IoBuffer::Real(v[start..start + len].to_vec()),
+            IoBuffer::Real(b) => IoBuffer::Real(RealBuf {
+                data: Arc::clone(&b.data),
+                off: b.off + start,
+                len,
+            }),
             IoBuffer::Synthetic { .. } => IoBuffer::Synthetic { len },
         }
     }
@@ -130,8 +302,8 @@ impl IoBuffer {
             "IoBuffer::copy_in out of range: [{dst_off}, {dst_off}+{n}) of {}",
             self.len()
         );
-        match (self.as_mut_slice(), src.as_slice()) {
-            (Some(dst), Some(s)) => dst[dst_off..dst_off + n].copy_from_slice(s),
+        match (src.as_slice(), self.as_mut_slice()) {
+            (Some(s), Some(dst)) => dst[dst_off..dst_off + n].copy_from_slice(s),
             _ => {
                 let len = self.len();
                 *self = IoBuffer::Synthetic { len };
@@ -141,10 +313,23 @@ impl IoBuffer {
 
     /// Consume and return the real bytes, or a zero vector of the right
     /// length for a synthetic buffer (used only at sinks that must emit
-    /// bytes, e.g. debugging dumps).
+    /// bytes, e.g. debugging dumps). A uniquely-held full-window real
+    /// buffer gives its backing store away without copying.
     pub fn into_bytes(self) -> Vec<u8> {
         match self {
-            IoBuffer::Real(v) => v,
+            IoBuffer::Real(mut b) => {
+                if b.off == 0 && b.len == b.data.len() {
+                    // Detach the backing store so Drop doesn't pool it.
+                    let data = std::mem::replace(&mut b.data, Arc::new(Vec::new()));
+                    drop(b);
+                    match Arc::try_unwrap(data) {
+                        Ok(v) => v,
+                        Err(shared) => shared[..].to_vec(),
+                    }
+                } else {
+                    b.as_slice().to_vec()
+                }
+            }
             IoBuffer::Synthetic { len } => vec![0u8; len],
         }
     }
@@ -152,7 +337,7 @@ impl IoBuffer {
 
 impl From<Vec<u8>> for IoBuffer {
     fn from(v: Vec<u8>) -> Self {
-        IoBuffer::Real(v)
+        IoBuffer::from_vec(v)
     }
 }
 
@@ -164,30 +349,35 @@ impl From<&[u8]> for IoBuffer {
 
 /// Incrementally concatenates buffer pieces, degrading to synthetic if any
 /// piece is synthetic. Used by packing/unpacking code in the MPI-IO layer.
+///
+/// Fast path: when exactly one real piece is pushed, [`finish`]
+/// (BufferBuilder::finish) hands back a zero-copy window of it — the
+/// common "whole transfer lands in one aggregator window" case of
+/// two-phase exchange never copies. The copying path draws its backing
+/// store from the scratch pool.
 #[derive(Debug, Default)]
 pub struct BufferBuilder {
+    /// Zero-copy candidate: the sole (real) piece pushed so far.
+    single: Option<IoBuffer>,
+    /// Materialized concatenation, once a second piece arrives.
     real: Option<Vec<u8>>,
     len: usize,
-    any: bool,
+    synthetic: bool,
+    cap_hint: usize,
 }
 
 impl BufferBuilder {
     /// New empty builder. Until the first push it is "real by default":
     /// finishing immediately yields an empty real buffer.
     pub fn new() -> Self {
-        BufferBuilder {
-            real: Some(Vec::new()),
-            len: 0,
-            any: false,
-        }
+        BufferBuilder::default()
     }
 
     /// New builder with a capacity hint for the real backing store.
     pub fn with_capacity(cap: usize) -> Self {
         BufferBuilder {
-            real: Some(Vec::with_capacity(cap)),
-            len: 0,
-            any: false,
+            cap_hint: cap,
+            ..BufferBuilder::default()
         }
     }
 
@@ -201,30 +391,62 @@ impl BufferBuilder {
         self.len == 0
     }
 
+    /// The materialized concatenation buffer, moving the deferred single
+    /// piece into it first.
+    fn materialize(&mut self) -> &mut Vec<u8> {
+        if self.real.is_none() {
+            let mut v = pool_take(self.cap_hint.max(self.len));
+            if let Some(first) = self.single.take() {
+                v.extend_from_slice(first.as_slice().expect("single piece is real"));
+            }
+            self.real = Some(v);
+        }
+        self.real.as_mut().expect("just materialized")
+    }
+
     /// Append a piece.
     pub fn push(&mut self, piece: &IoBuffer) {
-        self.any = true;
+        let was_empty = self.len == 0;
         self.len += piece.len();
-        match (&mut self.real, piece.as_slice()) {
-            (Some(v), Some(s)) => v.extend_from_slice(s),
-            _ => self.real = None,
+        if self.synthetic {
+            return;
+        }
+        match piece.as_slice() {
+            None => {
+                self.synthetic = true;
+                self.single = None;
+                self.real = None;
+            }
+            Some(s) => {
+                if was_empty && self.real.is_none() {
+                    // First piece: defer, it may be the only one.
+                    self.single = Some(piece.clone());
+                } else {
+                    self.materialize().extend_from_slice(s);
+                }
+            }
         }
     }
 
     /// Append raw bytes.
     pub fn push_bytes(&mut self, bytes: &[u8]) {
-        self.any = true;
         self.len += bytes.len();
-        if let Some(v) = &mut self.real {
-            v.extend_from_slice(bytes);
+        if !self.synthetic {
+            self.materialize().extend_from_slice(bytes);
         }
     }
 
     /// Finish, producing a single buffer.
     pub fn finish(self) -> IoBuffer {
+        if self.synthetic {
+            return IoBuffer::Synthetic { len: self.len };
+        }
+        if let Some(single) = self.single {
+            return single; // zero-copy: the one piece is the result
+        }
         match self.real {
-            Some(v) => IoBuffer::Real(v),
-            None => IoBuffer::Synthetic { len: self.len },
+            Some(v) => IoBuffer::from_vec(v),
+            None => IoBuffer::empty(),
         }
     }
 }
@@ -243,6 +465,17 @@ mod tests {
     }
 
     #[test]
+    fn from_vec_takes_ownership_without_copy() {
+        let v = vec![9u8, 8, 7];
+        let ptr = v.as_ptr();
+        let b = IoBuffer::from_vec(v);
+        assert_eq!(b.as_slice().unwrap(), &[9, 8, 7]);
+        // Round-trips the same allocation (unique, full-window).
+        let back = b.into_bytes();
+        assert_eq!(back.as_ptr(), ptr);
+    }
+
+    #[test]
     fn synthetic_tracks_length_only() {
         let b = IoBuffer::synthetic(1 << 30);
         assert_eq!(b.len(), 1 << 30);
@@ -251,10 +484,22 @@ mod tests {
     }
 
     #[test]
-    fn sub_of_real_copies_range() {
+    fn sub_of_real_is_zero_copy_view() {
         let b = IoBuffer::from_slice(&[10, 11, 12, 13, 14]);
         let s = b.sub(1, 3);
         assert_eq!(s.as_slice().unwrap(), &[11, 12, 13]);
+        // Same backing store, narrowed window.
+        let (IoBuffer::Real(a), IoBuffer::Real(c)) = (&b, &s) else {
+            panic!("both real");
+        };
+        assert!(Arc::ptr_eq(&a.data, &c.data));
+    }
+
+    #[test]
+    fn sub_of_sub_composes_offsets() {
+        let b = IoBuffer::from_slice(&[0, 1, 2, 3, 4, 5, 6, 7]);
+        let s = b.sub(2, 5).sub(1, 3);
+        assert_eq!(s.as_slice().unwrap(), &[3, 4, 5]);
     }
 
     #[test]
@@ -268,6 +513,22 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn sub_out_of_range_panics() {
         IoBuffer::synthetic(10).sub(5, 6);
+    }
+
+    #[test]
+    fn mutation_does_not_leak_into_shared_views() {
+        let base = IoBuffer::from_slice(&[1, 2, 3, 4]);
+        let mut view = base.sub(1, 2);
+        view.as_mut_slice().unwrap()[0] = 99; // copy-on-write
+        assert_eq!(view.as_slice().unwrap(), &[99, 3]);
+        assert_eq!(base.as_slice().unwrap(), &[1, 2, 3, 4], "base unchanged");
+    }
+
+    #[test]
+    fn unique_buffer_mutates_in_place() {
+        let mut b = IoBuffer::from_slice(&[5, 6, 7]);
+        b.as_mut_slice().unwrap()[1] = 0;
+        assert_eq!(b.as_slice().unwrap(), &[5, 0, 7]);
     }
 
     #[test]
@@ -299,6 +560,14 @@ mod tests {
     }
 
     #[test]
+    fn equality_ignores_backing_identity() {
+        let a = IoBuffer::from_slice(&[1, 2, 3, 4]).sub(1, 2);
+        let b = IoBuffer::from_slice(&[2, 3]);
+        assert_eq!(a, b);
+        assert_ne!(a, IoBuffer::synthetic(2));
+    }
+
+    #[test]
     fn builder_all_real_yields_real_concat() {
         let mut bb = BufferBuilder::new();
         bb.push(&IoBuffer::from_slice(&[1, 2]));
@@ -306,6 +575,19 @@ mod tests {
         bb.push(&IoBuffer::from_slice(&[4, 5]));
         let out = bb.finish();
         assert_eq!(out.as_slice().unwrap(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn builder_single_piece_is_zero_copy() {
+        let src = IoBuffer::from_slice(&[1, 2, 3, 4]);
+        let mut bb = BufferBuilder::with_capacity(4);
+        bb.push(&src.sub(1, 3));
+        let out = bb.finish();
+        assert_eq!(out.as_slice().unwrap(), &[2, 3, 4]);
+        let (IoBuffer::Real(a), IoBuffer::Real(b)) = (&src, &out) else {
+            panic!("both real");
+        };
+        assert!(Arc::ptr_eq(&a.data, &b.data), "no copy for one piece");
     }
 
     #[test]
@@ -319,6 +601,15 @@ mod tests {
     }
 
     #[test]
+    fn builder_empty_real_piece_then_data() {
+        // A zero-length first piece must not hijack the fast path.
+        let mut bb = BufferBuilder::new();
+        bb.push(&IoBuffer::empty());
+        bb.push(&IoBuffer::from_slice(&[7, 8]));
+        assert_eq!(bb.finish().as_slice().unwrap(), &[7, 8]);
+    }
+
+    #[test]
     fn builder_empty_is_empty_real() {
         let out = BufferBuilder::new().finish();
         assert!(out.is_real());
@@ -328,5 +619,25 @@ mod tests {
     #[test]
     fn synthetic_into_bytes_zero_fills() {
         assert_eq!(IoBuffer::synthetic(3).into_bytes(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn into_bytes_of_window_copies_just_the_window() {
+        let b = IoBuffer::from_slice(&[1, 2, 3, 4, 5]);
+        assert_eq!(b.sub(1, 3).into_bytes(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn pooling_toggle_preserves_contents() {
+        let was = buffer_pooling();
+        for on in [true, false] {
+            set_buffer_pooling(on);
+            let mut b = IoBuffer::zeroed(256);
+            b.copy_in(0, &IoBuffer::from_slice(&[0xAA; 16]));
+            drop(b); // with pooling on, backing returns to the pool
+            let c = IoBuffer::zeroed(256); // may reuse that backing
+            assert!(c.as_slice().unwrap().iter().all(|&x| x == 0), "pool reuse must zero-fill");
+        }
+        set_buffer_pooling(was);
     }
 }

@@ -1,0 +1,525 @@
+//! Cooperative fiber executor: all ranks of a cluster on one OS thread.
+//!
+//! # Why
+//!
+//! The simulator's unit of concurrency is a *rank*, and ranks spend most
+//! of their host life blocked on each other: every rendezvous parks
+//! `p - 1` ranks, every receive parks one. With one OS thread per rank,
+//! each park/wake pair costs a futex syscall plus a kernel context switch
+//! — measured at ~6 µs on a single-CPU host, which multiplied by the
+//! hundreds of parks in even a quick figure run dwarfs the actual
+//! simulation work. None of that parallelism is real: on one CPU the
+//! threads strictly take turns anyway.
+//!
+//! A *fiber* (stackful coroutine) makes the turn-taking explicit. Every
+//! rank gets its own heap-allocated stack, and a scheduler on the calling
+//! thread round-robins them with a userspace context switch (~tens of
+//! nanoseconds: six callee-saved registers and the stack pointer). A rank
+//! that would park instead [yields](yield_now); the peers it is waiting
+//! for run immediately after, on the same thread.
+//!
+//! # What stays identical
+//!
+//! Virtual time. The simulation's timestamps are already a pure function
+//! of configuration — deterministic under *any* host interleaving (the
+//! regress gate enforces it) — and the fiber scheduler merely picks one
+//! particular interleaving. The blocking primitives keep their mutex
+//! protocols; the only difference is *how* a blocked rank waits (yield
+//! vs. condvar), selected per call site by [`in_fiber`].
+//!
+//! Code that drives the primitives from plain OS threads (unit tests
+//! spawning `std::thread`) is untouched: without a fiber context the
+//! wait sites fall back to their condition variables.
+//!
+//! # Executor selection
+//!
+//! [`run_cluster`](crate::run_cluster) consults [`executor`]: `Fibers`
+//! (the default on x86_64) or `Threads` (other architectures, nested
+//! clusters, or an explicit `SIMNET_EXECUTOR=threads` /
+//! [`set_executor`] override — useful for A/B-ing the two modes, which
+//! must produce bitwise-identical virtual times).
+//!
+//! # Safety notes
+//!
+//! The context switch is ~10 instructions of inline assembly following
+//! the System V ABI: push the callee-saved registers, swap `rsp`, pop,
+//! return. Panics never cross the assembly boundary — each fiber body
+//! runs under `catch_unwind` and the payload is carried back to the
+//! scheduler by value, mirroring `JoinHandle::join`. Fiber stacks have
+//! no OS guard page; a canary word at the stack base turns silent
+//! overflow corruption into a loud panic at fiber completion.
+
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Which substrate [`crate::run_cluster`] runs ranks on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Executor {
+    /// Cooperative fibers, all ranks on the calling thread (default on
+    /// x86_64).
+    Fibers,
+    /// One OS thread per rank (fallback; always available).
+    Threads,
+}
+
+/// 0 = unresolved, 1 = fibers, 2 = threads.
+static EXECUTOR: AtomicU8 = AtomicU8::new(0);
+
+/// True when fiber switching is implemented for this architecture.
+const ARCH_SUPPORTED: bool = cfg!(target_arch = "x86_64");
+
+/// Select the executor for subsequent [`crate::run_cluster`] calls.
+/// Requesting `Fibers` on an unsupported architecture silently keeps
+/// `Threads`.
+pub fn set_executor(e: Executor) {
+    let v = match e {
+        Executor::Fibers if ARCH_SUPPORTED => 1,
+        _ => 2,
+    };
+    EXECUTOR.store(v, Ordering::Relaxed);
+}
+
+/// The currently selected executor. First use resolves the default:
+/// `SIMNET_EXECUTOR=threads|fibers` if set, else fibers where supported.
+pub fn executor() -> Executor {
+    match EXECUTOR.load(Ordering::Relaxed) {
+        1 => Executor::Fibers,
+        2 => Executor::Threads,
+        _ => {
+            let e = match std::env::var("SIMNET_EXECUTOR").as_deref() {
+                Ok("threads") => Executor::Threads,
+                Ok("fibers") => Executor::Fibers,
+                _ => Executor::Fibers,
+            };
+            set_executor(e);
+            executor()
+        }
+    }
+}
+
+/// Global event counter for stall detection: bumped by every operation
+/// that can unblock a waiter (packet delivery, rendezvous arrival,
+/// progress-registry transition). A full scheduler cycle in which every
+/// fiber yields and this counter stays put means nobody can make
+/// progress — a genuine deadlock rather than ordinary waiting.
+static EVENTS: AtomicU64 = AtomicU64::new(0);
+
+/// Record an unblocking-relevant event (cheap relaxed increment).
+pub(crate) fn note_event() {
+    EVENTS.fetch_add(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Context switch (x86_64 System V)
+// ---------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod arch {
+    // simnet_fiber_switch(save: *mut usize, restore: *const usize)
+    //
+    // Saves the suspending context's callee-saved registers on its own
+    // stack and stores its rsp through `save` (rdi); loads rsp from
+    // `restore` (rsi) and pops the resuming context's registers. The
+    // caller-saved half of the register file is handled by the compiler
+    // because this is an ordinary `extern "C"` call. `ret` then resumes
+    // the target — either past its own `simnet_fiber_switch` call or, for
+    // a fresh fiber, into the entry trampoline address planted by
+    // `StackMem::prepare`.
+    std::arch::global_asm!(
+        ".globl simnet_fiber_switch",
+        ".hidden simnet_fiber_switch",
+        "simnet_fiber_switch:",
+        "push rbp",
+        "push rbx",
+        "push r12",
+        "push r13",
+        "push r14",
+        "push r15",
+        "mov [rdi], rsp",
+        "mov rsp, [rsi]",
+        "pop r15",
+        "pop r14",
+        "pop r13",
+        "pop r12",
+        "pop rbx",
+        "pop rbp",
+        "ret",
+    );
+
+    unsafe extern "C" {
+        pub(super) fn simnet_fiber_switch(save: *mut usize, restore: *const usize);
+    }
+
+    /// Switch away from the current context: store its rsp in `save`,
+    /// resume the context whose rsp is in `restore`.
+    ///
+    /// # Safety
+    /// `restore` must hold an rsp produced by this function (or by
+    /// `StackMem::prepare`), on a stack that is still alive.
+    pub(super) unsafe fn switch(save: *mut usize, restore: *const usize) {
+        unsafe { simnet_fiber_switch(save, restore) }
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+mod arch {
+    /// Unsupported architecture: `executor()` never selects fibers, so
+    /// this is unreachable.
+    pub(super) unsafe fn switch(_save: *mut usize, _restore: *const usize) {
+        unreachable!("fiber executor is not supported on this architecture")
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fiber stacks
+// ---------------------------------------------------------------------
+
+/// Magic planted at the low end of every fiber stack; checked when the
+/// fiber completes to catch silent overflows (heap stacks have no guard
+/// page).
+const STACK_CANARY: u64 = 0x5A5A_F1BE_5A5A_F1BE;
+
+struct StackMem {
+    base: *mut u8,
+    layout: std::alloc::Layout,
+}
+
+impl StackMem {
+    fn new(size: usize) -> Self {
+        // 16-byte alignment satisfies the ABI; size floor keeps the
+        // canary + initial frame sane.
+        let size = size.max(16 * 1024) & !15;
+        let layout = std::alloc::Layout::from_size_align(size, 16).expect("valid stack layout");
+        let base = unsafe { std::alloc::alloc(layout) };
+        assert!(!base.is_null(), "fiber stack allocation failed");
+        unsafe { (base as *mut u64).write(STACK_CANARY) };
+        StackMem { base, layout }
+    }
+
+    /// Lay out the initial frame so that restoring from the returned rsp
+    /// pops six zeroed callee-saved registers and `ret`s into `entry`
+    /// with the stack alignment of a freshly `call`ed function.
+    fn prepare(&self, entry: extern "C" fn() -> !) -> usize {
+        unsafe {
+            let top = (self.base as usize + self.layout.size()) & !15;
+            let ret_slot = top - 16; // 16-aligned => rsp ≡ 8 (mod 16) at entry
+            (ret_slot as *mut usize).write(entry as usize);
+            let rsp = ret_slot - 6 * 8;
+            std::ptr::write_bytes(rsp as *mut u8, 0, 6 * 8);
+            rsp
+        }
+    }
+
+    fn canary_intact(&self) -> bool {
+        unsafe { (self.base as *const u64).read() == STACK_CANARY }
+    }
+}
+
+impl Drop for StackMem {
+    fn drop(&mut self) {
+        unsafe { std::alloc::dealloc(self.base, self.layout) };
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------
+
+/// Why a fiber switched back to the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// Blocked in a wait site; re-run it later.
+    Yielded,
+    /// The body returned (or unwound); never resume.
+    Done,
+}
+
+/// Per-fiber runtime shared between the scheduler and the fiber itself
+/// (via the thread-local [`CURRENT`] pointer). Boxed so its address is
+/// stable across scheduler Vec reallocation.
+struct FiberRt {
+    /// Fiber's rsp while suspended.
+    fiber_rsp: usize,
+    /// Scheduler's rsp while the fiber runs.
+    sched_rsp: usize,
+    action: Action,
+    /// The body; taken by the entry trampoline on first resume.
+    entry: Option<Box<dyn FnOnce()>>,
+    /// Panic payload captured by the trampoline's `catch_unwind`.
+    panic: Option<Box<dyn Any + Send>>,
+    /// The rank's progress context, parked here while the fiber is
+    /// suspended (thread-locals are per OS thread, not per fiber, so the
+    /// scheduler swaps it in and out around every switch).
+    saved_ctx: Option<crate::progress::Ctx>,
+}
+
+thread_local! {
+    /// The fiber currently running on this thread, if any.
+    static CURRENT: Cell<*mut FiberRt> = const { Cell::new(std::ptr::null_mut()) };
+}
+
+/// True when the calling code runs inside a fiber — wait sites use this
+/// to pick cooperative yielding over condvar parking.
+pub(crate) fn in_fiber() -> bool {
+    CURRENT.with(|c| !c.get().is_null())
+}
+
+/// Yield the current fiber back to the scheduler; it will be re-run
+/// after the other runnable fibers. Must only be called [`in_fiber`].
+pub(crate) fn yield_now() {
+    let rt = CURRENT.with(Cell::get);
+    assert!(!rt.is_null(), "yield_now outside a fiber");
+    unsafe {
+        (*rt).action = Action::Yielded;
+        arch::switch(&raw mut (*rt).fiber_rsp, &raw const (*rt).sched_rsp);
+    }
+}
+
+/// First frame of every fiber: runs the body under `catch_unwind`, then
+/// switches back to the scheduler for good.
+extern "C" fn fiber_main() -> ! {
+    let rt = CURRENT.with(Cell::get);
+    debug_assert!(!rt.is_null(), "fiber_main outside a fiber");
+    unsafe {
+        let body = (*rt).entry.take().expect("fiber body present on first resume");
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(body)) {
+            (*rt).panic = Some(payload);
+        }
+        (*rt).action = Action::Done;
+        let mut discard = 0usize;
+        arch::switch(&raw mut discard, &raw const (*rt).sched_rsp);
+    }
+    unreachable!("completed fiber resumed")
+}
+
+/// Consecutive fully-unproductive scheduler cycles tolerated before the
+/// stall callback fires (generous: ordinary waiting always produces
+/// events every cycle).
+const STALL_CYCLES: u64 = 1000;
+/// Additional unproductive cycles after the stall callback before the
+/// scheduler aborts hard (the callback is expected to poison the cluster,
+/// which makes every waiting fiber panic and drain within one cycle).
+const ABORT_CYCLES: u64 = 100_000;
+
+/// Run `tasks` as cooperatively-scheduled fibers on the calling thread
+/// until all complete; returns each task's panic payload (`None` = clean
+/// return), index-aligned with `tasks`.
+///
+/// `on_stall` is invoked once if the fiber set deadlocks (every fiber
+/// yielding, no unblocking events); it should poison the cluster so the
+/// waiting fibers panic out of their wait loops.
+pub(crate) fn run_fibers<'a>(
+    tasks: Vec<Box<dyn FnOnce() + 'a>>,
+    stack_size: usize,
+    on_stall: impl Fn(),
+) -> Vec<Option<Box<dyn Any + Send>>> {
+    assert!(
+        !in_fiber(),
+        "nested fiber executors on one thread are not supported"
+    );
+    let n = tasks.len();
+    let mut fibers: Vec<(StackMem, Box<FiberRt>)> = tasks
+        .into_iter()
+        .map(|task| {
+            // The scheduler outlives every fiber (the loop below runs
+            // them all to completion before returning), so parking the
+            // borrowed body behind a 'static trait object is sound.
+            let body: Box<dyn FnOnce() + 'static> =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + 'a>, _>(task) };
+            let stack = StackMem::new(stack_size);
+            let rt = Box::new(FiberRt {
+                fiber_rsp: stack.prepare(fiber_main),
+                sched_rsp: 0,
+                action: Action::Yielded,
+                entry: Some(body),
+                panic: None,
+                saved_ctx: None,
+            });
+            (stack, rt)
+        })
+        .collect();
+
+    let mut runq: std::collections::VecDeque<usize> = (0..n).collect();
+    let mut panics: Vec<Option<Box<dyn Any + Send>>> = (0..n).map(|_| None).collect();
+    let mut unproductive_cycles = 0u64;
+    let mut stalled = false;
+    while !runq.is_empty() {
+        let events_before = EVENTS.load(Ordering::Relaxed);
+        let mut any_done = false;
+        // One cycle: resume every currently-runnable fiber once.
+        for _ in 0..runq.len() {
+            let idx = runq.pop_front().expect("runq non-empty within cycle");
+            let (stack, rt) = &mut fibers[idx];
+            let rtp: *mut FiberRt = &mut **rt;
+            unsafe {
+                crate::progress::tl_set((*rtp).saved_ctx.take());
+                CURRENT.with(|c| c.set(rtp));
+                arch::switch(&raw mut (*rtp).sched_rsp, &raw const (*rtp).fiber_rsp);
+                CURRENT.with(|c| c.set(std::ptr::null_mut()));
+                (*rtp).saved_ctx = crate::progress::tl_take();
+            }
+            match rt.action {
+                Action::Yielded => runq.push_back(idx),
+                Action::Done => {
+                    any_done = true;
+                    assert!(
+                        stack.canary_intact(),
+                        "fiber {idx} overflowed its {stack_size}-byte stack \
+                         (canary clobbered); raise ClusterConfig::stack_size"
+                    );
+                    panics[idx] = rt.panic.take();
+                }
+            }
+        }
+        if any_done || EVENTS.load(Ordering::Relaxed) != events_before {
+            unproductive_cycles = 0;
+        } else {
+            unproductive_cycles += 1;
+            if !stalled && unproductive_cycles >= STALL_CYCLES {
+                stalled = true;
+                on_stall();
+            }
+            assert!(
+                unproductive_cycles < STALL_CYCLES + ABORT_CYCLES,
+                "fiber deadlock: {} fibers still blocked after poisoning",
+                runq.len()
+            );
+        }
+    }
+    panics
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn run_simple(tasks: Vec<Box<dyn FnOnce() + '_>>) -> Vec<Option<Box<dyn Any + Send>>> {
+        run_fibers(tasks, 64 * 1024, || panic!("unexpected stall"))
+    }
+
+    #[test]
+    fn fibers_run_to_completion_in_order() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let tasks: Vec<Box<dyn FnOnce()>> = (0..4)
+            .map(|i| {
+                let log = Rc::clone(&log);
+                Box::new(move || log.borrow_mut().push(i)) as Box<dyn FnOnce()>
+            })
+            .collect();
+        let panics = run_simple(tasks);
+        assert!(panics.iter().all(Option::is_none));
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn yielding_interleaves_round_robin() {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let tasks: Vec<Box<dyn FnOnce()>> = (0..3)
+            .map(|i| {
+                let log = Rc::clone(&log);
+                Box::new(move || {
+                    for step in 0..3 {
+                        log.borrow_mut().push((i, step));
+                        yield_now();
+                    }
+                }) as Box<dyn FnOnce()>
+            })
+            .collect();
+        run_simple(tasks);
+        // Steps proceed in lockstep: all fibers' step 0, then step 1, ...
+        let expect: Vec<(usize, usize)> =
+            (0..3).flat_map(|s| (0..3).map(move |i| (i, s))).collect();
+        assert_eq!(*log.borrow(), expect);
+    }
+
+    #[test]
+    fn panic_is_captured_not_propagated() {
+        let tasks: Vec<Box<dyn FnOnce()>> = vec![
+            Box::new(|| {}),
+            Box::new(|| panic!("fiber boom")),
+            Box::new(|| yield_now()),
+        ];
+        let panics = run_simple(tasks);
+        assert!(panics[0].is_none());
+        let msg = panics[1]
+            .as_ref()
+            .and_then(|p| p.downcast_ref::<&str>().copied())
+            .expect("payload preserved");
+        assert_eq!(msg, "fiber boom");
+        assert!(panics[2].is_none());
+    }
+
+    #[test]
+    fn cooperative_ping_pong_via_shared_state() {
+        // Two fibers alternate incrementing a counter, each waiting for
+        // the other's turn — the pattern every blocking primitive reduces
+        // to under the fiber executor.
+        let turn = Rc::new(Cell::new(0u32));
+        let tasks: Vec<Box<dyn FnOnce()>> = (0..2u32)
+            .map(|me| {
+                let turn = Rc::clone(&turn);
+                Box::new(move || {
+                    for _ in 0..10 {
+                        while turn.get() % 2 != me {
+                            yield_now();
+                        }
+                        turn.set(turn.get() + 1);
+                        note_event();
+                    }
+                }) as Box<dyn FnOnce()>
+            })
+            .collect();
+        run_simple(tasks);
+        assert_eq!(turn.get(), 20);
+    }
+
+    #[test]
+    fn deep_stack_use_within_bounds_is_fine() {
+        fn burn(depth: usize) -> usize {
+            let pad = [depth as u8; 64];
+            if depth == 0 {
+                pad[0] as usize
+            } else {
+                burn(depth - 1) + pad.len()
+            }
+        }
+        let tasks: Vec<Box<dyn FnOnce()>> = vec![Box::new(|| {
+            assert_eq!(burn(100), 6400);
+        })];
+        let panics = run_fibers(tasks, 256 * 1024, || panic!("stall"));
+        assert!(panics[0].is_none());
+    }
+
+    #[test]
+    fn stall_detection_fires_and_callback_can_release() {
+        // One fiber waits for a flag nothing will set; the stall callback
+        // plays the poison role and sets it.
+        let flag = Rc::new(Cell::new(false));
+        let f2 = Rc::clone(&flag);
+        let tasks: Vec<Box<dyn FnOnce() + '_>> = vec![Box::new(|| {
+            while !flag.get() {
+                yield_now();
+            }
+        })];
+        let panics = run_fibers(tasks, 64 * 1024, move || f2.set(true));
+        assert!(panics[0].is_none());
+    }
+
+    #[test]
+    fn executor_selection_round_trips() {
+        let before = executor();
+        set_executor(Executor::Threads);
+        assert_eq!(executor(), Executor::Threads);
+        set_executor(Executor::Fibers);
+        if ARCH_SUPPORTED {
+            assert_eq!(executor(), Executor::Fibers);
+        } else {
+            assert_eq!(executor(), Executor::Threads);
+        }
+        set_executor(before);
+    }
+}

@@ -41,6 +41,7 @@ pub mod buffer;
 pub mod clock;
 pub mod endpoint;
 pub mod error;
+pub mod fiber;
 pub mod mailbox;
 pub mod model;
 pub mod nic;
@@ -51,14 +52,15 @@ pub mod runtime;
 pub mod time;
 pub mod topology;
 
-pub use buffer::IoBuffer;
+pub use buffer::{buffer_pooling, set_buffer_pooling, IoBuffer};
 pub use clock::Clock;
 pub use endpoint::{Endpoint, RecvInfo};
 pub use error::{SimError, SimResult};
+pub use fiber::{executor, set_executor, Executor};
 pub use model::{CollectiveAlg, MachineModel, NetworkModel};
 pub use noise::SplitMix64;
 pub use progress::{admit, current_rank, Admission};
 pub use rendezvous::{MeetInfo, Rendezvous};
-pub use runtime::{run_cluster, ClusterConfig};
+pub use runtime::{default_stack_size, run_cluster, set_default_stack_size, ClusterConfig};
 pub use time::SimTime;
 pub use topology::{Mapping, Topology};

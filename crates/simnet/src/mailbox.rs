@@ -9,12 +9,25 @@
 //!
 //! The `context` field plays the role of an MPI communicator context id,
 //! isolating traffic of different communicators that may use equal tags.
+//!
+//! # Sharding
+//!
+//! The store is sharded **per source rank**: queues and the receiver's
+//! condition variable live in `shards[src]`. Because matching is fully
+//! qualified, a receive only ever touches its source's shard, so the
+//! all-to-one exchange pattern of two-phase I/O — up to 1024 senders
+//! depositing into one aggregator's mailbox — never contends on a single
+//! lock, and a delivery wakes the receiver with one targeted
+//! `notify_one` instead of broadcasting. Only the owner thread ever
+//! receives from a mailbox, so each shard has at most one waiter and
+//! `notify_one` can never strand a second one.
 
 use crate::buffer::IoBuffer;
 use crate::rendezvous::PoisonFlag;
 use crate::time::SimTime;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -33,16 +46,30 @@ pub struct Packet {
     pub sent_clock: SimTime,
 }
 
-type Key = (usize, u32, i32);
+/// Within a shard the source is fixed; queues are keyed by the remaining
+/// `(context, tag)` pair.
+type ShardKey = (u32, i32);
+
+/// One source rank's queues plus the receiver-side wakeup channel.
+#[derive(Default)]
+struct Shard {
+    queues: Mutex<HashMap<ShardKey, VecDeque<Packet>>>,
+    cv: Condvar,
+}
 
 /// One rank's incoming-message store.
 pub struct Mailbox {
     /// The rank that receives from this mailbox — identifies which rank
     /// to report to the progress registry on blocking and delivery.
     owner: usize,
-    queues: Mutex<HashMap<Key, VecDeque<Packet>>>,
-    cv: Condvar,
+    /// Per-source shards, indexed by the sending rank.
+    shards: Box<[Shard]>,
     poison: Arc<PoisonFlag>,
+    /// Times the receiver was woken by a notify and found its match.
+    wakeups: AtomicU64,
+    /// Times the receiver was woken by a notify without a matching
+    /// packet (a same-source delivery on a different `(ctx, tag)`).
+    spurious_wakeups: AtomicU64,
 }
 
 impl std::fmt::Debug for Mailbox {
@@ -54,39 +81,51 @@ impl std::fmt::Debug for Mailbox {
 const POISON_POLL: Duration = Duration::from_millis(50);
 
 impl Mailbox {
-    /// New empty mailbox for receiving rank `owner`, sharing the cluster
-    /// poison flag.
-    pub fn new(owner: usize, poison: Arc<PoisonFlag>) -> Self {
+    /// New empty mailbox for receiving rank `owner` in a cluster of
+    /// `nranks` possible senders, sharing the cluster poison flag.
+    pub fn new(owner: usize, nranks: usize, poison: Arc<PoisonFlag>) -> Self {
         Mailbox {
             owner,
-            queues: Mutex::new(HashMap::new()),
-            cv: Condvar::new(),
+            shards: (0..nranks.max(1)).map(|_| Shard::default()).collect(),
             poison,
+            wakeups: AtomicU64::new(0),
+            spurious_wakeups: AtomicU64::new(0),
         }
+    }
+
+    fn shard(&self, src: usize) -> &Shard {
+        &self.shards[src]
     }
 
     /// Deposit a packet (called by the sender's thread).
     ///
-    /// Holding the queues lock, this also downgrades the owner's
+    /// Holding the source shard's lock, this also downgrades the owner's
     /// progress-registry mode if it was blocked on exactly this match:
     /// once the packet is queued the owner is no longer waiting on the
     /// sender's future, and the registry must never observe the stale
-    /// blocked mode with the packet already present.
+    /// blocked mode with the packet already present. (The receiver
+    /// registers under the same shard lock, so the protocol is unchanged
+    /// from the single-lock design — just per source.)
     pub fn deliver(&self, pkt: Packet) {
-        let key = (pkt.src, pkt.ctx, pkt.tag);
-        let mut q = self.queues.lock();
+        let shard = self.shard(pkt.src);
+        let key = (pkt.ctx, pkt.tag);
+        let src = pkt.src;
+        let mut q = shard.queues.lock();
         q.entry(key).or_default().push_back(pkt);
-        crate::progress::tl_deliver_downgrade(self.owner, key.0, key.1, key.2);
+        crate::progress::tl_deliver_downgrade(self.owner, src, key.0, key.1);
         drop(q);
-        self.cv.notify_all();
+        shard.cv.notify_one();
+        crate::fiber::note_event();
     }
 
     /// Receive the next packet matching `(src, ctx, tag)`, blocking until
     /// one arrives. Panics if the cluster is poisoned while waiting.
     pub fn recv(&self, src: usize, ctx: u32, tag: i32) -> Packet {
-        let key = (src, ctx, tag);
-        let mut q = self.queues.lock();
+        let shard = self.shard(src);
+        let key = (ctx, tag);
+        let mut q = shard.queues.lock();
         let mut registered = false;
+        let mut woken = false;
         let mut polls = 0u32;
         loop {
             if let Some(dq) = q.get_mut(&key) {
@@ -100,19 +139,34 @@ impl Mailbox {
                         // threads without a progress context.
                         crate::progress::tl_unblock();
                     }
+                    if woken {
+                        self.wakeups.fetch_add(1, Ordering::Relaxed);
+                    }
                     return pkt;
                 }
+            }
+            if woken {
+                self.spurious_wakeups.fetch_add(1, Ordering::Relaxed);
             }
             if !registered {
                 // No matching packet exists: this rank's further progress
                 // (and all its future resource requests) now depends on
-                // the sender. Registered under the queues lock so that
+                // the sender. Registered under the shard lock so that
                 // `deliver` cannot race the registration.
                 crate::progress::tl_block_recv(src, ctx, tag);
                 registered = true;
             }
             self.poison.check();
-            self.cv.wait_for(&mut q, POISON_POLL);
+            if crate::fiber::in_fiber() {
+                // Cooperative executor: the sender is another fiber on
+                // this thread — unlock, let it run, re-check. No notify
+                // is involved, so this never counts as a (spurious)
+                // wakeup.
+                parking_lot::MutexGuard::unlocked(&mut q, crate::fiber::yield_now);
+                woken = false;
+            } else {
+                woken = !shard.cv.wait_for(&mut q, POISON_POLL).timed_out();
+            }
             self.poison.check();
             polls += 1;
             if polls == crate::progress::STALL_DEBUG_POLLS && crate::progress::stall_debug() {
@@ -126,8 +180,8 @@ impl Mailbox {
 
     /// Non-blocking probe: take a matching packet if present.
     pub fn try_recv(&self, src: usize, ctx: u32, tag: i32) -> Option<Packet> {
-        let key = (src, ctx, tag);
-        let mut q = self.queues.lock();
+        let key = (ctx, tag);
+        let mut q = self.shard(src).queues.lock();
         let dq = q.get_mut(&key)?;
         let pkt = dq.pop_front();
         if dq.is_empty() {
@@ -138,7 +192,25 @@ impl Mailbox {
 
     /// Number of packets currently queued (all keys). Diagnostic only.
     pub fn backlog(&self) -> usize {
-        self.queues.lock().values().map(|d| d.len()).sum()
+        self.shards
+            .iter()
+            .map(|s| s.queues.lock().values().map(VecDeque::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Notified wakeups the receiver observed that found their match.
+    /// Diagnostic: with per-source sharding every delivery wakes at most
+    /// this mailbox's owner, so this tracks productive deliveries.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups.load(Ordering::Relaxed)
+    }
+
+    /// Notified wakeups that found no matching packet — a same-source
+    /// delivery on a different `(ctx, tag)` than the one being awaited.
+    /// Single-tag exchanges (the two-phase data path) keep this at zero;
+    /// the regression test asserts it.
+    pub fn spurious_wakeups(&self) -> u64 {
+        self.spurious_wakeups.load(Ordering::Relaxed)
     }
 }
 
@@ -148,7 +220,7 @@ mod tests {
     use std::thread;
 
     fn mbox() -> Arc<Mailbox> {
-        Arc::new(Mailbox::new(0, Arc::new(PoisonFlag::default())))
+        Arc::new(Mailbox::new(0, 4, Arc::new(PoisonFlag::default())))
     }
 
     fn pkt(src: usize, ctx: u32, tag: i32, bytes: &[u8]) -> Packet {
@@ -210,7 +282,7 @@ mod tests {
     #[should_panic(expected = "poisoned")]
     fn poisoned_recv_panics_instead_of_hanging() {
         let poison = Arc::new(PoisonFlag::default());
-        let m = Mailbox::new(0, Arc::clone(&poison));
+        let m = Mailbox::new(0, 1, Arc::clone(&poison));
         poison.poison();
         let _ = m.recv(0, 0, 0);
     }
@@ -222,5 +294,49 @@ mod tests {
         m.deliver(pkt(1, 0, 0, &[2]));
         m.deliver(pkt(1, 0, 1, &[3]));
         assert_eq!(m.backlog(), 3);
+    }
+
+    #[test]
+    fn ping_pong_has_no_spurious_wakeups() {
+        // Regression test for the targeted-wakeup design: a 3-party
+        // ping-pong through one mailbox must wake the receiver only when
+        // its match arrived — never for deliveries it is not waiting on
+        // (the old broadcast design woke the receiver for *every*
+        // deposit and re-scanned the whole map).
+        let m = mbox();
+        let rounds = 25u8;
+        let receiver = {
+            let m = Arc::clone(&m);
+            thread::spawn(move || {
+                for i in 0..rounds {
+                    // Alternate sources; each recv targets one shard.
+                    let got = m.recv(1, 0, 7);
+                    assert_eq!(got.payload.as_slice().unwrap(), &[i]);
+                    let got = m.recv(2, 0, 7);
+                    assert_eq!(got.payload.as_slice().unwrap(), &[i]);
+                }
+            })
+        };
+        let sender = |src: usize, m: &Arc<Mailbox>| {
+            let m = Arc::clone(m);
+            thread::spawn(move || {
+                for i in 0..rounds {
+                    m.deliver(pkt(src, 0, 7, &[i]));
+                }
+            })
+        };
+        let s1 = sender(1, &m);
+        let s2 = sender(2, &m);
+        receiver.join().unwrap();
+        s1.join().unwrap();
+        s2.join().unwrap();
+        assert_eq!(
+            m.spurious_wakeups(),
+            0,
+            "deliveries on one (src, ctx, tag) woke a waiter for another"
+        );
+        // Every notified wakeup found its packet; blocked receives that
+        // were satisfied before sleeping don't count at all.
+        assert!(m.wakeups() <= 2 * rounds as u64);
     }
 }

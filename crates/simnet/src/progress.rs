@@ -111,10 +111,20 @@ struct Inner {
 }
 
 /// Cluster-wide admission gate; one per [`crate::run_cluster`] run.
+///
+/// Wakeups are *targeted*: at any instant at most one pending request —
+/// the one with the smallest `(arrival, rank, seq)` key — can possibly
+/// be admissible (any larger pending key fails against it), so every
+/// state change wakes only that request's rank on its own condition
+/// variable instead of broadcasting to all parked rank threads. With
+/// 512–1024 rank threads this turns each release from a thundering herd
+/// of `O(n)` wakeups (each re-running the admissibility scan and going
+/// back to sleep) into a single handoff.
 #[derive(Debug)]
 pub struct ProgressRegistry {
     inner: Mutex<Inner>,
-    cv: Condvar,
+    /// One condvar per rank; rank `r` waits only on `cvs[r]`.
+    cvs: Box<[Condvar]>,
     poison: Arc<PoisonFlag>,
 }
 
@@ -184,9 +194,30 @@ impl ProgressRegistry {
                     .collect(),
                 next_seq: 0,
             }),
-            cv: Condvar::new(),
+            cvs: (0..n).map(|_| Condvar::new()).collect(),
             poison,
         }
+    }
+
+    /// Wake the one rank whose pending request could now be admissible:
+    /// the holder of the minimum pending key. (If that rank currently
+    /// *holds* the admission rather than waiting, the notify is a no-op
+    /// and the next wake happens at its release — which re-runs this.)
+    fn wake_min(&self, inner: &Inner) {
+        let mut best: Option<(&ReqKey, usize)> = None;
+        for (r, st) in inner.ranks.iter().enumerate() {
+            if let Mode::Pending { key } = &st.mode {
+                if best.is_none_or(|(bk, _)| key.lt(bk)) {
+                    best = Some((key, r));
+                }
+            }
+        }
+        if let Some((_, r)) = best {
+            self.cvs[r].notify_one();
+        }
+        // Every registry state change runs through here; under the fiber
+        // executor it doubles as the liveness signal for stall detection.
+        crate::fiber::note_event();
     }
 
     /// Lower bound on rank `r`'s future request arrivals, from the
@@ -322,12 +353,20 @@ impl ProgressRegistry {
         let st = &mut inner.ranks[rank];
         st.floor = st.floor.max(arrival);
         st.mode = Mode::Pending { key };
-        // The new pending key raises this rank's bound for everyone else.
-        self.cv.notify_all();
+        // The new pending key raises this rank's bound for everyone
+        // else, possibly unblocking the current minimum pending request.
+        self.wake_min(&inner);
         let mut polls = 0u32;
         while !Self::admissible(&inner, &key) {
             self.poison.check();
-            self.cv.wait_for(&mut inner, POISON_POLL);
+            if crate::fiber::in_fiber() {
+                // Cooperative executor: release the lock and let the
+                // other ranks (fibers on this same thread) run; they are
+                // the only source of the state change we're waiting for.
+                parking_lot::MutexGuard::unlocked(&mut inner, crate::fiber::yield_now);
+            } else {
+                self.cvs[rank].wait_for(&mut inner, POISON_POLL);
+            }
             self.poison.check();
             polls += 1;
             if polls == STALL_DEBUG_POLLS && stall_debug() {
@@ -348,7 +387,7 @@ impl ProgressRegistry {
             st.floor = st.floor.max(key.arrival);
         }
         st.mode = Mode::Running;
-        self.cv.notify_all();
+        self.wake_min(&inner);
     }
 
     /// Register `rank` as blocked on a receive with no matching packet
@@ -357,7 +396,7 @@ impl ProgressRegistry {
     pub(crate) fn block_recv(&self, rank: usize, src: usize, ctx: u32, tag: i32) {
         let mut inner = self.inner.lock();
         inner.ranks[rank].mode = Mode::Recv { src, ctx, tag };
-        self.cv.notify_all();
+        self.wake_min(&inner);
     }
 
     /// A packet `(src, ctx, tag)` was just delivered to `dst`'s mailbox:
@@ -370,7 +409,7 @@ impl ProgressRegistry {
         if matches!(&st.mode, Mode::Recv { src: s, ctx: c, tag: t } if *s == src && *c == ctx && *t == tag)
         {
             st.mode = Mode::Running;
-            self.cv.notify_all();
+            self.wake_min(&inner);
         }
     }
 
@@ -380,7 +419,7 @@ impl ProgressRegistry {
     pub(crate) fn block_rdv(&self, rank: usize, id: u64, members: Arc<Vec<usize>>) {
         let mut inner = self.inner.lock();
         inner.ranks[rank].mode = Mode::Rdv { id, members };
-        self.cv.notify_all();
+        self.wake_min(&inner);
     }
 
     /// The meeting `id` just completed: downgrade every participant still
@@ -397,7 +436,7 @@ impl ProgressRegistry {
             }
         }
         if changed {
-            self.cv.notify_all();
+            self.wake_min(&inner);
         }
     }
 
@@ -408,7 +447,7 @@ impl ProgressRegistry {
         let st = &mut inner.ranks[rank];
         if !matches!(st.mode, Mode::Running) {
             st.mode = Mode::Running;
-            self.cv.notify_all();
+            self.wake_min(&inner);
         }
     }
 
@@ -416,7 +455,7 @@ impl ProgressRegistry {
     fn finish(&self, rank: usize) {
         let mut inner = self.inner.lock();
         inner.ranks[rank].mode = Mode::Finished;
-        self.cv.notify_all();
+        self.wake_min(&inner);
     }
 }
 
@@ -425,13 +464,25 @@ impl ProgressRegistry {
 // ---------------------------------------------------------------------
 
 #[derive(Clone)]
-struct Ctx {
+pub(crate) struct Ctx {
     registry: Arc<ProgressRegistry>,
     rank: usize,
 }
 
 thread_local! {
     static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+/// Detach the thread's progress context (fiber scheduler hook: the
+/// context is rank-affine state, parked with the suspended fiber).
+pub(crate) fn tl_take() -> Option<Ctx> {
+    CTX.with(|c| c.borrow_mut().take())
+}
+
+/// Install a previously [taken](tl_take) progress context (fiber
+/// scheduler hook, run before resuming the owning fiber).
+pub(crate) fn tl_set(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
 }
 
 /// RAII installation of a rank's progress context; created by

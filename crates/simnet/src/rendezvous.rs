@@ -34,6 +34,9 @@ impl PoisonFlag {
     /// Mark the cluster as poisoned.
     pub fn poison(&self) {
         self.0.store(true, Ordering::SeqCst);
+        // Unblocks every waiter (they poll the flag), so it is also a
+        // liveness event for the fiber scheduler's stall detector.
+        crate::fiber::note_event();
     }
 
     /// True once poisoned.
@@ -203,6 +206,7 @@ impl Rendezvous {
         st.inputs[idx] = Some(Box::new(input));
         st.clocks[idx] = now;
         st.arrived += 1;
+        crate::fiber::note_event();
 
         if st.arrived == self.n {
             let inputs: Vec<T> = st
@@ -282,6 +286,7 @@ impl Rendezvous {
             st.arrived = 0;
             st.generation += 1;
             self.cv.notify_all();
+            crate::fiber::note_event();
         }
         drop(st);
 
@@ -293,7 +298,13 @@ impl Rendezvous {
 
     fn poisonable_wait(&self, st: &mut parking_lot::MutexGuard<'_, State>) {
         self.poison.check();
-        self.cv.wait_for(st, POISON_POLL);
+        if crate::fiber::in_fiber() {
+            // Cooperative executor: the peers we are meeting are fibers
+            // on this same thread — unlock, run them, re-check.
+            parking_lot::MutexGuard::unlocked(st, crate::fiber::yield_now);
+        } else {
+            self.cv.wait_for(st, POISON_POLL);
+        }
         self.poison.check();
     }
 }

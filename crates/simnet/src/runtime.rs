@@ -7,9 +7,29 @@ use crate::model::{MachineModel, NetworkModel};
 use crate::progress::{self, ProgressRegistry};
 use crate::rendezvous::{PoisonFlag, Rendezvous};
 use crate::topology::{Mapping, Topology};
-use std::sync::atomic::AtomicU32;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
+
+/// Process-wide default for [`ClusterConfig::stack_size`], picked up by
+/// every constructor (and by harnesses that build configs indirectly,
+/// e.g. the `hostperf` bench binary's `--stack-size` flag). Stack pages
+/// are committed lazily by the OS, so the default only bounds virtual
+/// address space; see the `stack_size` field for the measured footprint.
+static DEFAULT_STACK_SIZE: AtomicUsize = AtomicUsize::new(1 << 20);
+
+/// Override the default per-rank stack size for subsequently built
+/// [`ClusterConfig`]s. Zero restores the built-in 1 MiB default.
+pub fn set_default_stack_size(bytes: usize) {
+    let v = if bytes == 0 { 1 << 20 } else { bytes };
+    DEFAULT_STACK_SIZE.store(v, Ordering::Relaxed);
+}
+
+/// The current default per-rank stack size (see
+/// [`set_default_stack_size`]).
+pub fn default_stack_size() -> usize {
+    DEFAULT_STACK_SIZE.load(Ordering::Relaxed)
+}
 
 /// Configuration for [`run_cluster`].
 #[derive(Debug, Clone)]
@@ -20,8 +40,15 @@ pub struct ClusterConfig {
     pub net: NetworkModel,
     /// Local machine cost model.
     pub machine: MachineModel,
-    /// Stack size per rank thread. The protocols here recurse shallowly,
-    /// and runs spawn up to 1024 threads, so the default is a modest 1 MiB.
+    /// Stack size per rank (OS-thread stack or fiber stack, depending on
+    /// the executor). The protocols here iterate rather than recurse, so
+    /// ranks are shallow: the quick-scale hostperf suite passes with
+    /// 32 KiB fiber stacks (canary-checked — an overflow panics rather
+    /// than corrupting) and 64 KiB thread stacks, measured via
+    /// `hostperf --stack-size`. The default stays at 1 MiB of *virtual*
+    /// reservation: pages are committed on touch, so 1024 ranks cost
+    /// 1 GiB of address space but only a few MiB of resident stack, and
+    /// the margin matters for fiber stacks, which have no guard page.
     pub stack_size: usize,
     /// Trace sink shared by every rank. Disabled by default: each
     /// recording call returns after one branch, so uninstrumented runs
@@ -37,7 +64,7 @@ impl ClusterConfig {
             topology: Topology::dual_core(n, mapping),
             net: NetworkModel::cray_xt_seastar(),
             machine: MachineModel::catamount(),
-            stack_size: 1 << 20,
+            stack_size: default_stack_size(),
             trace: simtrace::TraceSink::disabled(),
         }
     }
@@ -48,14 +75,20 @@ impl ClusterConfig {
             topology: Topology::dual_core(n, Mapping::Block),
             net: NetworkModel::ideal(),
             machine: MachineModel::ideal(),
-            stack_size: 1 << 20,
+            stack_size: default_stack_size(),
             trace: simtrace::TraceSink::disabled(),
         }
     }
 }
 
-/// Run `f` once per rank on its own thread and collect the return values
-/// in rank order.
+/// Run `f` once per rank and collect the return values in rank order.
+///
+/// Ranks execute on the substrate selected by [`crate::fiber::executor`]:
+/// cooperative fibers on the calling thread (the default — orders of
+/// magnitude cheaper per blocking operation on a loaded or small host),
+/// or one OS thread per rank (`SIMNET_EXECUTOR=threads`, non-x86_64
+/// hosts, and clusters started from inside another cluster's rank).
+/// Virtual-time results are bitwise identical across the two.
 ///
 /// If any rank panics, the cluster is poisoned (unblocking every rank
 /// stuck in a receive or collective) and this function re-panics with the
@@ -86,7 +119,7 @@ where
     let registry = Arc::new(ProgressRegistry::new(n, Arc::clone(&poison)));
     let mailboxes: Arc<Vec<Mailbox>> = Arc::new(
         (0..n)
-            .map(|r| Mailbox::new(r, Arc::clone(&poison)))
+            .map(|r| Mailbox::new(r, n, Arc::clone(&poison)))
             .collect(),
     );
     let nics: Arc<Vec<Nic>> =
@@ -111,24 +144,70 @@ where
         }
     }
 
+    let make_ep = |rank: usize| {
+        let trace = cfg.trace.recorder_on_node(
+            simtrace::TrackKey::Rank(rank),
+            Some(topology.node_of(rank)),
+        );
+        Endpoint::new(
+            rank,
+            Arc::clone(&mailboxes),
+            Arc::clone(&nics),
+            Arc::clone(&topology),
+            Arc::clone(&net),
+            Arc::clone(&machine),
+            Arc::clone(&poison),
+            Arc::clone(&world_rdv),
+            Arc::clone(&ctx_counter),
+            trace,
+        )
+    };
+
+    // A cluster started from inside another cluster's rank (fiber) must
+    // not nest a second scheduler on the same stack — fall back to
+    // threads for the inner run.
+    if crate::fiber::executor() == crate::fiber::Executor::Fibers && !crate::fiber::in_fiber() {
+        let slots: Vec<std::cell::RefCell<Option<T>>> =
+            (0..n).map(|_| std::cell::RefCell::new(None)).collect();
+        let tasks: Vec<Box<dyn FnOnce() + '_>> = slots
+            .iter()
+            .enumerate()
+            .map(|(rank, slot)| {
+                let ep = make_ep(rank);
+                let f = Arc::clone(&f);
+                let guard_flag = Arc::clone(&poison);
+                let registry = Arc::clone(&registry);
+                Box::new(move || {
+                    let _guard = PoisonOnPanic(guard_flag);
+                    // Progress context: lets shared resources (OSTs, the
+                    // NIC) admit this rank's requests in virtual-time
+                    // order. Dropped (rank -> Finished) after `f`, even
+                    // on panic, so gate waiters never deadlock on us.
+                    let _ctx = progress::install(registry, rank);
+                    *slot.borrow_mut() = Some(f(ep));
+                }) as Box<dyn FnOnce() + '_>
+            })
+            .collect();
+        // A genuine deadlock (every fiber yielding, nothing moving) is
+        // resolved like a rank panic: poison the cluster so the blocked
+        // fibers panic out of their waits and report.
+        let stall_flag = Arc::clone(&poison);
+        let panics = crate::fiber::run_fibers(tasks, cfg.stack_size, move || stall_flag.poison());
+        if let Some(payload) = pick_primary(panics.into_iter().flatten()) {
+            std::panic::resume_unwind(payload);
+        }
+        return slots
+            .into_iter()
+            .map(|s| {
+                s.into_inner()
+                    .expect("every fiber completed without panicking")
+            })
+            .collect();
+    }
+
     let handles: Vec<_> = (0..n)
         .map(|rank| {
-            let trace = cfg.trace.recorder_on_node(
-                simtrace::TrackKey::Rank(rank),
-                Some(topology.node_of(rank)),
-            );
-            let ep = Endpoint::new(
-                rank,
-                Arc::clone(&mailboxes),
-                Arc::clone(&nics),
-                Arc::clone(&topology),
-                Arc::clone(&net),
-                Arc::clone(&machine),
-                Arc::clone(&poison),
-                Arc::clone(&world_rdv),
-                Arc::clone(&ctx_counter),
-                trace,
-            );
+            let ep = make_ep(rank);
             let f = Arc::clone(&f);
             let guard_flag = Arc::clone(&poison);
             let registry = Arc::clone(&registry);
@@ -137,10 +216,7 @@ where
                 .stack_size(cfg.stack_size)
                 .spawn(move || {
                     let _guard = PoisonOnPanic(guard_flag);
-                    // Progress context: lets shared resources (OSTs, the
-                    // NIC) admit this rank's requests in virtual-time
-                    // order. Dropped (rank -> Finished) after `f`, even
-                    // on panic, so gate waiters never deadlock on us.
+                    // See the fiber path above for the context's role.
                     let _ctx = progress::install(registry, rank);
                     f(ep)
                 })
@@ -149,33 +225,42 @@ where
         .collect();
 
     let mut results = Vec::with_capacity(n);
-    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    let mut panics = Vec::new();
     for h in handles {
         match h.join() {
             Ok(v) => results.push(v),
-            Err(payload) => {
-                // Prefer the originating panic over secondary "cluster
-                // poisoned" panics raised by ranks that were unblocked.
-                fn is_echo(p: &(dyn std::any::Any + Send)) -> bool {
-                    p.downcast_ref::<String>()
-                        .map(String::as_str)
-                        .or_else(|| p.downcast_ref::<&str>().copied())
-                        .is_some_and(|s| s.contains("cluster poisoned"))
-                }
-                let replace = match &first_panic {
-                    None => true,
-                    Some(prev) => is_echo(prev.as_ref()) && !is_echo(payload.as_ref()),
-                };
-                if replace {
-                    first_panic = Some(payload);
-                }
-            }
+            Err(payload) => panics.push(payload),
         }
     }
-    if let Some(payload) = first_panic {
+    if let Some(payload) = pick_primary(panics) {
         std::panic::resume_unwind(payload);
     }
     results
+}
+
+/// Pick the panic to re-throw from a cluster run: prefer the originating
+/// panic over secondary "cluster poisoned" panics raised by ranks that
+/// were unblocked by the poison flag.
+fn pick_primary(
+    panics: impl IntoIterator<Item = Box<dyn std::any::Any + Send>>,
+) -> Option<Box<dyn std::any::Any + Send>> {
+    fn is_echo(p: &(dyn std::any::Any + Send)) -> bool {
+        p.downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| p.downcast_ref::<&str>().copied())
+            .is_some_and(|s| s.contains("cluster poisoned"))
+    }
+    let mut first: Option<Box<dyn std::any::Any + Send>> = None;
+    for payload in panics {
+        let replace = match &first {
+            None => true,
+            Some(prev) => is_echo(prev.as_ref()) && !is_echo(payload.as_ref()),
+        };
+        if replace {
+            first = Some(payload);
+        }
+    }
+    first
 }
 
 #[cfg(test)]
@@ -226,6 +311,33 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b, "virtual time must not depend on host scheduling");
+    }
+
+    #[test]
+    fn fibers_and_threads_agree_on_virtual_time() {
+        // The executor is a host-side substrate choice; virtual
+        // timestamps must be bitwise identical across it. Exercises
+        // sends, receives and a collective under contention.
+        let workload = |ep: crate::endpoint::Endpoint| {
+            let n = ep.size();
+            let next = (ep.rank() + 1) % n;
+            let prev = (ep.rank() + n - 1) % n;
+            ep.send(next, 0, 1, IoBuffer::synthetic(1 << 14));
+            let _ = ep.recv(prev, 0, 1);
+            let rdv = ep.world_rendezvous();
+            let (_, done) = rdv.meet(ep.rank(), ep.now(), (), |_, max| ((), max));
+            ep.clock().advance_to(done);
+            ep.now().as_secs()
+        };
+        let run = |e: crate::fiber::Executor| {
+            crate::fiber::set_executor(e);
+            run_cluster(ClusterConfig::cray_xt(12, Mapping::Cyclic), workload)
+        };
+        let before = crate::fiber::executor();
+        let fibers = run(crate::fiber::Executor::Fibers);
+        let threads = run(crate::fiber::Executor::Threads);
+        crate::fiber::set_executor(before);
+        assert_eq!(fibers, threads, "executor choice leaked into virtual time");
     }
 
     #[test]

@@ -136,7 +136,7 @@ where
         topology: simnet::Topology::dual_core(nprocs, cfg.mapping),
         net,
         machine: simnet::MachineModel::catamount(),
-        stack_size: 1 << 20,
+        stack_size: simnet::default_stack_size(),
         trace: cfg.trace.clone(),
     };
 
@@ -163,7 +163,7 @@ where
         let (disp, ft) = w.view(rank);
         let make_buf = |call: usize, bytes: u64| match cfg2.data {
             DataMode::Synthetic => IoBuffer::synthetic(bytes as usize),
-            DataMode::Verify => IoBuffer::Real(pattern_buffer(rank, call, bytes)),
+            DataMode::Verify => IoBuffer::from_vec(pattern_buffer(rank, call, bytes)),
         };
 
         match cfg2.mode {

@@ -42,14 +42,19 @@ impl<T: ?Sized> Mutex<T> {
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner),
             ),
+            mutex: self,
         }
     }
 
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Ok(g) => Some(MutexGuard {
+                inner: Some(g),
+                mutex: self,
+            }),
             Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
                 inner: Some(p.into_inner()),
+                mutex: self,
             }),
             Err(sync::TryLockError::WouldBlock) => None,
         }
@@ -63,11 +68,33 @@ impl<T: ?Sized> Mutex<T> {
 }
 
 /// Guard for [`Mutex`]. The inner `Option` exists so [`Condvar::wait_for`]
-/// can temporarily surrender the underlying std guard; it is `Some` at all
-/// times observable by callers.
+/// and [`MutexGuard::unlocked`] can temporarily surrender the underlying
+/// std guard; it is `Some` at all times observable by callers.
 #[derive(Debug)]
 pub struct MutexGuard<'a, T: ?Sized> {
     inner: Option<sync::MutexGuard<'a, T>>,
+    mutex: &'a Mutex<T>,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Run `f` with the mutex temporarily unlocked, then re-acquire it
+    /// (parking_lot's `MutexGuard::unlocked`). The guard must not be used
+    /// inside `f` — enforced by the associated-function calling
+    /// convention taking the guard by `&mut`.
+    pub fn unlocked<F, U>(s: &mut Self, f: F) -> U
+    where
+        F: FnOnce() -> U,
+    {
+        drop(s.inner.take().expect("guard present"));
+        let ret = f();
+        s.inner = Some(
+            s.mutex
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        ret
+    }
 }
 
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
