@@ -123,6 +123,25 @@ fn tracked(scale: Scale) -> Vec<(&'static str, Box<dyn Fn()>)> {
                 std::hint::black_box(tileio_scalability(procs, |p| (p / 8).min(64), full));
             }),
         ),
+        (
+            // The fault path: an aggregator crash after the first write
+            // round forces the failover replay (re-dissemination, cursor
+            // rebuild, adopted-domain exchange) on every collective call
+            // that follows — this row prices that machinery in host time.
+            "chaos_recovery",
+            Box::new(move || {
+                use workloads::runner::{run_workload, IoMode, RunConfig};
+                use workloads::tileio::TileIo;
+                let ranks = if full { 64 } else { 16 };
+                let mut cfg = RunConfig::paper(IoMode::Collective);
+                cfg.info.set("cb_nodes", 4i64);
+                cfg.info.set("cb_buffer_size", 128i64);
+                cfg.faults = Some(std::sync::Arc::new(
+                    simnet::FaultPlan::new(0xDEAD).aggregator_crash(0, 1),
+                ));
+                std::hint::black_box(run_workload(TileIo::tiny(ranks), cfg));
+            }),
+        ),
     ]
 }
 

@@ -118,6 +118,7 @@ fn main() {
         },
         read_back: args.flags.contains("verify"),
         trace: simtrace::TraceSink::disabled(),
+        faults: None,
     };
     if let Some(n) = args.map.get("cb-nodes") {
         cfg.info.set("cb_nodes", n);

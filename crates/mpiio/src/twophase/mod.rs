@@ -40,12 +40,16 @@ use reqs::{calc_my_req, pieces_in_window, Piece, PieceIndex};
 use simfs::{FileHandle, RangeSet};
 use simmpi::{codec, Communicator, ReduceOp};
 use simnet::buffer::BufferBuilder;
-use simnet::IoBuffer;
+use simnet::{FaultState, IoBuffer};
 
 /// Tag for request-list metadata messages.
 const TAG_REQ: i32 = 0x7001;
 /// Tag for staged data exchange messages.
 const TAG_DATA: i32 = 0x7002;
+/// Tag for failover re-dissemination of a dead aggregator's piece lists.
+const TAG_RECOVER: i32 = 0x7003;
+/// Tag for data exchange of an adopted (failed-over) file domain.
+const TAG_RECOVER_DATA: i32 = 0x7004;
 
 /// Configuration of one collective operation.
 #[derive(Debug, Clone)]
@@ -89,6 +93,22 @@ impl<'a> PieceCursor<'a> {
             idx: 0,
             within: 0,
         }
+    }
+
+    /// Cursor rebuilt at a saved `(piece index, bytes within)` position —
+    /// used for adopted domains, whose cursor state outlives the borrow
+    /// of any single round.
+    fn at(pieces: &'a [Piece], idx: usize, within: u64) -> Self {
+        PieceCursor {
+            pieces,
+            idx,
+            within,
+        }
+    }
+
+    /// The current position as a `(piece index, bytes within)` pair.
+    fn position(&self) -> (usize, u64) {
+        (self.idx, self.within)
     }
 
     /// Yield sub-pieces totaling exactly `n` bytes (panics if the stream
@@ -243,6 +263,244 @@ fn setup(
     })
 }
 
+/// Fault hooks at collective entry: consume any pending one-shot rank
+/// stall, re-agree the lock-step round counter, retire aggregators whose
+/// crash round has already passed, and return the effective configuration
+/// with dead I/O roles filtered out. Without an installed fault plan the
+/// config is returned unchanged and no extra communication happens, so
+/// the fault-free path stays bitwise identical.
+fn fault_entry(
+    comm: &Communicator<'_>,
+    cfg: &CollConfig,
+    phase: &'static str,
+    prof: &mut PhaseProfile,
+) -> CollConfig {
+    let ep = comm.endpoint();
+    let Some(faults) = ep.faults() else {
+        return cfg.clone();
+    };
+    if let Some(d) = faults.take_stall(ep.rank(), phase) {
+        let t0 = ep.now();
+        ep.clock().advance(d);
+        let rec = ep.trace();
+        if rec.enabled() {
+            rec.span(
+                "fault",
+                "rank_stall",
+                t0.as_micros(),
+                ep.now().as_micros(),
+                vec![("phase", simtrace::ArgValue::from(phase))],
+            );
+            rec.count("rank_stalls", 1);
+        }
+    }
+    if !faults.plan().has_crash_rules() {
+        return cfg.clone();
+    }
+    // Crash detection needs every member to consult the same round
+    // counter; members regrouped after unequal round histories re-agree
+    // on the maximum.
+    let t = PhaseTimer::start(Phase::Sync, ep.now());
+    let agreed = comm.allreduce_u64(&[faults.write_round()], ReduceOp::Max)[0];
+    t.stop_traced(ep.now(), prof, ep.trace());
+    faults.set_write_round(agreed);
+
+    // Aggregators whose crash round already passed die before setup: the
+    // domain is partitioned among the survivors and no mid-call failover
+    // is needed.
+    let mut newly_dead = false;
+    for &a in &cfg.aggregators {
+        let g = comm.global_rank(a);
+        if faults
+            .plan()
+            .agg_crash(g)
+            .is_some_and(|k| k <= faults.write_round())
+            && faults.mark_dead(g)
+        {
+            newly_dead = true;
+        }
+    }
+    if newly_dead {
+        // First discovery charges the detection timeout: the initial
+        // exchange with the dead role times out before the survivors
+        // reorganize.
+        let t0 = ep.now();
+        ep.clock().advance(faults.plan().detect_timeout);
+        let rec = ep.trace();
+        if rec.enabled() {
+            rec.span(
+                "phase",
+                "recovery",
+                t0.as_micros(),
+                ep.now().as_micros(),
+                vec![("at", simtrace::ArgValue::from("setup"))],
+            );
+            rec.count("agg_crash_detected", 1);
+        }
+    }
+    let mut live: Vec<usize> = cfg
+        .aggregators
+        .iter()
+        .copied()
+        .filter(|&a| !faults.is_dead(comm.global_rank(a)))
+        .collect();
+    if live.is_empty() {
+        // Every hinted aggregator is dead: the lowest live member stands
+        // in so the collective still completes (degraded mode).
+        let promoted = (0..comm.size())
+            .find(|&r| !faults.is_dead(comm.global_rank(r)))
+            .expect("communicator retains at least one live rank");
+        live.push(promoted);
+    }
+    CollConfig {
+        aggregators: live,
+        cb_buffer_size: cfg.cb_buffer_size,
+        align: cfg.align,
+    }
+}
+
+/// Successor-side state after an aggregator failover: the adopted
+/// domain's piece indexes and replayed cursor positions.
+struct Adoption {
+    /// Per-source pieces inside the dead aggregator's file domain.
+    others: Vec<PieceIndex>,
+    /// Per-source saved cursor positions (piece index, bytes within).
+    cursor_pos: Vec<(usize, u64)>,
+    /// Start of the dead domain's touched range (its `st_loc`).
+    st_dead: u64,
+}
+
+/// Failover facts every rank derives without communicating.
+struct AdoptShared {
+    /// Index of the dead aggregator in `cfg.aggregators`.
+    dead_agg: usize,
+    /// Local rank that adopted the dead domain.
+    successor: usize,
+}
+
+/// Aggregator failover, detected at `round`: the subgroup re-homes the
+/// dead aggregator's file domain onto a successor. Every rank re-sends
+/// its piece list for the dead domain (the successor cannot ask — that
+/// metadata died with the aggregator), and the successor replays its
+/// cursors past the rounds the dead aggregator already wrote, so the
+/// exchange resumes from the last completed round. All costs land in one
+/// `recovery` phase span for critical-path attribution.
+fn failover(
+    comm: &Communicator<'_>,
+    cfg: &CollConfig,
+    setup: &Setup,
+    faults: &FaultState,
+    dead_agg: usize,
+    round: u64,
+) -> (AdoptShared, Option<Adoption>) {
+    let ep = comm.endpoint();
+    let p = comm.size();
+    let plan = faults.plan();
+    let _timer = plan.hold_timer();
+    let t0 = ep.now();
+    // Detection: this round's size exchange timed out on the dead role.
+    ep.clock().advance(plan.detect_timeout);
+
+    // Successor: the next surviving aggregator after the dead one
+    // (wrapping), else the lowest live member — the subgroup lost its
+    // last aggregator and a stand-in finishes this call (ParColl's
+    // file-area merge repairs the grouping on the next call).
+    let naggs = cfg.aggregators.len();
+    let successor = (1..naggs)
+        .map(|d| cfg.aggregators[(dead_agg + d) % naggs])
+        .find(|&a| !faults.is_dead(comm.global_rank(a)))
+        .or_else(|| (0..p).find(|&r| !faults.is_dead(comm.global_rank(r))))
+        .expect("communicator retains at least one live rank");
+
+    // Re-dissemination: every rank ships its pieces for the dead domain
+    // to the successor. Empty lists travel too, so the successor's
+    // receive set is known without another size exchange.
+    let adoption = if comm.rank() == successor {
+        let reqs: Vec<(usize, simmpi::RecvRequest)> = (0..p)
+            .filter(|&src| src != comm.rank())
+            .map(|src| (src, comm.irecv(src, TAG_RECOVER)))
+            .collect();
+        let payloads = comm.waitall(&reqs.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>());
+        let mut others: Vec<Vec<Piece>> = vec![Vec::new(); p];
+        for ((src, _), payload) in reqs.iter().zip(payloads) {
+            others[*src] = codec::decode_pairs(&payload)
+                .into_iter()
+                .map(|(off, len)| Piece {
+                    file_off: off,
+                    len,
+                    buf_off: 0,
+                })
+                .collect();
+        }
+        others[comm.rank()] = setup.my_req[dead_agg].clone();
+        let others: Vec<PieceIndex> = others.into_iter().map(PieceIndex::new).collect();
+        // Rebuilt from the same lists the dead aggregator indexed, so
+        // this equals its `st_loc` and the window tiling lines up.
+        let st_dead = others
+            .iter()
+            .flat_map(PieceIndex::pieces)
+            .map(|p| p.file_off)
+            .min()
+            .unwrap_or(0);
+        // Replay: advance each source's cursor past the rounds the dead
+        // aggregator completed. Senders consumed exactly these byte
+        // counts, so both sides stay in lock step.
+        let cursor_pos = others
+            .iter()
+            .map(|idx| {
+                let done = idx.bytes_in_window(st_dead, st_dead + round * cfg.cb_buffer_size);
+                let mut c = PieceCursor::new(idx.pieces());
+                c.consume(done, |_| {});
+                c.position()
+            })
+            .collect();
+        Some(Adoption {
+            others,
+            cursor_pos,
+            st_dead,
+        })
+    } else {
+        let pairs: Vec<(u64, u64)> = setup.my_req[dead_agg]
+            .iter()
+            .map(|p| (p.file_off, p.len))
+            .collect();
+        comm.isend(successor, TAG_RECOVER, codec::encode_pairs(&pairs));
+        None
+    };
+
+    let rec = ep.trace();
+    if rec.enabled() {
+        rec.span(
+            "phase",
+            "recovery",
+            t0.as_micros(),
+            ep.now().as_micros(),
+            vec![
+                (
+                    "dead_rank",
+                    simtrace::ArgValue::from(comm.global_rank(cfg.aggregators[dead_agg])),
+                ),
+                ("round", simtrace::ArgValue::from(round)),
+            ],
+        );
+        rec.span(
+            "fault",
+            "agg_failover",
+            t0.as_micros(),
+            ep.now().as_micros(),
+            vec![],
+        );
+        rec.count("agg_failovers", 1);
+    }
+    (
+        AdoptShared {
+            dead_agg,
+            successor,
+        },
+        adoption,
+    )
+}
+
 /// Collective write: every rank contributes `buf` (of `plan.total` bytes)
 /// laid out per `plan`. Completion is collective: the protocol's final
 /// round synchronizes all ranks.
@@ -262,6 +520,7 @@ pub fn write_all(
     );
     prof.calls += 1;
     let ep = comm.endpoint();
+    let cfg = &fault_entry(comm, cfg, "write_all", prof);
     let Some(setup) = setup(comm, plan, cfg, prof) else {
         return;
     };
@@ -276,14 +535,60 @@ pub fn write_all(
         .as_ref()
         .map(|o| o.iter().map(|idx| PieceCursor::new(idx.pieces())).collect());
 
+    // Crash bookkeeping: the lock-step round counter only advances (and
+    // detection only runs) when the plan can kill aggregators, so the
+    // fault-free path stays bitwise identical.
+    let crash_faults = ep.faults().filter(|f| f.plan().has_crash_rules());
+    let agg_globals: Vec<usize> = cfg
+        .aggregators
+        .iter()
+        .map(|&a| comm.global_rank(a))
+        .collect();
+    let mut adopt_shared: Option<AdoptShared> = None;
+    let mut adoption: Option<Adoption> = None;
+    let mut my_role_dead = false;
+
     for round in 0..setup.ntimes {
         prof.rounds += 1;
         let round_start = ep.now();
-        // Aggregator's window for this round.
-        let window = setup.my_agg_idx.map(|_| {
-            let lo = setup.st_loc + round * cfg.cb_buffer_size;
-            (lo, lo + cfg.cb_buffer_size)
-        });
+        // Symmetric crash detection: every member consults the shared
+        // plan against the agreed round counter, so the subgroup learns
+        // of a crash in the same round without communicating (the
+        // simulation stands in for a timeout-based detector).
+        if let Some(faults) = crash_faults {
+            let round_id = faults.next_write_round();
+            let newly: Vec<usize> = agg_globals
+                .iter()
+                .enumerate()
+                .filter(|&(_, &g)| {
+                    faults.plan().agg_crash(g).is_some_and(|k| round_id >= k) && !faults.is_dead(g)
+                })
+                .map(|(ai, _)| ai)
+                .collect();
+            if let Some(&dead_ai) = newly.first() {
+                assert!(
+                    newly.len() == 1 && adopt_shared.is_none(),
+                    "at most one aggregator failover per collective call is supported"
+                );
+                faults.mark_dead(agg_globals[dead_ai]);
+                if setup.my_agg_idx == Some(dead_ai) {
+                    my_role_dead = true;
+                }
+                let (shared, mine) = failover(comm, cfg, &setup, faults, dead_ai, round);
+                adopt_shared = Some(shared);
+                adoption = mine;
+            }
+        }
+        // Aggregator's window for this round. A dead I/O role lives on
+        // as a sender, but its domain now belongs to the successor.
+        let window = if my_role_dead {
+            None
+        } else {
+            setup.my_agg_idx.map(|_| {
+                let lo = setup.st_loc + round * cfg.cb_buffer_size;
+                (lo, lo + cfg.cb_buffer_size)
+            })
+        };
 
         // Per-round MPI_Alltoall of transfer sizes — the global sync the
         // collective wall is made of. The aggregator announces how many
@@ -299,6 +604,26 @@ pub fn write_all(
         let my_row = setup.my_agg_idx.map(|_| row.clone());
         let expected = comm.alltoall_sizes(row);
         t.stop_traced(ep.now(), prof, ep.trace());
+
+        // Adopted domain's size exchange (after a mid-call failover): the
+        // successor announces what it expects inside the dead domain's
+        // window for this round.
+        let adopt_round = adopt_shared.as_ref().map(|sh| {
+            let t = PhaseTimer::start(Phase::Sync, ep.now());
+            let mut row2 = vec![0u64; p];
+            let mut win2 = (0, 0);
+            if let Some(ad) = &adoption {
+                let lo = ad.st_dead + round * cfg.cb_buffer_size;
+                win2 = (lo, lo + cfg.cb_buffer_size);
+                for (src, idx) in ad.others.iter().enumerate() {
+                    row2[src] = idx.bytes_in_window(win2.0, win2.1);
+                }
+            }
+            let my_row2 = row2.clone();
+            let expected2 = comm.alltoall_sizes(row2);
+            t.stop_traced(ep.now(), prof, ep.trace());
+            (win2, my_row2, expected2, sh.dead_agg, sh.successor)
+        });
 
         // Senders: pack (local memcpy) and post (p2p) this round's bytes
         // for each aggregator.
@@ -322,6 +647,31 @@ pub fn write_all(
                 let t = PhaseTimer::start(Phase::P2p, ep.now());
                 comm.isend(agg_rank, TAG_DATA, payload);
                 t.stop_traced(ep.now(), prof, ep.trace());
+            }
+        }
+
+        // Senders: this round's bytes for the adopted domain go to the
+        // successor (the dead role announces nothing after the crash, so
+        // the loop above never touches its cursor again).
+        let mut adopt_self: Option<IoBuffer> = None;
+        if let Some((_, _, expected2, dead_agg, successor)) = &adopt_round {
+            let n = expected2[*successor];
+            if n > 0 {
+                let t = PhaseTimer::start(Phase::Local, ep.now());
+                let mut payload = BufferBuilder::with_capacity(n as usize);
+                send_cursors[*dead_agg].consume(n, |piece| {
+                    payload.push(&buf.sub(piece.buf_off as usize, piece.len as usize));
+                });
+                ep.charge_memcpy(n as usize);
+                let payload = payload.finish();
+                t.stop_traced(ep.now(), prof, ep.trace());
+                if *successor == comm.rank() {
+                    adopt_self = Some(payload);
+                } else {
+                    let t = PhaseTimer::start(Phase::P2p, ep.now());
+                    comm.isend(*successor, TAG_RECOVER_DATA, payload);
+                    t.stop_traced(ep.now(), prof, ep.trace());
+                }
             }
         }
 
@@ -351,6 +701,41 @@ pub fn write_all(
         // Aggregator: assemble the staging buffer and perform file I/O.
         if let (Some((lo, hi)), Some(cursors)) = (window, recv_cursors.as_mut()) {
             write_window(comm, fh, space, prof, lo, hi, cursors, incoming);
+        }
+
+        // Successor: collect and write the adopted window, rebuilding
+        // transient cursors at the replayed positions and persisting the
+        // advance for the next round.
+        if let (Some(((lo2, hi2), my_row2, ..)), Some(ad)) = (&adopt_round, adoption.as_mut()) {
+            let t = PhaseTimer::start(Phase::P2p, ep.now());
+            let mut incoming2: Vec<(usize, IoBuffer)> = Vec::new();
+            let reqs: Vec<(usize, simmpi::RecvRequest)> = (0..p)
+                .filter(|&src| src != comm.rank() && my_row2[src] > 0)
+                .map(|src| (src, comm.irecv(src, TAG_RECOVER_DATA)))
+                .collect();
+            let payloads = comm.waitall(&reqs.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>());
+            for ((src, _), payload) in reqs.iter().zip(payloads) {
+                incoming2.push((*src, payload));
+            }
+            if my_row2[comm.rank()] > 0 {
+                incoming2.push((
+                    comm.rank(),
+                    adopt_self.take().expect("adopted self payload was packed"),
+                ));
+            }
+            t.stop_traced(ep.now(), prof, ep.trace());
+            let Adoption {
+                others, cursor_pos, ..
+            } = ad;
+            let mut tcursors: Vec<PieceCursor<'_>> = others
+                .iter()
+                .zip(cursor_pos.iter())
+                .map(|(idx, &(i, w))| PieceCursor::at(idx.pieces(), i, w))
+                .collect();
+            write_window(comm, fh, space, prof, *lo2, *hi2, &mut tcursors, incoming2);
+            for (pos, c) in cursor_pos.iter_mut().zip(&tcursors) {
+                *pos = c.position();
+            }
         }
 
         let rec = ep.trace();
@@ -474,6 +859,10 @@ pub fn read_all(
 ) -> IoBuffer {
     prof.calls += 1;
     let ep = comm.endpoint();
+    // Mid-call crashes are a write-path concern (the round counter does
+    // not advance during reads); reads still honor stalls and the dead
+    // set accumulated so far.
+    let cfg = &fault_entry(comm, cfg, "read_all", prof);
     let Some(setup) = setup(comm, plan, cfg, prof) else {
         return IoBuffer::empty();
     };

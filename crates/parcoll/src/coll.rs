@@ -47,6 +47,9 @@ struct GroupCache<'ep> {
     /// the first run. A later call with an identical shape is the same
     /// pattern shifted; views tile, so the shift is uniform across ranks.
     shape: Vec<(u64, u64)>,
+    /// Dead-set epoch at cache time: an aggregator crash bumps the epoch
+    /// and forces a repartition on the next call.
+    dead_epoch: u64,
     mode: CachedMode,
 }
 
@@ -179,6 +182,77 @@ fn trace_partition(
     }
 }
 
+/// Exchange and union the known-dead set across the whole group — only
+/// when the installed fault plan can kill aggregators, so the fault-free
+/// path stays bitwise identical and cache hits stay communication-free.
+/// Returns the agreed dead-set epoch (0 without crash faults).
+fn sync_dead_set(comm: &Communicator<'_>, prof: &mut PhaseProfile) -> u64 {
+    let ep = comm.endpoint();
+    let Some(faults) = ep.faults() else {
+        return 0;
+    };
+    if !faults.plan().has_crash_rules() {
+        return 0;
+    }
+    let t = PhaseTimer::start(Phase::Sync, ep.now());
+    let mine: Vec<u64> = faults.dead_ranks().iter().map(|&r| r as u64).collect();
+    let all = comm.allgather(codec::encode_u64s(&mine));
+    t.stop_traced(ep.now(), prof, ep.trace());
+    for list in &all {
+        for r in codec::decode_u64s(list) {
+            faults.mark_dead(r as usize);
+        }
+    }
+    faults.dead_epoch()
+}
+
+/// Degraded mode: dissolve any subgroup whose *hinted* aggregator ranks
+/// have all crashed into a neighboring file area, so its members are
+/// served by the neighbor's surviving aggregators instead of a promoted
+/// compute rank. Subgroups without hinted members keep their promotion
+/// fallback.
+fn merge_dead_groups(comm: &Communicator<'_>, hints: &[usize], grouping: &mut Grouping) {
+    let ep = comm.endpoint();
+    let Some(faults) = ep.faults() else {
+        return;
+    };
+    if faults.dead_epoch() == 0 {
+        return;
+    }
+    'scan: loop {
+        if grouping.n_groups() <= 1 {
+            return;
+        }
+        for g in 0..grouping.n_groups() {
+            let mut hinted = hints
+                .iter()
+                .copied()
+                .filter(|&r| grouping.group_of[r] == g)
+                .peekable();
+            if hinted.peek().is_some()
+                && hinted.all(|r| faults.is_dead(comm.global_rank(r)))
+            {
+                let nb = grouping.merge_into_neighbor(g);
+                let rec = ep.trace();
+                if rec.enabled() {
+                    rec.instant(
+                        "parcoll",
+                        "fa_merge",
+                        ep.now().as_micros(),
+                        vec![
+                            ("group", simtrace::ArgValue::from(g)),
+                            ("into", simtrace::ArgValue::from(nb)),
+                        ],
+                    );
+                    rec.count("fa_merges", 1);
+                }
+                continue 'scan;
+            }
+        }
+        return;
+    }
+}
+
 fn run_partitioned<'ep>(
     file: &mut File<'ep>,
     pcfg: &ParcollConfig,
@@ -197,11 +271,15 @@ fn run_partitioned<'ep>(
         return (PartitionMode::Single, fallback(file, &plan, write_buf));
     }
 
+    // Fault path: agree on the cluster-wide dead set before consulting
+    // the cache, so every rank repartitions (or not) identically.
+    let dead_epoch = sync_dead_set(&comm, file.profile_mut());
+
     // Steady state: a cached decision whose shape matches needs no
     // whole-group communication at all — each subgroup proceeds at its
     // own pace.
     if let Some(boxed) = cache.as_ref() {
-        if boxed.cache.shape == plan_shape(&plan) {
+        if boxed.cache.shape == plan_shape(&plan) && boxed.cache.dead_epoch == dead_epoch {
             let c = &boxed.cache;
             let sub = c.sub.clone();
             let subcfg = c.subcfg.clone();
@@ -260,7 +338,8 @@ fn run_partitioned<'ep>(
 
     let fh = file.handle().clone();
     match attempt {
-        Some(grouping) => {
+        Some(mut grouping) => {
+            merge_dead_groups(&comm, &file.coll_config().aggregators, &mut grouping);
             let n_groups = grouping.n_groups();
             trace_partition(ep, "direct", Some(&grouping), file.hints().cb_align);
             let (sub, subcfg) = subgroup_setup(file, cache, &grouping.group_of, n_groups);
@@ -302,8 +381,9 @@ fn run_partitioned<'ep>(
                     (s < e).then_some((s, e))
                 })
                 .collect();
-            let grouping = partition_file_areas(&logical_ranges, groups)
+            let mut grouping = partition_file_areas(&logical_ranges, groups)
                 .expect("logical rank regions are serial and disjoint");
+            merge_dead_groups(&comm, &file.coll_config().aggregators, &mut grouping);
             let n_groups = grouping.n_groups();
             trace_partition(ep, "iview", Some(&grouping), file.hints().cb_align);
             let (sub, subcfg) = subgroup_setup(file, cache, &grouping.group_of, n_groups);
@@ -383,8 +463,20 @@ fn subgroup_setup<'ep>(
     let parent_cfg = file.coll_config();
     let my_group = group_of[comm.rank()];
 
-    let aggs_per_group =
-        distribute_aggregators(&parent_cfg.aggregators, group_of, n_groups, |r| comm.node_of(r));
+    // Crashed ranks never serve as aggregator hints; with every hint
+    // dead, the empty list makes `distribute_aggregators` fall back to
+    // each subgroup's first member (and the two-phase engine promotes
+    // past any dead fallback at call time).
+    let hints: Vec<usize> = match ep.faults() {
+        Some(f) if f.dead_epoch() > 0 => parent_cfg
+            .aggregators
+            .iter()
+            .copied()
+            .filter(|&r| !f.is_dead(comm.global_rank(r)))
+            .collect(),
+        _ => parent_cfg.aggregators.clone(),
+    };
+    let aggs_per_group = distribute_aggregators(&hints, group_of, n_groups, |r| comm.node_of(r));
 
     let t = PhaseTimer::start(Phase::Sync, ep.now());
     let sub = comm
@@ -428,6 +520,7 @@ fn subgroup_setup<'ep>(
             subcfg: subcfg.clone(),
             n_groups,
             shape: Vec::new(), // caller fills in after partitioning
+            dead_epoch: ep.faults().map_or(0, |f| f.dead_epoch()),
             mode: CachedMode::Direct,
         },
         splits,

@@ -39,6 +39,42 @@ impl Grouping {
             .filter(|&r| self.group_of[r] == group)
             .collect()
     }
+
+    /// Dissolve subgroup `g` into a neighbor (the previous group, or the
+    /// next when `g` is 0), fusing the file-area hulls — `(0, 0)` counts
+    /// as empty — and shifting group indexes above `g` down. Returns the
+    /// neighbor's index *after* the shift. Degraded-mode ParColl uses
+    /// this when a subgroup loses every hinted aggregator to crashes:
+    /// its members are then served by the neighbor's aggregators.
+    pub fn merge_into_neighbor(&mut self, g: usize) -> usize {
+        let n = self.n_groups();
+        assert!(n > 1, "cannot merge the only subgroup");
+        assert!(g < n, "subgroup {g} out of range ({n} groups)");
+        let nb = if g == 0 { 1 } else { g - 1 };
+        let (gs, ge) = self.fas[g];
+        let (ns, ne) = self.fas[nb];
+        self.fas[nb] = if gs == ge {
+            (ns, ne)
+        } else if ns == ne {
+            (gs, ge)
+        } else {
+            (ns.min(gs), ne.max(ge))
+        };
+        self.fas.remove(g);
+        for grp in &mut self.group_of {
+            if *grp == g {
+                *grp = nb;
+            }
+            if *grp > g {
+                *grp -= 1;
+            }
+        }
+        if nb > g {
+            nb - 1
+        } else {
+            nb
+        }
+    }
 }
 
 /// Partitioning failed: the candidate FAs intersect (pattern (c)).
@@ -399,6 +435,41 @@ mod tests {
         let a = partition_file_areas_by(&ranges, 4, Balance::Count).unwrap();
         let b = partition_file_areas_by(&ranges, 4, Balance::Bytes).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn merge_into_previous_neighbor_fuses_hulls() {
+        let ranges: Vec<Option<(u64, u64)>> =
+            (0..6).map(|r| Some((r * 100, (r + 1) * 100))).collect();
+        let mut g = partition_file_areas(&ranges, 3).unwrap();
+        assert_eq!(g.fas, vec![(0, 200), (200, 400), (400, 600)]);
+        let nb = g.merge_into_neighbor(1);
+        assert_eq!(nb, 0);
+        assert_eq!(g.fas, vec![(0, 400), (400, 600)]);
+        assert_eq!(g.group_of, vec![0, 0, 0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn merge_group_zero_into_next() {
+        let ranges: Vec<Option<(u64, u64)>> =
+            (0..4).map(|r| Some((r * 100, (r + 1) * 100))).collect();
+        let mut g = partition_file_areas(&ranges, 2).unwrap();
+        let nb = g.merge_into_neighbor(0);
+        assert_eq!(nb, 0);
+        assert_eq!(g.fas, vec![(0, 400)]);
+        assert!(g.group_of.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn merge_treats_empty_fa_as_identity() {
+        let mut g = Grouping {
+            group_of: vec![0, 1, 2],
+            fas: vec![(0, 100), (0, 0), (100, 200)],
+        };
+        let nb = g.merge_into_neighbor(1);
+        assert_eq!(nb, 0);
+        assert_eq!(g.fas, vec![(0, 100), (100, 200)]);
+        assert_eq!(g.group_of, vec![0, 0, 1]);
     }
 
     #[test]

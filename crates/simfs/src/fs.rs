@@ -118,6 +118,15 @@ impl FileSystem {
         }
     }
 
+    /// Install a fault plan on every OST: `ost_slow` / `ost_fail_after`
+    /// rules address targets by their index here. Uninstalled (the
+    /// default), the service model is byte-for-byte the unperturbed one.
+    pub fn install_faults(&self, plan: &std::sync::Arc<simnet::FaultPlan>) {
+        for (i, ost) in self.inner.osts.iter().enumerate() {
+            ost.install_faults(std::sync::Arc::clone(plan), i);
+        }
+    }
+
     /// Open (creating if absent) with the default stripe parameters.
     /// Returns the handle and the virtual completion time of the open.
     pub fn open(&self, path: &str, now: SimTime) -> (FileHandle, SimTime) {

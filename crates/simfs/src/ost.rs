@@ -32,6 +32,13 @@ struct OstState {
     /// the state mutex, and the sink content-sorts OST events at export,
     /// so host arrival order cannot leak into the merged trace.
     trace: simtrace::Recorder,
+    /// Fault plan and this target's index in it, when installed by
+    /// `FileSystem::install_faults`. Consulted once per request under the
+    /// state mutex, so fault arithmetic is admission-ordered.
+    faults: Option<(std::sync::Arc<simnet::FaultPlan>, usize)>,
+    /// Cumulative requests admitted, including retry attempts burned by
+    /// fail windows — the deterministic coordinate of `ost_fail_after`.
+    ops: u64,
 }
 
 /// One object storage target.
@@ -64,6 +71,8 @@ impl Ost {
                 completions: std::collections::VecDeque::new(),
                 lock_holder: None,
                 trace: simtrace::Recorder::disabled(),
+                faults: None,
+                ops: 0,
             }),
         }
     }
@@ -72,6 +81,12 @@ impl Ost {
     /// emits its service interval, queue wait and volume metrics on it.
     pub fn attach_trace(&self, rec: simtrace::Recorder) {
         self.state.lock().trace = rec;
+    }
+
+    /// Install a fault plan; this target is `index` in the plan's
+    /// `ost_slow` / `ost_fail_after` rules.
+    pub fn install_faults(&self, plan: std::sync::Arc<simnet::FaultPlan>, index: usize) {
+        self.state.lock().faults = Some((plan, index));
     }
 
     /// Serve a request of `bytes` in `requests` chunk units arriving at
@@ -83,7 +98,7 @@ impl Ost {
     #[allow(clippy::too_many_arguments)]
     pub fn serve(
         &self,
-        arrival: SimTime,
+        mut arrival: SimTime,
         bytes: u64,
         requests: u64,
         overhead: SimTime,
@@ -101,6 +116,40 @@ impl Ost {
         // held for the whole state mutation.
         let _admission = simnet::progress::admit(arrival);
         let mut st = self.state.lock();
+        let mut fault_factor = 1.0f64;
+        if let Some((plan, idx)) = st.faults.clone() {
+            // The op counter and the queue mutate under one admission +
+            // one lock acquisition, so the number of failed attempts is
+            // plain arithmetic over the fail window — no re-admission,
+            // and the I/O APIs stay infallible.
+            let op = st.ops;
+            st.ops += 1;
+            fault_factor = plan.ost_slow_factor(idx, arrival);
+            let fails = plan.ost_failures(idx, op);
+            if fails > 0 {
+                assert!(
+                    fails <= plan.max_retries as u64,
+                    "OST {idx} failed permanently: {fails} consecutive failures \
+                     exceed the retry bound of {}",
+                    plan.max_retries
+                );
+                let _timer = plan.hold_timer();
+                st.ops += fails; // each failed attempt burns one op slot
+                let backoff = plan.retry_penalty(fails as u32, SimTime::ZERO);
+                if st.trace.enabled() {
+                    st.trace.span(
+                        "fault",
+                        "ost_retry",
+                        arrival.as_micros(),
+                        (arrival + backoff).as_micros(),
+                        vec![("attempts", simtrace::ArgValue::from(fails))],
+                    );
+                    st.trace.count("ost_fault_retries", fails);
+                }
+                // The request re-arrives after the backoff drains.
+                arrival += backoff;
+            }
+        }
         while st.completions.front().is_some_and(|&(c, _)| c <= arrival) {
             st.completions.pop_front();
         }
@@ -115,6 +164,7 @@ impl Ost {
             + SimTime::secs(bytes as f64 / bandwidth_bps))
             * jitter
             * straggle
+            * fault_factor
             * (1.0 + contention_per_queued * depth);
         if let Some((client, handoff, exempt)) = writer {
             // Extent-lock conflict: ours is too small to hold a wide
@@ -337,5 +387,65 @@ mod tests {
         let c = Ost::new(8);
         let dc = c.serve(SimTime::ZERO, 1_000_000, 1, OH, BW, 0.3, 0.0, 0.0, 1.0, None, SimTime::ZERO);
         assert_ne!(da, dc);
+    }
+
+    #[test]
+    fn fault_slow_window_scales_service_inside_window_only() {
+        use simnet::FaultPlan;
+        use std::sync::Arc;
+        let ost = Ost::new(1);
+        ost.install_faults(
+            Arc::new(FaultPlan::new(0).ost_slow(
+                Some(0),
+                4.0,
+                SimTime::ZERO,
+                SimTime::secs(10.0),
+            )),
+            0,
+        );
+        let d1 = ost.serve(SimTime::ZERO, 1_000_000, 1, OH, BW, 0.0, 0.0, 0.0, 1.0, None, SimTime::ZERO);
+        assert!((d1.as_secs() - 4.0 * (1.0 + 1e-5)).abs() < 1e-9, "4x inside window: {d1:?}");
+        let arrival = SimTime::secs(20.0);
+        let d2 = ost.serve(arrival, 1_000_000, 1, OH, BW, 0.0, 0.0, 0.0, 1.0, None, SimTime::ZERO);
+        assert!(
+            ((d2 - arrival).as_secs() - (1.0 + 1e-5)).abs() < 1e-9,
+            "clean outside window: {d2:?}"
+        );
+    }
+
+    #[test]
+    fn fault_fail_window_charges_backoff_then_drains() {
+        use simnet::FaultPlan;
+        use std::sync::Arc;
+        let mut plan = FaultPlan::new(0).ost_fail_after(0, 1, 2);
+        plan.retry_timeout = SimTime::secs(0.25);
+        let ost = Ost::new(1);
+        ost.install_faults(Arc::new(plan), 0);
+        // Op 0: before the window, clean.
+        let d0 = ost.serve(SimTime::ZERO, 1_000_000, 1, OH, BW, 0.0, 0.0, 0.0, 1.0, None, SimTime::ZERO);
+        assert!((d0.as_secs() - (1.0 + 1e-5)).abs() < 1e-9);
+        // Op 1 hits the window [1, 3): two failed attempts burn ops 1–2
+        // and charge 0.25 + 0.5 of backoff before the clean retry.
+        let a1 = d0 + SimTime::secs(5.0);
+        let d1 = ost.serve(a1, 1_000_000, 1, OH, BW, 0.0, 0.0, 0.0, 1.0, None, SimTime::ZERO);
+        assert!(
+            ((d1 - a1).as_secs() - (0.75 + 1.0 + 1e-5)).abs() < 1e-9,
+            "backoff + service: {:?}",
+            d1 - a1
+        );
+        // The window is drained: the next request is clean again.
+        let a2 = d1 + SimTime::secs(5.0);
+        let d2 = ost.serve(a2, 1_000_000, 1, OH, BW, 0.0, 0.0, 0.0, 1.0, None, SimTime::ZERO);
+        assert!(((d2 - a2).as_secs() - (1.0 + 1e-5)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed permanently")]
+    fn fail_window_beyond_retry_bound_is_a_hard_failure() {
+        use simnet::FaultPlan;
+        use std::sync::Arc;
+        let ost = Ost::new(1);
+        ost.install_faults(Arc::new(FaultPlan::new(0).ost_fail_after(0, 0, 100)), 0);
+        ost.serve(SimTime::ZERO, 1_000_000, 1, OH, BW, 0.0, 0.0, 0.0, 1.0, None, SimTime::ZERO);
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::buffer::IoBuffer;
 use crate::clock::Clock;
+use crate::fault::{FaultState, MsgFault};
 use crate::mailbox::{Mailbox, Packet};
 use crate::nic::Nic;
 use crate::model::{MachineModel, NetworkModel};
@@ -38,6 +39,7 @@ pub struct Endpoint {
     world_rdv: Arc<Rendezvous>,
     ctx_counter: Arc<AtomicU32>,
     trace: simtrace::Recorder,
+    faults: Option<FaultState>,
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -63,6 +65,7 @@ impl Endpoint {
         world_rdv: Arc<Rendezvous>,
         ctx_counter: Arc<AtomicU32>,
         trace: simtrace::Recorder,
+        faults: Option<FaultState>,
     ) -> Self {
         Endpoint {
             rank,
@@ -76,6 +79,7 @@ impl Endpoint {
             world_rdv,
             ctx_counter,
             trace,
+            faults,
         }
     }
 
@@ -137,6 +141,13 @@ impl Endpoint {
         &self.trace
     }
 
+    /// Per-rank fault-injection state, when a `FaultPlan` is installed on
+    /// the cluster. Protocol layers consult it for crash detection,
+    /// one-shot stalls and the shared plan's retry parameters.
+    pub fn faults(&self) -> Option<&FaultState> {
+        self.faults.as_ref()
+    }
+
     /// The cluster-wide poison flag (for building further blocking
     /// primitives that must not deadlock on peer failure).
     pub fn poison(&self) -> Arc<PoisonFlag> {
@@ -179,12 +190,18 @@ impl Endpoint {
                 self.nics[self.node()].inject(self.now(), payload.len(), self.net.byte_time);
             self.clock.advance_to(done);
         }
+        let fault = match &self.faults {
+            Some(f) => f.draw_msg(self.rank, dst),
+            None => MsgFault::NONE,
+        };
         let pkt = Packet {
             src: self.rank,
             ctx,
             tag,
             payload,
             sent_clock: self.clock.now(),
+            fault_drops: fault.drops,
+            fault_delay: fault.delay_factor,
         };
         self.mailboxes[dst].deliver(pkt);
     }
@@ -215,7 +232,7 @@ impl Endpoint {
     pub fn recv_meta(&self, src: usize, ctx: u32, tag: i32) -> (IoBuffer, RecvInfo) {
         assert!(src < self.size(), "recv from invalid rank {src}");
         let pkt = self.mailboxes[self.rank].recv(src, ctx, tag);
-        let arrival = pkt.sent_clock + self.net.transfer_time(pkt.payload.len());
+        let arrival = self.fault_arrival(&pkt);
         (
             pkt.payload,
             RecvInfo {
@@ -225,12 +242,46 @@ impl Endpoint {
         )
     }
 
+    /// Wire arrival of a packet including any fault injected at send
+    /// time: the transfer is scaled by the packet's delay factor, and
+    /// each dropped attempt charges one backoff interval plus one
+    /// re-transfer ([`crate::FaultPlan::retry_penalty`]). With no fault
+    /// (drops 0, factor 1.0) this is bitwise the clean arrival.
+    fn fault_arrival(&self, pkt: &Packet) -> SimTime {
+        let wire = self.net.transfer_time(pkt.payload.len()) * pkt.fault_delay;
+        let clean = pkt.sent_clock + wire;
+        if pkt.fault_drops == 0 {
+            return clean;
+        }
+        let plan = self
+            .faults
+            .as_ref()
+            .expect("faulted packet received without an installed fault plan")
+            .plan();
+        let _timer = plan.hold_timer();
+        let arrival = clean + plan.retry_penalty(pkt.fault_drops, wire);
+        if self.trace.enabled() {
+            self.trace.span(
+                "fault",
+                "msg_retry",
+                clean.as_micros(),
+                arrival.as_micros(),
+                vec![
+                    ("src", simtrace::ArgValue::from(pkt.src)),
+                    ("drops", simtrace::ArgValue::from(pkt.fault_drops as u64)),
+                ],
+            );
+            self.trace.count("msg_fault_drops", pkt.fault_drops as u64);
+        }
+        arrival
+    }
+
     /// Non-blocking receive attempt; on success behaves like [`recv`].
     ///
     /// [`recv`]: Endpoint::recv
     pub fn try_recv(&self, src: usize, ctx: u32, tag: i32) -> Option<IoBuffer> {
         let pkt = self.mailboxes[self.rank].try_recv(src, ctx, tag)?;
-        let arrival = pkt.sent_clock + self.net.transfer_time(pkt.payload.len());
+        let arrival = self.fault_arrival(&pkt);
         self.clock.advance_to(arrival);
         self.clock.advance(self.net.recv_overhead(pkt.payload.len()));
         Some(pkt.payload)

@@ -307,13 +307,17 @@ const ABORT_CYCLES: u64 = 100_000;
 /// until all complete; returns each task's panic payload (`None` = clean
 /// return), index-aligned with `tasks`.
 ///
-/// `on_stall` is invoked once if the fiber set deadlocks (every fiber
-/// yielding, no unblocking events); it should poison the cluster so the
-/// waiting fibers panic out of their wait loops.
+/// `on_stall` is invoked if the fiber set deadlocks (every fiber
+/// yielding, no unblocking events). Returning `true` acknowledges the
+/// stall — the callback is expected to have poisoned the cluster so the
+/// waiting fibers panic out of their wait loops. Returning `false`
+/// defers the diagnosis (e.g. ranks are legitimately held back by an
+/// in-flight fault-injection timer): the unproductive-cycle count resets
+/// and detection re-arms from scratch.
 pub(crate) fn run_fibers<'a>(
     tasks: Vec<Box<dyn FnOnce() + 'a>>,
     stack_size: usize,
-    on_stall: impl Fn(),
+    on_stall: impl Fn() -> bool,
 ) -> Vec<Option<Box<dyn Any + Send>>> {
     assert!(
         !in_fiber(),
@@ -378,8 +382,13 @@ pub(crate) fn run_fibers<'a>(
         } else {
             unproductive_cycles += 1;
             if !stalled && unproductive_cycles >= STALL_CYCLES {
-                stalled = true;
-                on_stall();
+                if on_stall() {
+                    stalled = true;
+                } else {
+                    // Deferred: re-arm detection so the abort assert below
+                    // cannot fire while the stall is being excused.
+                    unproductive_cycles = 0;
+                }
             }
             assert!(
                 unproductive_cycles < STALL_CYCLES + ABORT_CYCLES,
@@ -505,8 +514,38 @@ mod tests {
                 yield_now();
             }
         })];
-        let panics = run_fibers(tasks, 64 * 1024, move || f2.set(true));
+        let panics = run_fibers(tasks, 64 * 1024, move || {
+            f2.set(true);
+            true
+        });
         assert!(panics[0].is_none());
+    }
+
+    #[test]
+    fn deferred_stall_rearms_instead_of_aborting() {
+        // The callback excuses the first few stall diagnoses (as the
+        // fault layer does while an injected delay is outstanding); the
+        // detector must re-arm rather than hit the hard-abort assert,
+        // then fire again and release the fiber on the final diagnosis.
+        let flag = Rc::new(Cell::new(false));
+        let f2 = Rc::clone(&flag);
+        let deferrals = Rc::new(Cell::new(0u32));
+        let d2 = Rc::clone(&deferrals);
+        let tasks: Vec<Box<dyn FnOnce() + '_>> = vec![Box::new(|| {
+            while !flag.get() {
+                yield_now();
+            }
+        })];
+        let panics = run_fibers(tasks, 64 * 1024, move || {
+            if d2.get() < 3 {
+                d2.set(d2.get() + 1);
+                return false;
+            }
+            f2.set(true);
+            true
+        });
+        assert!(panics[0].is_none());
+        assert_eq!(deferrals.get(), 3, "stall must re-fire after deferrals");
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod buffer;
 pub mod clock;
 pub mod endpoint;
 pub mod error;
+pub mod fault;
 pub mod fiber;
 pub mod mailbox;
 pub mod model;
@@ -56,6 +57,7 @@ pub use buffer::{buffer_pooling, set_buffer_pooling, IoBuffer};
 pub use clock::Clock;
 pub use endpoint::{Endpoint, RecvInfo};
 pub use error::{SimError, SimResult};
+pub use fault::{FaultPlan, FaultRule, FaultState, MsgFault};
 pub use fiber::{executor, set_executor, Executor};
 pub use model::{CollectiveAlg, MachineModel, NetworkModel};
 pub use noise::SplitMix64;

@@ -44,6 +44,13 @@ pub struct Packet {
     pub payload: IoBuffer,
     /// Sender's virtual clock at the instant the send was posted.
     pub sent_clock: SimTime,
+    /// Fault-injected dropped transmission attempts (0 = clean). The
+    /// payload is always delivered — a "drop" is a tombstone whose retry
+    /// penalty the *receiver* charges to its virtual arrival, so fault
+    /// injection never blocks host execution.
+    pub fault_drops: u32,
+    /// Fault-injected multiplier on the wire transfer time (1.0 = clean).
+    pub fault_delay: f64,
 }
 
 /// Within a shard the source is fixed; queues are keyed by the remaining
@@ -230,6 +237,8 @@ mod tests {
             tag,
             payload: IoBuffer::from_slice(bytes),
             sent_clock: SimTime::ZERO,
+            fault_drops: 0,
+            fault_delay: 1.0,
         }
     }
 

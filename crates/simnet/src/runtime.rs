@@ -1,6 +1,7 @@
 //! Cluster runtime: spawn one thread per rank, join results.
 
 use crate::endpoint::Endpoint;
+use crate::fault::{FaultPlan, FaultState};
 use crate::mailbox::Mailbox;
 use crate::nic::Nic;
 use crate::model::{MachineModel, NetworkModel};
@@ -54,6 +55,10 @@ pub struct ClusterConfig {
     /// recording call returns after one branch, so uninstrumented runs
     /// keep their virtual and host timings.
     pub trace: simtrace::TraceSink,
+    /// Fault-injection plan shared by every rank. `None` (the default)
+    /// is the unperturbed cluster, bitwise identical to a build without
+    /// the fault layer.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl ClusterConfig {
@@ -66,6 +71,7 @@ impl ClusterConfig {
             machine: MachineModel::catamount(),
             stack_size: default_stack_size(),
             trace: simtrace::TraceSink::disabled(),
+            faults: None,
         }
     }
 
@@ -77,6 +83,7 @@ impl ClusterConfig {
             machine: MachineModel::ideal(),
             stack_size: default_stack_size(),
             trace: simtrace::TraceSink::disabled(),
+            faults: None,
         }
     }
 }
@@ -149,6 +156,10 @@ where
             simtrace::TrackKey::Rank(rank),
             Some(topology.node_of(rank)),
         );
+        let faults = cfg
+            .faults
+            .as_ref()
+            .map(|plan| FaultState::new(Arc::clone(plan), n));
         Endpoint::new(
             rank,
             Arc::clone(&mailboxes),
@@ -160,6 +171,7 @@ where
             Arc::clone(&world_rdv),
             Arc::clone(&ctx_counter),
             trace,
+            faults,
         )
     };
 
@@ -190,9 +202,18 @@ where
             .collect();
         // A genuine deadlock (every fiber yielding, nothing moving) is
         // resolved like a rank panic: poison the cluster so the blocked
-        // fibers panic out of their waits and report.
+        // fibers panic out of their waits and report. A rank held back by
+        // an in-flight fault timer (injected delay, failover detection)
+        // is *not* a deadlock — defer while any timer is outstanding.
         let stall_flag = Arc::clone(&poison);
-        let panics = crate::fiber::run_fibers(tasks, cfg.stack_size, move || stall_flag.poison());
+        let stall_plan = cfg.faults.clone();
+        let panics = crate::fiber::run_fibers(tasks, cfg.stack_size, move || {
+            if stall_plan.as_ref().is_some_and(|p| p.outstanding() > 0) {
+                return false;
+            }
+            stall_flag.poison();
+            true
+        });
         if let Some(payload) = pick_primary(panics.into_iter().flatten()) {
             std::panic::resume_unwind(payload);
         }

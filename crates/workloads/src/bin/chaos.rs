@@ -1,0 +1,178 @@
+//! `chaos` — seeded fault-injection smoke runner.
+//!
+//! Exercises the canned fault plans end to end and enforces the
+//! robustness contracts (DESIGN.md §10):
+//!
+//! 1. **Determinism** — the same seeded plan run twice produces
+//!    byte-identical trace and metrics JSON.
+//! 2. **Correctness under degradation** — a verify-mode run writes real
+//!    bytes through the faulted stack and collectively reads them back
+//!    byte-exact (the runner panics on any mismatch).
+//! 3. **Observability** — crash plans surface `recovery` spans in the
+//!    trace so critical-path attribution can price the failover.
+//!
+//! Usage: `chaos [--quick] [--plan ost_slow|msg_chaos|agg_crash] [--trace-out DIR]`
+//!
+//! `--quick` shrinks the cluster and skips the ParColl pass (CI smoke);
+//! `--trace-out DIR` writes each plan's Perfetto-loadable trace JSON.
+//! Exits nonzero when any contract is violated.
+
+use simnet::{FaultPlan, SimTime};
+use simtrace::{chrome_trace_json, metrics_json, TraceSink};
+use std::process::ExitCode;
+use std::sync::Arc;
+use workloads::runner::{run_workload, IoMode, RunConfig};
+use workloads::tileio::TileIo;
+
+struct PlanSpec {
+    name: &'static str,
+    expects_recovery: bool,
+    build: fn() -> FaultPlan,
+}
+
+const PLANS: &[PlanSpec] = &[
+    PlanSpec {
+        name: "ost_slow",
+        expects_recovery: false,
+        build: ost_slow_plan,
+    },
+    PlanSpec {
+        name: "msg_chaos",
+        expects_recovery: false,
+        build: msg_chaos_plan,
+    },
+    PlanSpec {
+        name: "agg_crash",
+        expects_recovery: true,
+        build: agg_crash_plan,
+    },
+];
+
+/// Every OST 3x slower for the first simulated 50 ms, plus a bounded
+/// failure burst on OST 0 once it has served a few requests.
+fn ost_slow_plan() -> FaultPlan {
+    FaultPlan::new(0xC0FFEE)
+        .ost_slow(None, 3.0, SimTime::ZERO, SimTime::millis(50.0))
+        .ost_fail_after(0, 8, 2)
+}
+
+/// Lossy, jittery interconnect plus one straggler rank.
+fn msg_chaos_plan() -> FaultPlan {
+    FaultPlan::new(0xBADCAB)
+        .msg_drop(0.05, None, None)
+        .msg_delay_jitter(0.3, 0.5)
+        .rank_stall(1, "write_all", SimTime::millis(5.0))
+}
+
+/// Rank 0 (an aggregator under every canned config) loses its I/O role
+/// after the first collective write round — mid-call, so the failover
+/// replay machinery engages rather than the setup-time filter.
+fn agg_crash_plan() -> FaultPlan {
+    FaultPlan::new(0xDEAD).aggregator_crash(0, 1)
+}
+
+/// A small collective buffer so even the tiny workload runs several
+/// exchange rounds per call — mid-call faults need rounds to land in.
+fn apply_common_hints(cfg: &mut RunConfig) {
+    cfg.info.set("cb_nodes", 4i64);
+    cfg.info.set("cb_buffer_size", 128i64);
+}
+
+fn traced(mode: IoMode, ranks: usize, plan: FaultPlan) -> (String, String) {
+    let sink = TraceSink::enabled();
+    let mut cfg = RunConfig::paper(mode);
+    apply_common_hints(&mut cfg);
+    cfg.trace = sink.clone();
+    cfg.faults = Some(Arc::new(plan));
+    run_workload(TileIo::tiny(ranks), cfg);
+    let trace = sink.finish();
+    (chrome_trace_json(&trace), metrics_json(&trace))
+}
+
+fn verified(mode: IoMode, ranks: usize, plan: FaultPlan) {
+    let mut cfg = RunConfig::verify(mode);
+    apply_common_hints(&mut cfg);
+    cfg.faults = Some(Arc::new(plan));
+    run_workload(TileIo::tiny(ranks), cfg);
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut only: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => quick = true,
+            "--plan" => {
+                i += 1;
+                only = Some(args.get(i).cloned().unwrap_or_default());
+            }
+            "--trace-out" => {
+                i += 1;
+                trace_out = Some(args.get(i).cloned().unwrap_or_default());
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: chaos [--quick] [--plan NAME] [--trace-out DIR]");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if let Some(name) = &only {
+        if !PLANS.iter().any(|s| s.name == name) {
+            eprintln!("unknown plan {name:?} (have: ost_slow, msg_chaos, agg_crash)");
+            return ExitCode::from(2);
+        }
+    }
+
+    let ranks = if quick { 8 } else { 16 };
+    let mut failures = 0u32;
+    for spec in PLANS {
+        if only.as_ref().is_some_and(|o| o != spec.name) {
+            continue;
+        }
+        println!("== plan {} ({ranks} ranks) ==", spec.name);
+
+        let (trace_a, metrics_a) = traced(IoMode::Collective, ranks, (spec.build)());
+        let (trace_b, metrics_b) = traced(IoMode::Collective, ranks, (spec.build)());
+        if trace_a == trace_b && metrics_a == metrics_b {
+            println!(
+                "   determinism: {} trace bytes, byte-identical across runs",
+                trace_a.len()
+            );
+        } else {
+            eprintln!("FAIL {}: same seed produced diverging artifacts", spec.name);
+            failures += 1;
+        }
+
+        if spec.expects_recovery && !trace_a.contains("\"recovery\"") {
+            eprintln!("FAIL {}: no recovery span in the trace", spec.name);
+            failures += 1;
+        }
+
+        // Byte correctness through the degraded path: the runner panics
+        // (aborting with nonzero status) on any read-back mismatch.
+        verified(IoMode::Collective, ranks, (spec.build)());
+        if !quick {
+            verified(IoMode::Parcoll { groups: 4 }, ranks, (spec.build)());
+        }
+        println!("   verify: collective read-back byte-exact");
+
+        if let Some(dir) = &trace_out {
+            std::fs::create_dir_all(dir).expect("create trace-out dir");
+            let path = format!("{dir}/chaos_{}.json", spec.name);
+            std::fs::write(&path, &trace_a).expect("write trace");
+            println!("   trace written to {path}");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("{failures} chaos contract(s) violated");
+        return ExitCode::FAILURE;
+    }
+    println!("all chaos contracts hold");
+    ExitCode::SUCCESS
+}

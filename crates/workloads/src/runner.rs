@@ -59,6 +59,10 @@ pub struct RunConfig {
     /// Trace sink wired through the cluster, the MPI/IO layers and the
     /// OSTs. Disabled (zero-cost) by default.
     pub trace: simtrace::TraceSink,
+    /// Seeded fault plan installed on the network endpoints and every
+    /// OST. `None` (the default) leaves all paths bitwise identical to a
+    /// fault-free build.
+    pub faults: Option<Arc<simnet::FaultPlan>>,
 }
 
 impl RunConfig {
@@ -73,6 +77,7 @@ impl RunConfig {
             fs: FsConfig::jaguar(),
             read_back: false,
             trace: simtrace::TraceSink::disabled(),
+            faults: None,
         }
     }
 
@@ -86,6 +91,7 @@ impl RunConfig {
             fs: FsConfig::tiny(),
             read_back: true,
             trace: simtrace::TraceSink::disabled(),
+            faults: None,
         }
     }
 }
@@ -129,6 +135,9 @@ where
     let total_bytes = workload.total_bytes();
     let fs = FileSystem::new(cfg.fs.clone());
     fs.attach_trace(&cfg.trace);
+    if let Some(plan) = &cfg.faults {
+        fs.install_faults(plan);
+    }
     let workload = Arc::new(workload);
     let mut net = simnet::NetworkModel::cray_xt_seastar();
     tweak(&mut net);
@@ -138,6 +147,7 @@ where
         machine: simnet::MachineModel::catamount(),
         stack_size: simnet::default_stack_size(),
         trace: cfg.trace.clone(),
+        faults: cfg.faults.clone(),
     };
 
     struct RankOut {
