@@ -12,6 +12,7 @@
 //!   --cb-nodes N         cap aggregators at one per node, N nodes
 //!   --align BYTES        stripe-align collective file domains
 //!   --adaptive           adaptive group-size selection
+//!   --autotune           online feedback tuning (parcoll::autotune)
 //!   --block BYTES        ior: per-rank block (default 64 MiB)
 //!   --transfer BYTES     ior: per-call transfer (default 4 MiB)
 //!   --calls N            ior: cap transfer count
@@ -50,7 +51,7 @@ impl Args {
                 .unwrap_or_else(|| usage(&format!("unexpected argument {a:?}")))
                 .to_string();
             match key.as_str() {
-                "verify" | "adaptive" => {
+                "verify" | "adaptive" | "autotune" => {
                     flags.insert(key);
                 }
                 _ => {
@@ -82,7 +83,7 @@ impl Args {
 
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
-    eprintln!("usage: parcoll_sim <ior|tileio|btio|flashio> [--procs N] [--mode baseline|parcoll|independent] [--groups G] [--verify] [--mapping block|cyclic] [--cb-nodes N] [--align BYTES] [--adaptive] [workload options]");
+    eprintln!("usage: parcoll_sim <ior|tileio|btio|flashio> [--procs N] [--mode baseline|parcoll|independent] [--groups G] [--verify] [--mapping block|cyclic] [--cb-nodes N] [--align BYTES] [--adaptive] [--autotune] [workload options]");
     std::process::exit(2);
 }
 
@@ -119,6 +120,10 @@ fn main() {
         read_back: args.flags.contains("verify"),
         trace: simtrace::TraceSink::disabled(),
         faults: None,
+        autotune: args
+            .flags
+            .contains("autotune")
+            .then(parcoll::PolicyCache::new),
     };
     if let Some(n) = args.map.get("cb-nodes") {
         cfg.info.set("cb_nodes", n);

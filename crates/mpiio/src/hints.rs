@@ -4,7 +4,9 @@ use simmpi::Info;
 
 /// Parsed MPI-IO hints relevant to this layer. Unknown keys are ignored
 /// (MPI semantics); the raw [`Info`] is preserved for higher layers (the
-/// `parcoll` crate parses its own `parcoll_*` keys from the same object).
+/// `parcoll` crate parses its own `parcoll_*` keys from the same object
+/// — `parcoll_groups`, `parcoll_autotune`, `parcoll_aggs_per_group`, … —
+/// see `parcoll::ParcollConfig`).
 #[derive(Debug, Clone)]
 pub struct Hints {
     /// Number of I/O aggregators (`cb_nodes`). Defaults to one per

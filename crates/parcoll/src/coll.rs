@@ -21,6 +21,10 @@
 
 use crate::adaptive::AdaptiveGroups;
 use crate::aggdist::distribute_aggregators;
+use crate::autotune::{
+    pattern_signature, shape_signature, AutoTuner, DecisionRecord, EpochFeedback, FaStrategy,
+    ModeClass, PolicyCache, TuneKnobs,
+};
 use crate::config::ParcollConfig;
 use crate::fa::{partition_file_areas, partition_file_areas_by, Grouping};
 use crate::iview::{LogicalMap, MappedSpace};
@@ -330,10 +334,31 @@ fn run_partitioned<'ep>(
         return (PartitionMode::Single, fallback(file, &plan, write_buf));
     }
 
+    let mut snapped = false;
     let attempt = if pcfg.force_iview == Some(true) {
         None
     } else {
-        partition_file_areas_by(&ranges, groups, pcfg.balance).ok()
+        match partition_file_areas_by(&ranges, groups, pcfg.balance) {
+            Ok(g) => Some(g),
+            Err(_) if pcfg.snap_groups => {
+                // Tile-row snapping: the requested cut crossed a pattern
+                // boundary; the largest halved count whose FAs are
+                // disjoint lands the cuts on whole rows (Figure 4(b))
+                // without paying the view switch.
+                let mut found = None;
+                let mut g2 = groups / 2;
+                while g2 >= 2 {
+                    if let Ok(gr) = partition_file_areas_by(&ranges, g2, pcfg.balance) {
+                        found = Some(gr);
+                        break;
+                    }
+                    g2 /= 2;
+                }
+                snapped = found.is_some();
+                found
+            }
+            Err(_) => None,
+        }
     };
 
     let fh = file.handle().clone();
@@ -341,8 +366,10 @@ fn run_partitioned<'ep>(
         Some(mut grouping) => {
             merge_dead_groups(&comm, &file.coll_config().aggregators, &mut grouping);
             let n_groups = grouping.n_groups();
-            trace_partition(ep, "direct", Some(&grouping), file.hints().cb_align);
-            let (sub, subcfg) = subgroup_setup(file, cache, &grouping.group_of, n_groups);
+            let pattern = if snapped { "tilerow" } else { "direct" };
+            trace_partition(ep, pattern, Some(&grouping), file.hints().cb_align);
+            let (sub, subcfg) =
+                subgroup_setup(file, cache, &grouping.group_of, n_groups, pcfg.aggs_per_group);
             if let Some(boxed) = cache.as_mut() {
                 boxed.cache.mode = CachedMode::Direct;
                 boxed.cache.shape = plan_shape(&plan);
@@ -386,7 +413,8 @@ fn run_partitioned<'ep>(
             merge_dead_groups(&comm, &file.coll_config().aggregators, &mut grouping);
             let n_groups = grouping.n_groups();
             trace_partition(ep, "iview", Some(&grouping), file.hints().cb_align);
-            let (sub, subcfg) = subgroup_setup(file, cache, &grouping.group_of, n_groups);
+            let (sub, subcfg) =
+                subgroup_setup(file, cache, &grouping.group_of, n_groups, pcfg.aggs_per_group);
 
             let (ls, le) = map.rank_range(comm.rank());
             let logical_plan = if ls < le {
@@ -457,6 +485,7 @@ fn subgroup_setup<'ep>(
     cache: &mut Option<GroupCacheBox<'ep>>,
     group_of: &[usize],
     n_groups: usize,
+    aggs_override: Option<usize>,
 ) -> (Communicator<'ep>, CollConfig) {
     let comm = file.comm().clone();
     let ep = comm.endpoint();
@@ -476,7 +505,36 @@ fn subgroup_setup<'ep>(
             .collect(),
         _ => parent_cfg.aggregators.clone(),
     };
-    let aggs_per_group = distribute_aggregators(&hints, group_of, n_groups, |r| comm.node_of(r));
+    let aggs_per_group = match aggs_override {
+        // Autotuner probe: N evenly spaced live members per subgroup,
+        // bypassing the hinted distribution.
+        Some(n) if n > 0 => {
+            let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_groups];
+            for (r, &g) in group_of.iter().enumerate() {
+                members[g].push(r);
+            }
+            members
+                .iter()
+                .map(|m| {
+                    let live: Vec<usize> = match ep.faults() {
+                        Some(f) if f.dead_epoch() > 0 => m
+                            .iter()
+                            .copied()
+                            .filter(|&r| !f.is_dead(comm.global_rank(r)))
+                            .collect(),
+                        _ => m.clone(),
+                    };
+                    let base = if live.is_empty() { m.clone() } else { live };
+                    if base.is_empty() {
+                        return Vec::new();
+                    }
+                    let k = n.min(base.len());
+                    (0..k).map(|i| base[i * base.len() / k]).collect()
+                })
+                .collect()
+        }
+        _ => distribute_aggregators(&hints, group_of, n_groups, |r| comm.node_of(r)),
+    };
 
     let t = PhaseTimer::start(Phase::Sync, ep.now());
     let sub = comm
@@ -578,9 +636,68 @@ pub struct ParcollFile<'ep> {
     cache: Option<GroupCacheBox<'ep>>,
     last_mode: Option<PartitionMode>,
     adaptive: Option<AdaptiveGroups>,
+    path: String,
+    tune: Option<TuneRuntime>,
+}
+
+/// Per-file autotune state: the tuner (lazily built at the first
+/// collective write, when the access pattern is known), the epoch
+/// accumulator, and the policy cache learned state is stored into.
+struct TuneRuntime {
+    cache: PolicyCache,
+    calls_per_epoch: u64,
+    tuner: Option<AutoTuner>,
+    /// (path, signature) key the tuner was loaded under / stores to.
+    sig: u64,
+    /// Knobs in force for the running epoch (a change invalidates the
+    /// subgroup split cache).
+    applied: TuneKnobs,
+    epoch_calls: u64,
+    epoch_t0: simnet::SimTime,
+    /// Profile snapshot at epoch start; the epoch's attribution is the
+    /// delta against it.
+    mark: PhaseProfile,
+}
+
+fn mode_class(m: PartitionMode) -> ModeClass {
+    match m {
+        PartitionMode::Single => ModeClass::Single,
+        PartitionMode::Direct { .. } => ModeClass::Direct,
+        PartitionMode::IntermediateView { .. } => ModeClass::Iview,
+    }
 }
 
 impl<'ep> ParcollFile<'ep> {
+    fn build(file: File<'ep>, pcfg: ParcollConfig, path: &str) -> ParcollFile<'ep> {
+        let nprocs = file.comm().size();
+        // Autotune supersedes the §6 ladder prober when both are hinted.
+        let adaptive = (pcfg.adaptive && !pcfg.autotune)
+            .then(|| AdaptiveGroups::new(nprocs, pcfg.min_group_size));
+        let tune = pcfg.autotune.then(|| TuneRuntime {
+            cache: PolicyCache::new(),
+            calls_per_epoch: pcfg.autotune_epoch as u64,
+            tuner: None,
+            sig: 0,
+            applied: TuneKnobs {
+                groups: pcfg.effective_groups(nprocs),
+                aggs_per_group: pcfg.aggs_per_group,
+                strategy: FaStrategy::DirectCut,
+            },
+            epoch_calls: 0,
+            epoch_t0: simnet::SimTime::ZERO,
+            mark: PhaseProfile::new(),
+        });
+        ParcollFile {
+            file,
+            pcfg,
+            cache: None,
+            last_mode: None,
+            adaptive,
+            path: path.to_string(),
+            tune,
+        }
+    }
+
     /// Collectively open with default striping.
     pub fn open(
         comm: &Communicator<'ep>,
@@ -589,16 +706,7 @@ impl<'ep> ParcollFile<'ep> {
         info: &Info,
     ) -> ParcollFile<'ep> {
         let pcfg = ParcollConfig::from_info(info);
-        let adaptive = pcfg
-            .adaptive
-            .then(|| AdaptiveGroups::new(comm.size(), pcfg.min_group_size));
-        ParcollFile {
-            file: File::open(comm, fs, path, info),
-            pcfg,
-            cache: None,
-            last_mode: None,
-            adaptive,
-        }
+        Self::build(File::open(comm, fs, path, info), pcfg, path)
     }
 
     /// Collectively open with explicit striping.
@@ -611,15 +719,21 @@ impl<'ep> ParcollFile<'ep> {
         stripe_size: u64,
     ) -> ParcollFile<'ep> {
         let pcfg = ParcollConfig::from_info(info);
-        let adaptive = pcfg
-            .adaptive
-            .then(|| AdaptiveGroups::new(comm.size(), pcfg.min_group_size));
-        ParcollFile {
-            file: File::open_with_layout(comm, fs, path, info, stripe_count, stripe_size),
+        Self::build(
+            File::open_with_layout(comm, fs, path, info, stripe_count, stripe_size),
             pcfg,
-            cache: None,
-            last_mode: None,
-            adaptive,
+            path,
+        )
+    }
+
+    /// Share a policy cache with other opens (the benchmark runner
+    /// threads one cache through a sweep so each reopen resumes the
+    /// learned configuration). Must be called before the first collective
+    /// write; a no-op unless the `parcoll_autotune` hint is set.
+    pub fn set_policy_cache(&mut self, cache: PolicyCache) {
+        if let Some(tr) = self.tune.as_mut() {
+            assert!(tr.tuner.is_none(), "policy cache set after tuning started");
+            tr.cache = cache;
         }
     }
 
@@ -636,23 +750,181 @@ impl<'ep> ParcollFile<'ep> {
     /// counts (one global agreement per probe) before committing to the
     /// fastest.
     pub fn write_at_all(&mut self, offset: u64, buf: &IoBuffer) {
+        self.ensure_tuner(offset, buf.len() as u64);
         let pcfg = self.effective_pcfg();
         let ep = self.file.comm().endpoint();
         let t0 = ep.now();
         let mode = write_at_all(&mut self.file, &pcfg, &mut self.cache, offset, buf);
         self.last_mode = Some(mode);
         self.adaptive_record(t0);
+        self.tune_record();
     }
 
     fn effective_pcfg(&self) -> ParcollConfig {
-        match &self.adaptive {
-            Some(a) => {
-                let mut pcfg = self.pcfg.clone();
-                pcfg.groups = Some(a.next_groups());
-                pcfg
-            }
-            None => self.pcfg.clone(),
+        let mut pcfg = self.pcfg.clone();
+        if let Some(a) = &self.adaptive {
+            pcfg.groups = Some(a.next_groups());
         }
+        if let Some(t) = self.tune.as_ref().and_then(|tr| tr.tuner.as_ref()) {
+            let k = t.current();
+            pcfg.groups = Some(k.groups);
+            pcfg.aggs_per_group = k.aggs_per_group;
+            match k.strategy {
+                FaStrategy::DirectCut => {}
+                FaStrategy::TileRows => pcfg.snap_groups = true,
+                FaStrategy::Iview => pcfg.force_iview = Some(true),
+            }
+        }
+        pcfg
+    }
+
+    /// Build (or resume from the policy cache) the tuner at the first
+    /// collective write, once the access pattern is in hand: agree on the
+    /// pattern signature (one allgather of per-rank shape hashes), then
+    /// rank 0 consults the cache and broadcasts the snapshot so every
+    /// rank starts from the identical state.
+    fn ensure_tuner(&mut self, offset: u64, nbytes: u64) {
+        let Some(tr) = self.tune.as_mut() else {
+            return;
+        };
+        if tr.tuner.is_some() {
+            return;
+        }
+        let comm = self.file.comm().clone();
+        let ep = comm.endpoint();
+        let plan = self.file.plan(offset, nbytes);
+        let my_hash = shape_signature(&plan_shape(&plan));
+
+        let t = PhaseTimer::start(Phase::Sync, ep.now());
+        let hashes = comm.allgather_t(my_hash, 8);
+        let sig = pattern_signature(comm.size(), &hashes);
+        let words_buf = if comm.rank() == 0 {
+            let dead = ep.faults().map_or(0, |f| f.dead_epoch());
+            let words = tr.cache.load(&self.path, sig, dead).unwrap_or_default();
+            comm.bcast(0, Some(codec::encode_u64s(&words)))
+        } else {
+            comm.bcast(0, None)
+        };
+        t.stop_traced(ep.now(), self.file.profile_mut(), ep.trace());
+
+        let words = codec::decode_u64s(&words_buf);
+        let tuner = AutoTuner::from_words(&words)
+            .filter(|t| t.nprocs() == comm.size())
+            .unwrap_or_else(|| {
+                let start = TuneKnobs {
+                    groups: self.pcfg.effective_groups(comm.size()),
+                    aggs_per_group: self.pcfg.aggs_per_group,
+                    strategy: if self.pcfg.force_iview == Some(true) {
+                        FaStrategy::Iview
+                    } else {
+                        FaStrategy::DirectCut
+                    },
+                };
+                AutoTuner::new(comm.size(), self.pcfg.min_group_size, start)
+            });
+        tr.sig = sig;
+        tr.applied = tuner.current();
+        tr.tuner = Some(tuner);
+        tr.epoch_calls = 0;
+        tr.epoch_t0 = ep.now();
+        tr.mark = *self.file.profile();
+    }
+
+    /// Count the collective write toward the running epoch; at the epoch
+    /// boundary, agree on the measurement and let the tuner move.
+    fn tune_record(&mut self) {
+        let Some(tr) = self.tune.as_mut() else {
+            return;
+        };
+        let Some(tuner) = tr.tuner.as_ref() else {
+            return;
+        };
+        if tuner.is_settled() {
+            // Steady state: no accounting, no agreement collective — the
+            // settled path is communication-free beyond the protocol
+            // itself.
+            return;
+        }
+        tr.epoch_calls += 1;
+        if tr.epoch_calls >= tr.calls_per_epoch {
+            self.tune_epoch_boundary();
+        }
+    }
+
+    /// Close the running epoch: agree on the slowest rank's elapsed time
+    /// and per-phase deltas (one allreduce — the only whole-group cost of
+    /// tuning, and only while exploring), feed the tuner, and invalidate
+    /// the subgroup cache if the knobs moved.
+    fn tune_epoch_boundary(&mut self) {
+        let Some(tr) = self.tune.as_mut() else {
+            return;
+        };
+        let Some(mode) = self.last_mode else {
+            return;
+        };
+        let comm = self.file.comm().clone();
+        let ep = comm.endpoint();
+        let us = |d: simnet::SimTime| d.as_micros().round() as u64;
+        let prof = self.file.profile();
+        let mine = [
+            us(ep.now() - tr.epoch_t0),
+            us(prof.sync - tr.mark.sync),
+            us(prof.p2p - tr.mark.p2p),
+            us(prof.io - tr.mark.io),
+            us(prof.local - tr.mark.local),
+        ];
+        let t = PhaseTimer::start(Phase::Sync, ep.now());
+        let agreed = comm.allreduce_u64(&mine, simmpi::ReduceOp::Max);
+        t.stop_traced(ep.now(), self.file.profile_mut(), ep.trace());
+
+        let tuner = tr.tuner.as_mut().expect("boundary requires a tuner");
+        tuner.observe(EpochFeedback {
+            wall_us: agreed[0],
+            sync_us: agreed[1],
+            p2p_us: agreed[2],
+            io_us: agreed[3],
+            local_us: agreed[4],
+            mode: mode_class(mode),
+        });
+        let rec = ep.trace();
+        if rec.enabled() {
+            let d = tuner.log().last().expect("observe just logged");
+            rec.instant(
+                "parcoll",
+                "autotune",
+                ep.now().as_micros(),
+                vec![
+                    ("action", simtrace::ArgValue::from(d.action)),
+                    ("groups", simtrace::ArgValue::from(tuner.current().groups)),
+                    ("epoch", simtrace::ArgValue::from(d.epoch as usize)),
+                ],
+            );
+        }
+        let after = tuner.current();
+        if after != tr.applied {
+            tr.applied = after;
+            self.cache = None;
+        }
+        tr.epoch_calls = 0;
+        tr.epoch_t0 = ep.now();
+        tr.mark = *self.file.profile();
+    }
+
+    /// The tuner's epoch-by-epoch decisions for this open, if
+    /// `parcoll_autotune` is on and at least one collective write ran.
+    pub fn autotune_log(&self) -> Option<&[DecisionRecord]> {
+        self.tune
+            .as_ref()
+            .and_then(|tr| tr.tuner.as_ref())
+            .map(|t| t.log())
+    }
+
+    /// The knobs currently in force, if tuning.
+    pub fn autotune_knobs(&self) -> Option<TuneKnobs> {
+        self.tune
+            .as_ref()
+            .and_then(|tr| tr.tuner.as_ref())
+            .map(|t| t.current())
     }
 
     fn adaptive_record(&mut self, t0: simnet::SimTime) {
@@ -744,9 +1016,33 @@ impl<'ep> ParcollFile<'ep> {
         self.file.profile()
     }
 
-    /// Collectively close, returning the profile.
-    pub fn close(self) -> PhaseProfile {
+    /// Collectively close, returning the profile. With autotuning on,
+    /// any partial epoch is flushed through the tuner first and rank 0
+    /// stores the learned state into the policy cache, keyed by the file
+    /// path, pattern signature and current fault dead-set epoch.
+    pub fn close(mut self) -> PhaseProfile {
+        self.tune_flush();
         self.file.close()
+    }
+
+    fn tune_flush(&mut self) {
+        let flush = self.tune.as_ref().is_some_and(|tr| {
+            tr.epoch_calls > 0 && tr.tuner.as_ref().is_some_and(|t| !t.is_settled())
+        });
+        if flush {
+            self.tune_epoch_boundary();
+        }
+        let Some(tr) = self.tune.as_ref() else {
+            return;
+        };
+        let Some(tuner) = tr.tuner.as_ref() else {
+            return;
+        };
+        let comm = self.file.comm().clone();
+        if comm.rank() == 0 {
+            let dead = comm.endpoint().faults().map_or(0, |f| f.dead_epoch());
+            tr.cache.store(&self.path, tr.sig, dead, tuner.to_words());
+        }
     }
 }
 

@@ -36,6 +36,25 @@ pub struct ParcollConfig {
     /// cost in tiny requests — the benchmark that shows why the paper's
     /// view switching stores data logically.
     pub iview_scatter: bool,
+    /// Online autotuning (`parcoll_autotune`): close the simtrace
+    /// phase-attribution signal into a feedback loop that retunes the
+    /// subgroup count, aggregator layout and FA strategy per epoch (see
+    /// [`crate::autotune`]). Supersedes `parcoll_adaptive` when both are
+    /// set.
+    pub autotune: bool,
+    /// Collective calls per autotune epoch (`parcoll_autotune_epoch`,
+    /// default 1).
+    pub autotune_epoch: usize,
+    /// Tile-row snapping (`parcoll_snap_groups`): when a direct cut at the
+    /// requested group count produces intersecting FAs, retry at halved
+    /// counts until the cuts land on pattern boundaries instead of
+    /// switching to the intermediate view. Set by the autotuner's
+    /// [`crate::autotune::FaStrategy::TileRows`].
+    pub snap_groups: bool,
+    /// Override the hinted aggregator distribution with N evenly spaced
+    /// aggregators per subgroup (`parcoll_aggs_per_group`). Probed by the
+    /// autotuner on I/O-dominated profiles.
+    pub aggs_per_group: Option<usize>,
 }
 
 impl Default for ParcollConfig {
@@ -47,6 +66,10 @@ impl Default for ParcollConfig {
             balance: crate::fa::Balance::Count,
             adaptive: false,
             iview_scatter: false,
+            autotune: false,
+            autotune_epoch: 1,
+            snap_groups: false,
+            aggs_per_group: None,
         }
     }
 }
@@ -64,6 +87,10 @@ impl ParcollConfig {
             },
             adaptive: info.get_bool("parcoll_adaptive").unwrap_or(false),
             iview_scatter: info.get_bool("parcoll_iview_scatter").unwrap_or(false),
+            autotune: info.get_bool("parcoll_autotune").unwrap_or(false),
+            autotune_epoch: info.get_usize("parcoll_autotune_epoch").unwrap_or(1).max(1),
+            snap_groups: info.get_bool("parcoll_snap_groups").unwrap_or(false),
+            aggs_per_group: info.get_usize("parcoll_aggs_per_group"),
         }
     }
 
@@ -119,11 +146,7 @@ mod tests {
     fn explicit_groups_clamped_by_min_size() {
         let c = ParcollConfig {
             groups: Some(256),
-            min_group_size: 8,
-            force_iview: None,
-            balance: crate::fa::Balance::Count,
-            adaptive: false,
-            iview_scatter: false,
+            ..ParcollConfig::default()
         };
         // 64 procs / min 8 -> at most 8 groups.
         assert_eq!(c.effective_groups(64), 8);
@@ -143,13 +166,27 @@ mod tests {
     fn one_process_is_one_group() {
         let c = ParcollConfig {
             groups: Some(16),
-            min_group_size: 8,
-            force_iview: None,
-            balance: crate::fa::Balance::Count,
-            adaptive: false,
-            iview_scatter: false,
+            ..ParcollConfig::default()
         };
         assert_eq!(c.effective_groups(1), 1);
+    }
+
+    #[test]
+    fn parses_autotune_hints() {
+        let c = ParcollConfig::from_info(
+            &Info::new()
+                .with("parcoll_autotune", "enable")
+                .with("parcoll_autotune_epoch", 2)
+                .with("parcoll_snap_groups", "true")
+                .with("parcoll_aggs_per_group", 2),
+        );
+        assert!(c.autotune);
+        assert_eq!(c.autotune_epoch, 2);
+        assert!(c.snap_groups);
+        assert_eq!(c.aggs_per_group, Some(2));
+        let d = ParcollConfig::default();
+        assert!(!d.autotune);
+        assert_eq!(d.autotune_epoch, 1);
     }
 
     #[test]

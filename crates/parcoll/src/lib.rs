@@ -30,17 +30,27 @@
 //!   configured entirely through `MPI_Info` hints (`parcoll_groups`,
 //!   `parcoll_min_group`) — ParColl "does not alter the semantics of
 //!   MPI-IO".
+//! * [`autotune`] — online feedback control over the knobs above: with
+//!   the `parcoll_autotune` hint, per-phase attribution from each epoch
+//!   of collective writes drives a deterministic controller that picks
+//!   the subgroup count, aggregator layout and FA strategy for the next
+//!   epoch, with learned configurations cached per (file, pattern
+//!   signature) across opens.
 
 #![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod aggdist;
+pub mod autotune;
 pub mod coll;
 pub mod config;
 pub mod fa;
 pub mod iview;
 
 pub use adaptive::AdaptiveGroups;
+pub use autotune::{
+    AutoTuner, DecisionRecord, EpochFeedback, FaStrategy, ModeClass, PolicyCache, TuneKnobs,
+};
 pub use coll::ParcollFile;
 pub use config::ParcollConfig;
 pub use fa::{partition_file_areas, partition_file_areas_by, Balance, FaError, Grouping};

@@ -350,8 +350,8 @@ impl From<&[u8]> for IoBuffer {
 /// Incrementally concatenates buffer pieces, degrading to synthetic if any
 /// piece is synthetic. Used by packing/unpacking code in the MPI-IO layer.
 ///
-/// Fast path: when exactly one real piece is pushed, [`finish`]
-/// (BufferBuilder::finish) hands back a zero-copy window of it — the
+/// Fast path: when exactly one real piece is pushed,
+/// [`BufferBuilder::finish`] hands back a zero-copy window of it — the
 /// common "whole transfer lands in one aggregator window" case of
 /// two-phase exchange never copies. The copying path draws its backing
 /// store from the scratch pool.

@@ -6,6 +6,45 @@
 //! time* so the protocol stack's degraded modes (bounded retry, aggregator
 //! failover, file-area merging) can be exercised — reproducibly.
 //!
+//! # Example: building and installing a plan
+//!
+//! A [`FaultPlan`] is a seed plus declarative rules, built once and
+//! shared immutably. Install it on the cluster via
+//! [`crate::ClusterConfig`]`::faults` and on the store via
+//! `FileSystem::install_faults` (simfs); here we only build one and
+//! probe its pure decision functions:
+//!
+//! ```
+//! use simnet::{FaultPlan, SimTime};
+//!
+//! // OSTs serve 4x slower for the first 2 virtual ms; 1% of messages
+//! // from rank 7 are tombstone-dropped (receiver pays the retry);
+//! // rank 3 stalls 50 µs at its next exchange phase; rank 0's
+//! // aggregator dies at collective-write round 2.
+//! let plan = FaultPlan::new(42)
+//!     .ost_slow(None, 4.0, SimTime::ZERO, SimTime::millis(2.0))
+//!     .msg_drop(0.01, Some(7), None)
+//!     .rank_stall(3, "exchange", SimTime::micros(50.0))
+//!     .aggregator_crash(0, 2);
+//!
+//! assert_eq!(plan.rules().len(), 4);
+//! assert!(plan.has_crash_rules());
+//! assert_eq!(plan.agg_crash(0), Some(2));
+//! assert_eq!(plan.ost_slow_factor(5, SimTime::micros(10.0)), 4.0);
+//!
+//! // Decisions are pure functions of (seed, rule index, src, dst,
+//! // sequence): a plan built the same way draws identical faults,
+//! // which is what makes a faulted run bitwise reproducible.
+//! let twin = FaultPlan::new(42)
+//!     .ost_slow(None, 4.0, SimTime::ZERO, SimTime::millis(2.0))
+//!     .msg_drop(0.01, Some(7), None)
+//!     .rank_stall(3, "exchange", SimTime::micros(50.0))
+//!     .aggregator_crash(0, 2);
+//! for seq in 0..32 {
+//!     assert_eq!(plan.msg_fault(7, 1, seq).drops, twin.msg_fault(7, 1, seq).drops);
+//! }
+//! ```
+//!
 //! # Determinism
 //!
 //! Every fault decision is a pure function of `(plan seed, rule index,

@@ -15,7 +15,7 @@
 //! rank gets its own heap-allocated stack, and a scheduler on the calling
 //! thread round-robins them with a userspace context switch (~tens of
 //! nanoseconds: six callee-saved registers and the stack pointer). A rank
-//! that would park instead [yields](yield_now); the peers it is waiting
+//! that would park instead yields (`yield_now`); the peers it is waiting
 //! for run immediately after, on the same thread.
 //!
 //! # What stays identical
@@ -25,7 +25,7 @@
 //! regress gate enforces it) — and the fiber scheduler merely picks one
 //! particular interleaving. The blocking primitives keep their mutex
 //! protocols; the only difference is *how* a blocked rank waits (yield
-//! vs. condvar), selected per call site by [`in_fiber`].
+//! vs. condvar), selected per call site by the private `in_fiber` probe.
 //!
 //! Code that drives the primitives from plain OS threads (unit tests
 //! spawning `std::thread`) is untouched: without a fiber context the

@@ -263,11 +263,13 @@ pub fn metrics_json(trace: &Trace) -> String {
 /// spans every participant carries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CollectiveOp {
+    /// Operation name (`barrier`, `allgather`, …).
     pub op: String,
     /// Communicator context id.
     pub ctx: u64,
     /// Rendezvous generation (the per-communicator collective sequence).
     pub seq: u64,
+    /// Number of ranks that met at this rendezvous.
     pub participants: u64,
     /// Global rank whose late arrival set the meeting time.
     pub straggler: usize,

@@ -18,7 +18,9 @@ use std::fmt::Write as _;
 /// A JSON document. Objects preserve insertion order.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
     /// Any number carrying a fractional part or too large for `u64`/`i64`.
     Num(f64),
@@ -26,8 +28,11 @@ pub enum Json {
     U64(u64),
     /// Negative integer written without a decimal point.
     I64(i64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
+    /// An object; members keep insertion order.
     Obj(Vec<(String, Json)>),
 }
 
@@ -40,6 +45,7 @@ impl Json {
         }
     }
 
+    /// The items of an array; `None` on other variants.
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(items) => Some(items),
@@ -47,6 +53,7 @@ impl Json {
         }
     }
 
+    /// The members of an object; `None` on other variants.
     pub fn as_obj(&self) -> Option<&[(String, Json)]> {
         match self {
             Json::Obj(members) => Some(members),
@@ -54,6 +61,7 @@ impl Json {
         }
     }
 
+    /// The value of a string; `None` on other variants.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
@@ -61,6 +69,7 @@ impl Json {
         }
     }
 
+    /// Any numeric variant widened to `f64`; `None` on non-numbers.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(v) => Some(*v),
@@ -70,6 +79,7 @@ impl Json {
         }
     }
 
+    /// Any numeric variant that is exactly a non-negative integer.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
             Json::U64(v) => Some(*v),
@@ -206,7 +216,9 @@ fn write_escaped(out: &mut String, s: &str) {
 /// Parse failure with a byte offset.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
+    /// Byte offset in the input where parsing failed.
     pub offset: usize,
+    /// What was expected or found there.
     pub message: String,
 }
 

@@ -27,7 +27,34 @@
 //! are Chrome/Perfetto trace-event JSON ([`chrome_trace_json`]) and a
 //! machine-readable metrics document ([`metrics_json`]).
 //!
+//! # Example: setting up a sink and exporting a trace
+//!
+//! In real use the enabled sink is threaded through the stack — set
+//! `ClusterConfig::trace` when driving `simnet::run_cluster`, or
+//! `RunConfig::trace` in the workloads runner — and every layer records
+//! into it. The recording API itself is plain:
+//!
+//! ```
+//! use simtrace::{chrome_trace_json, metrics_json, TraceSink, TrackKey};
+//!
+//! let sink = TraceSink::enabled();           // `disabled()` = free no-op
+//! let rec = sink.recorder(TrackKey::Rank(0)); // one track per rank/OST
+//! rec.span("phase", "io", 0.0, 125.0, vec![]); // virtual µs
+//! rec.count("bytes_written", 4096);
+//!
+//! let trace = sink.finish();                 // deterministic merge
+//! let perfetto = chrome_trace_json(&trace);  // load in ui.perfetto.dev
+//! assert!(perfetto.contains("rank 0"));
+//! assert!(metrics_json(&trace).contains("bytes_written"));
+//! ```
+//!
+//! Identical runs produce byte-identical exports, so trace JSON can sit
+//! behind equality assertions in tests (see
+//! `workloads/tests/trace_determinism.rs`).
+//!
 //! [`PhaseProfile`]: https://crates.io/crates/mpiio (in-workspace)
+
+#![warn(missing_docs)]
 
 pub mod analysis;
 pub mod json;

@@ -43,8 +43,11 @@ impl TrackKey {
 /// A typed argument attached to a span or instant event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ArgValue {
+    /// An unsigned integer (ranks, counts, byte totals).
     U64(u64),
+    /// A float (times, ratios).
     F64(f64),
+    /// A label; borrowed when `'static`, owned otherwise.
     Str(Cow<'static, str>),
 }
 
@@ -83,23 +86,35 @@ impl From<String> for ArgValue {
 pub enum Event {
     /// A closed interval of activity.
     Span {
+        /// Category (`"phase"`, `"rdv"`, `"ost"`, …) — the coarse filter.
         cat: &'static str,
+        /// Event name within the category.
         name: Cow<'static, str>,
+        /// Interval start, virtual µs.
         start_us: f64,
+        /// Interval length, µs (clamped non-negative).
         dur_us: f64,
+        /// Typed key/value annotations.
         args: Vec<(&'static str, ArgValue)>,
     },
     /// A point event.
     Instant {
+        /// Category, as for spans.
         cat: &'static str,
+        /// Event name within the category.
         name: Cow<'static, str>,
+        /// Timestamp, virtual µs.
         ts_us: f64,
+        /// Typed key/value annotations.
         args: Vec<(&'static str, ArgValue)>,
     },
     /// A sampled counter value (rendered as a counter track in Perfetto).
     Counter {
+        /// Counter name.
         name: &'static str,
+        /// Sample timestamp, virtual µs.
         ts_us: f64,
+        /// Sampled value.
         value: f64,
     },
 }
@@ -142,9 +157,13 @@ fn args_fingerprint(args: &[(&'static str, ArgValue)]) -> u64 {
 /// Log2-bucketed histogram of non-negative observations.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Hist {
+    /// Number of observations.
     pub count: u64,
+    /// Sum of all observed values.
     pub sum: f64,
+    /// Smallest observation (0 when empty).
     pub min: f64,
+    /// Largest observation (0 when empty).
     pub max: f64,
     /// bucket `b` counts observations with `floor(log2(v)) == b` (v >= 1);
     /// observations below 1 land in bucket `-1`.
@@ -152,6 +171,7 @@ pub struct Hist {
 }
 
 impl Hist {
+    /// Record one observation.
     pub fn observe(&mut self, v: f64) {
         if self.count == 0 {
             self.min = v;
@@ -166,6 +186,7 @@ impl Hist {
         *self.buckets.entry(bucket).or_insert(0) += 1;
     }
 
+    /// Arithmetic mean (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -174,6 +195,7 @@ impl Hist {
         }
     }
 
+    /// Fold another histogram into this one (used by the track merge).
     pub fn merge(&mut self, other: &Hist) {
         if other.count == 0 {
             return;
@@ -235,6 +257,8 @@ impl TraceSink {
         }
     }
 
+    /// True when this sink is collecting (the recording layers use this
+    /// to skip argument construction).
     pub fn is_enabled(&self) -> bool {
         self.shared.is_some()
     }
@@ -414,10 +438,15 @@ impl Recorder {
 /// One merged track: its events in deterministic order plus its metrics.
 #[derive(Debug, Clone)]
 pub struct TrackData {
+    /// Which rank or OST this track belongs to.
     pub key: TrackKey,
+    /// Physical node hosting the rank, when known (groups Perfetto rows).
     pub node: Option<usize>,
+    /// Timeline events in deterministic merge order.
     pub events: Vec<Event>,
+    /// Monotone counters, by name.
     pub counters: BTreeMap<&'static str, u64>,
+    /// Histograms, by name.
     pub hists: BTreeMap<&'static str, Hist>,
 }
 
@@ -442,20 +471,24 @@ impl TrackData {
 /// A deterministic snapshot of everything the sink collected.
 #[derive(Debug, Clone)]
 pub struct Trace {
+    /// All tracks, ranks first (ascending), then OSTs (ascending).
     pub tracks: Vec<TrackData>,
 }
 
 impl Trace {
+    /// The track for `key`, if it recorded anything.
     pub fn track(&self, key: TrackKey) -> Option<&TrackData> {
         self.tracks.iter().find(|t| t.key == key)
     }
 
+    /// All per-rank tracks, in rank order.
     pub fn rank_tracks(&self) -> impl Iterator<Item = &TrackData> {
         self.tracks
             .iter()
             .filter(|t| matches!(t.key, TrackKey::Rank(_)))
     }
 
+    /// All per-OST tracks, in OST order.
     pub fn ost_tracks(&self) -> impl Iterator<Item = &TrackData> {
         self.tracks
             .iter()

@@ -63,6 +63,13 @@ pub struct RunConfig {
     /// OST. `None` (the default) leaves all paths bitwise identical to a
     /// fault-free build.
     pub faults: Option<Arc<simnet::FaultPlan>>,
+    /// Online autotuning: `Some(cache)` sets the `parcoll_autotune` hint
+    /// (leaving the subgroup count to the tuner, so `mode` should be
+    /// [`IoMode::Collective`]) and threads the policy cache through every
+    /// rank's file, so sweeps that reuse one cache across
+    /// [`run_workload`] calls resume the learned configuration on each
+    /// reopen — one run per epoch. `None` (the default) changes nothing.
+    pub autotune: Option<parcoll::PolicyCache>,
 }
 
 impl RunConfig {
@@ -78,6 +85,7 @@ impl RunConfig {
             read_back: false,
             trace: simtrace::TraceSink::disabled(),
             faults: None,
+            autotune: None,
         }
     }
 
@@ -92,6 +100,7 @@ impl RunConfig {
             read_back: true,
             trace: simtrace::TraceSink::disabled(),
             faults: None,
+            autotune: None,
         }
     }
 }
@@ -114,6 +123,10 @@ pub struct RunResult {
     pub profile_avg: PhaseProfile,
     /// Bytes moved by the write pass.
     pub total_bytes: u64,
+    /// The autotuner's epoch-by-epoch decisions (identical on all ranks;
+    /// reported from rank 0). Empty unless [`RunConfig::autotune`] was
+    /// set.
+    pub autotune_log: Vec<parcoll::DecisionRecord>,
     /// File-system statistics at the end of the run (request counts,
     /// per-OST load, imbalance diagnostics).
     pub fs_stats: simfs::FsStats,
@@ -154,6 +167,7 @@ where
         write_s: f64,
         read_s: Option<f64>,
         profile: PhaseProfile,
+        tune_log: Vec<parcoll::DecisionRecord>,
     }
 
     let cfg2 = cfg.clone();
@@ -163,7 +177,11 @@ where
         let rank = comm.rank();
         let w = Arc::clone(&workload);
         let mut info = cfg2.info.clone();
-        if let IoMode::Parcoll { groups } = cfg2.mode {
+        if cfg2.autotune.is_some() {
+            // Tuned run: leave the ParColl defaults in force and let the
+            // controller move the knobs from there.
+            info.set("parcoll_autotune", "enable");
+        } else if let IoMode::Parcoll { groups } = cfg2.mode {
             info.set("parcoll_groups", groups);
             info.set("parcoll_min_group", 1);
         } else {
@@ -205,10 +223,14 @@ where
                     write_s,
                     read_s,
                     profile: f.close(),
+                    tune_log: Vec::new(),
                 }
             }
             _ => {
                 let mut f = ParcollFile::open(&comm, &fs, &w.path(), &info);
+                if let Some(pc) = &cfg2.autotune {
+                    f.set_policy_cache(pc.clone());
+                }
                 f.set_view(disp, &ft);
                 comm.barrier();
                 let t0 = ep.now();
@@ -223,10 +245,16 @@ where
                 comm.barrier();
                 let write_s = (ep.now() - t0).as_secs();
                 let read_s = measure_read_parcoll(&mut f, w.as_ref(), rank, &cfg2, &comm, &ep);
+                let tune_log = if rank == 0 {
+                    f.autotune_log().map(<[_]>::to_vec).unwrap_or_default()
+                } else {
+                    Vec::new()
+                };
                 RankOut {
                     write_s,
                     read_s,
                     profile: f.close(),
+                    tune_log,
                 }
             }
         }
@@ -265,6 +293,10 @@ where
         profile_max,
         profile_avg,
         total_bytes,
+        autotune_log: outs
+            .first()
+            .map(|o| o.tune_log.clone())
+            .unwrap_or_default(),
         fs_stats: fs_for_stats.stats(),
     }
 }

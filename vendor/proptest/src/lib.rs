@@ -317,7 +317,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length bounds for [`vec`]: `lo..hi` (exclusive) or an exact size.
+    /// Length bounds for [`vec()`]: `lo..hi` (exclusive) or an exact size.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
