@@ -9,11 +9,18 @@
 //! counters) rather than any heatmap-private counting — the same spans a
 //! `trace_dump` run renders in Perfetto.
 //!
+//! With `--timeline [W]`, the run's OST tracks are additionally folded
+//! into `W` virtual-time buckets (the `simtrace::series` interval fold)
+//! and rendered as one shade-row per target — occupancy over *time*,
+//! where the static heatmap only shows totals. A lock-step baseline
+//! shows synchronized dark columns; drifted ParColl subgroups smear
+//! them out.
+//!
 //! Usage mirrors `parcoll_sim`: `ost_heatmap <workload> [--procs N]
-//! [--mode baseline|parcoll] [--groups G]`.
+//! [--mode baseline|parcoll] [--groups G] [--timeline [W]]`.
 
 use bench::{ost_loads, summarize_ost_loads};
-use simtrace::TraceSink;
+use simtrace::{series_from_trace, SeriesConfig, TraceSink, TrackKey};
 use workloads::ior::Ior;
 use workloads::runner::{run_workload, IoMode, RunConfig};
 use workloads::tileio::TileIo;
@@ -77,5 +84,55 @@ fn main() {
             o.requests,
             o.queue_us / 1e6,
         );
+    }
+
+    if let Some(pos) = args.iter().position(|a| a == "--timeline") {
+        let width = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(72usize)
+            .max(8);
+        print_timeline(&trace, width);
+    }
+}
+
+/// Render each OST's busy occupancy over virtual time as a shade row,
+/// one character per interval of the `simtrace::series` fold.
+fn print_timeline(trace: &simtrace::Trace, width: usize) {
+    let wall = trace
+        .tracks
+        .iter()
+        .flat_map(|t| t.events.iter())
+        .map(|e| match e {
+            simtrace::Event::Span { start_us, dur_us, .. } => start_us + dur_us,
+            simtrace::Event::Instant { ts_us, .. } => *ts_us,
+            simtrace::Event::Counter { ts_us, .. } => *ts_us,
+        })
+        .fold(0.0f64, f64::max);
+    if wall <= 0.0 {
+        println!("timeline: empty trace");
+        return;
+    }
+    let interval = wall / width as f64;
+    let series = series_from_trace(trace, SeriesConfig::new(interval));
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    println!(
+        "\nOST busy-occupancy timeline ({} buckets x {:.1} us, ' '=idle '@'=saturated):",
+        series.n_intervals, series.interval_us
+    );
+    for t in &series.tracks {
+        let TrackKey::Ost(ost) = t.key else { continue };
+        let Some(busy) = t.series.get("ost_busy_us") else {
+            continue;
+        };
+        let row: String = busy
+            .iter()
+            .map(|us| {
+                let occupancy = (us / series.interval_us).clamp(0.0, 1.0);
+                let idx = (occupancy * (SHADES.len() - 1) as f64).round() as usize;
+                SHADES[idx] as char
+            })
+            .collect();
+        println!("  ost {ost:>3} |{row}|");
     }
 }

@@ -2,7 +2,7 @@
 //! figure rows against a committed baseline, point by point.
 //!
 //! ```text
-//! regress <fresh_dir> [<baseline_dir>]   (baseline defaults to bench_results)
+//! regress [--explain] <fresh_dir> [<baseline_dir>]   (baseline defaults to bench_results)
 //! ```
 //!
 //! Every `*.json` row document in the baseline must be reproduced in
@@ -12,17 +12,32 @@
 //! Missing files, lost or new points, unit changes and drifted extras
 //! are all failures. Exits nonzero on any finding, so CI can regenerate
 //! the quick-scale figures into a scratch directory and gate on this.
+//!
+//! With `--explain`, a failed gate additionally diffs the committed
+//! run-digest sidecar (`explain_digest.json`) against the fresh one and
+//! prints the ranked root-cause table — which phase grew, on which
+//! resource, in which exchange rounds — writing
+//! `explain_report.{txt,json}` into the fresh directory for CI to
+//! upload. The gate still exits 1; the report is diagnosis, not mercy.
 
+use bench::explain::{explain_dirs, write_report};
 use bench::regress::compare_dirs;
 use std::path::Path;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(fresh) = args.first() else {
-        eprintln!("usage: regress <fresh_dir> [<baseline_dir>=bench_results]");
+    let mut explain = false;
+    let mut dirs: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--explain" => explain = true,
+            _ => dirs.push(arg),
+        }
+    }
+    let Some(fresh) = dirs.first() else {
+        eprintln!("usage: regress [--explain] <fresh_dir> [<baseline_dir>=bench_results]");
         std::process::exit(2);
     };
-    let baseline = args.get(1).map(String::as_str).unwrap_or("bench_results");
+    let baseline = dirs.get(1).map(String::as_str).unwrap_or("bench_results");
 
     match compare_dirs(Path::new(fresh), Path::new(baseline)) {
         Err(e) => {
@@ -36,6 +51,20 @@ fn main() {
             eprintln!("regress: {} finding(s) vs {baseline}:", findings.len());
             for f in &findings {
                 eprintln!("  {f}");
+            }
+            if explain {
+                match explain_dirs(Path::new(fresh), Path::new(baseline)) {
+                    Err(e) => eprintln!("regress: no explanation available: {e}"),
+                    Ok(report) => {
+                        eprint!("{}", report.render_text());
+                        match write_report(Path::new(fresh), &report) {
+                            Ok(()) => eprintln!(
+                                "regress: wrote {fresh}/explain_report.{{txt,json}}"
+                            ),
+                            Err(e) => eprintln!("regress: cannot write report: {e}"),
+                        }
+                    }
+                }
             }
             std::process::exit(1);
         }

@@ -23,8 +23,11 @@
 //!
 //! Also here: `parcoll_sim`, a command-line driver for any workload ×
 //! mode × scale; `report`, which renders `bench_results/*.json` as
-//! markdown; and `calibrate`, which re-checks every headline number
-//! against its paper target.
+//! markdown (and, with `--check-docs`, cross-checks figures quoted in
+//! the prose docs against the emitted rows); `calibrate`, which
+//! re-checks every headline number against its paper target; and
+//! `explain`, which runs the fixed diffable scenario of [`explain`]
+//! and turns a tripped `regress` gate into a ranked root-cause table.
 //!
 //! Binaries accept `--quick` to run a reduced-scale version (smaller
 //! process counts and data) for smoke testing; the default is the paper's
@@ -33,6 +36,8 @@
 
 #![warn(missing_docs)]
 
+pub mod doccheck;
+pub mod explain;
 pub mod figures;
 pub mod metrics;
 pub mod regress;

@@ -90,6 +90,15 @@ pub enum FaStrategy {
 }
 
 impl FaStrategy {
+    /// Stable human-readable name, used in trace events and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaStrategy::DirectCut => "direct_cut",
+            FaStrategy::TileRows => "tile_rows",
+            FaStrategy::Iview => "iview",
+        }
+    }
+
     fn to_u64(self) -> u64 {
         match self {
             FaStrategy::DirectCut => 0,

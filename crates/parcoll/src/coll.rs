@@ -889,15 +889,38 @@ impl<'ep> ParcollFile<'ep> {
         let rec = ep.trace();
         if rec.enabled() {
             let d = tuner.log().last().expect("observe just logged");
+            let knobs = tuner.current();
+            // The full decision as a trace instant: what the tuner saw
+            // (agreed per-phase maxima) and what it chose, so `explain`
+            // and Perfetto can line epoch boundaries up with phase shifts
+            // without re-deriving tuner state.
             rec.instant(
                 "parcoll",
                 "autotune",
                 ep.now().as_micros(),
                 vec![
                     ("action", simtrace::ArgValue::from(d.action)),
-                    ("groups", simtrace::ArgValue::from(tuner.current().groups)),
+                    ("groups", simtrace::ArgValue::from(knobs.groups)),
+                    (
+                        "aggs_per_group",
+                        simtrace::ArgValue::from(knobs.aggs_per_group.unwrap_or(0)),
+                    ),
+                    (
+                        "strategy",
+                        simtrace::ArgValue::from(knobs.strategy.label()),
+                    ),
                     ("epoch", simtrace::ArgValue::from(d.epoch as usize)),
+                    ("wall_us", simtrace::ArgValue::from(agreed[0])),
+                    ("sync_us", simtrace::ArgValue::from(agreed[1])),
+                    ("p2p_us", simtrace::ArgValue::from(agreed[2])),
+                    ("io_us", simtrace::ArgValue::from(agreed[3])),
+                    ("local_us", simtrace::ArgValue::from(agreed[4])),
                 ],
+            );
+            rec.counter(
+                "autotune_groups",
+                ep.now().as_micros(),
+                knobs.groups as f64,
             );
         }
         let after = tuner.current();

@@ -226,6 +226,13 @@ impl Ost {
                 args,
             );
             st.trace.counter("ost_queue_depth", arrival.as_micros(), depth);
+            // Outstanding work on this target as of this arrival: how
+            // far its device clock runs ahead of the request stream.
+            st.trace.counter(
+                "ost_backlog_us",
+                arrival.as_micros(),
+                (backlog_done - arrival).as_micros(),
+            );
             st.trace.count("ost_requests", requests);
             st.trace.observe("ost_req_bytes", bytes as f64);
         }

@@ -46,6 +46,14 @@ impl Communicator<'_> {
         self.ep.clock().advance(self.ep.net().recv_overhead(buf.len()));
         let rec = self.ep.trace();
         if rec.enabled() {
+            // Mailbox depth at entry, derived from virtual time (the
+            // message had already landed iff arrival ≤ entry) — never
+            // sampled from the host-side queue, which is racy.
+            rec.counter(
+                "mailbox_depth",
+                entry.as_micros(),
+                if info.arrival <= entry { 1.0 } else { 0.0 },
+            );
             rec.span(
                 "p2p",
                 "recv",
@@ -85,9 +93,13 @@ impl Communicator<'_> {
         // The message whose arrival bounds the batch (ties → first in
         // request order), exported as the waitall's binding edge.
         let mut bind: Option<(usize, simnet::RecvInfo)> = None;
+        let mut ready_at_entry = 0u64;
         for req in reqs {
             let global = self.global_rank(req.src_local);
             let (payload, info) = self.ep.recv_meta(global, self.shared.ctx, req.tag);
+            if info.arrival <= entry {
+                ready_at_entry += 1;
+            }
             if info.arrival > latest || bind.is_none() {
                 bind = Some((global, info));
             }
@@ -101,6 +113,9 @@ impl Communicator<'_> {
         if rec.enabled() && !reqs.is_empty() {
             let bytes: usize = payloads.iter().map(IoBuffer::len).sum();
             let (bind_src, bind_info) = bind.expect("nonempty batch has a binding message");
+            // Messages already landed when the wait began — the
+            // virtual-time mailbox backlog this rank walked into.
+            rec.counter("mailbox_depth", entry.as_micros(), ready_at_entry as f64);
             rec.span(
                 "p2p",
                 "waitall",

@@ -1,0 +1,997 @@
+//! Cross-run differential analysis: align two runs' critical paths,
+//! phase attributions, per-rank slack and resource loads, and rank the
+//! deltas into a root-cause table.
+//!
+//! The alignment never compares raw timestamps between runs (virtual
+//! times shift globally the moment anything changes). Instead each run
+//! is first reduced to a [`RunDigest`] keyed by *stable identities*:
+//!
+//! * critical-path time per **phase** (`io` / `sync` / `p2p` / …);
+//! * per-**rank** busy/sync/on-path/slack totals;
+//! * per-**collective** waits, keyed `(ctx, seq)` — the communicator
+//!   context and rendezvous generation, identical across runs of the
+//!   same program;
+//! * per-**round** phase charges, keyed `(call, round)` from the
+//!   two-phase `round/*` spans;
+//! * per-**OST** service totals, with each `ost/serve` span binned to
+//!   the requesting rank's enclosing exchange round.
+//!
+//! [`diff`] then subtracts digests key-by-key and emits one [`Finding`]
+//! per delta above a noise floor, scored by `|Δµs| ×` a kind weight
+//! (shrinks are further discounted — lost time can't cause a
+//! regression). The weights encode cause-over-symptom: when one OST
+//! slows down by Δ, every downstream aggregate — collective waits, rank
+//! busy totals, critical-path phase overlap — inflates by queue-and-wait
+//! amplification, often to *many times* Δ; and the critical path can
+//! reroute entirely, swinging its per-phase totals by amounts unrelated
+//! to the cause. So resource (OST) findings carry a decisive weight,
+//! round-localized charges (rerouting-robust: summed over all ranks)
+//! sit in the middle, and per-rank / path-phase aggregates are demoted
+//! to context.
+//!
+//! Digests serialize to JSON (`kind: "parcoll_run_digest"`) so a
+//! baseline digest can be committed next to `bench_results` rows and
+//! diffed against HEAD when the regression gate trips.
+
+use crate::analysis::{critical_path, rank_slack};
+use crate::export::collective_ops;
+use crate::json::Json;
+use crate::sink::{ArgValue, Event, Trace, TrackKey};
+use std::collections::BTreeMap;
+
+/// Per-rank totals carried by the digest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankDigest {
+    /// Global rank.
+    pub rank: usize,
+    /// Total µs inside any `phase` span.
+    pub busy_us: f64,
+    /// µs inside `sync` phase spans.
+    pub sync_us: f64,
+    /// µs of the critical path on this rank.
+    pub on_path_us: f64,
+}
+
+/// One collective's wait profile, keyed by `(ctx, seq)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveDigest {
+    /// Operation name.
+    pub op: String,
+    /// Communicator context id.
+    pub ctx: u64,
+    /// Per-communicator collective sequence number.
+    pub seq: u64,
+    /// Global rank whose late arrival set the meeting time.
+    pub straggler: usize,
+    /// Largest wait among participants, µs.
+    pub max_wait_us: f64,
+    /// Sum of every participant's wait, µs.
+    pub total_wait_us: f64,
+}
+
+/// One OST's service totals, with per-round attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OstDigest {
+    /// OST index.
+    pub ost: usize,
+    /// Total `ost/serve` span time, µs.
+    pub busy_us: f64,
+    /// Total `ost/queue` span time, µs.
+    pub queue_wait_us: f64,
+    /// Total bytes served.
+    pub bytes: f64,
+    /// Service time per exchange round, keyed `(call, round)` of the
+    /// requesting rank's enclosing round span (`(u64::MAX, u64::MAX)`
+    /// collects requests outside any round, e.g. independent I/O).
+    pub round_busy_us: BTreeMap<(u64, u64), f64>,
+}
+
+/// One exchange round's phase charges, summed over ranks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundDigest {
+    /// Collective-call index (how many `round == 0` starts preceded it
+    /// on each rank).
+    pub call: u64,
+    /// Round index within the call.
+    pub round: u64,
+    /// µs per phase inside the per-rank round windows, summed over
+    /// ranks.
+    pub phases_us: BTreeMap<String, f64>,
+}
+
+/// A run reduced to stable-keyed totals — everything [`diff`] needs,
+/// nothing tied to absolute virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunDigest {
+    /// Caller-chosen label (`"baseline"`, a commit id, …).
+    pub label: String,
+    /// Virtual wall, µs.
+    pub wall_us: f64,
+    /// Rank that finished last.
+    pub end_rank: usize,
+    /// Critical-path µs per phase.
+    pub path_phases_us: BTreeMap<String, f64>,
+    /// The straggler chain: `(rank, µs)` visits in path order.
+    pub chain: Vec<(usize, f64)>,
+    /// Per-rank totals, ascending rank.
+    pub ranks: Vec<RankDigest>,
+    /// Per-collective waits, ascending `(ctx, seq)`.
+    pub collectives: Vec<CollectiveDigest>,
+    /// Per-OST service, ascending OST.
+    pub osts: Vec<OstDigest>,
+    /// Per-round phase charges, ascending `(call, round)`.
+    pub rounds: Vec<RoundDigest>,
+}
+
+/// Round key for requests outside any exchange round.
+const NO_ROUND: (u64, u64) = (u64::MAX, u64::MAX);
+
+fn arg_u64(args: &[(&'static str, ArgValue)], key: &str) -> Option<u64> {
+    args.iter().find(|(k, _)| *k == key).and_then(|(_, v)| match v {
+        ArgValue::U64(v) => Some(*v),
+        _ => None,
+    })
+}
+
+/// Attribute `[a, b]` against sorted phase spans; uncovered time lands
+/// in `other` (same rules as the critical-path attribution).
+fn overlap_phases(phases: &[(f64, f64, String)], a: f64, b: f64, out: &mut BTreeMap<String, f64>) {
+    let mut covered = 0.0f64;
+    let first = phases.partition_point(|(_, end, _)| *end <= a);
+    for (start, end, name) in &phases[first..] {
+        if *start >= b {
+            break;
+        }
+        let overlap = end.min(b) - start.max(a);
+        if overlap > 0.0 {
+            *out.entry(name.clone()).or_insert(0.0) += overlap;
+            covered += overlap;
+        }
+    }
+    let other = (b - a) - covered;
+    if other > 0.0 {
+        *out.entry("other".to_string()).or_insert(0.0) += other;
+    }
+}
+
+/// Reduce a finished trace to its digest. `None` when the trace has no
+/// rank spans (disabled sink).
+pub fn digest(trace: &Trace, label: &str) -> Option<RunDigest> {
+    let path = critical_path(trace)?;
+    let slack = rank_slack(trace, &path);
+
+    // Per-rank round windows: (call, round, start, end) in time order.
+    let mut rank_rounds: BTreeMap<usize, Vec<(u64, u64, f64, f64)>> = BTreeMap::new();
+    let mut rounds: BTreeMap<(u64, u64), RoundDigest> = BTreeMap::new();
+    for track in trace.rank_tracks() {
+        let TrackKey::Rank(rank) = track.key else { continue };
+        let mut phases: Vec<(f64, f64, String)> = Vec::new();
+        let mut windows: Vec<(u64, u64, f64, f64)> = Vec::new();
+        let mut call = 0u64;
+        for event in &track.events {
+            let Event::Span {
+                cat,
+                name,
+                start_us,
+                dur_us,
+                args,
+            } = event
+            else {
+                continue;
+            };
+            match *cat {
+                "phase" => phases.push((*start_us, start_us + dur_us, name.to_string())),
+                "round" => {
+                    if let Some(round) = arg_u64(args, "round") {
+                        if round == 0 {
+                            call += 1;
+                        }
+                        windows.push((call.saturating_sub(1), round, *start_us, start_us + dur_us));
+                    }
+                }
+                _ => {}
+            }
+        }
+        phases.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        for (call, round, start, end) in &windows {
+            let entry = rounds.entry((*call, *round)).or_insert_with(|| RoundDigest {
+                call: *call,
+                round: *round,
+                phases_us: BTreeMap::new(),
+            });
+            overlap_phases(&phases, *start, *end, &mut entry.phases_us);
+        }
+        rank_rounds.insert(rank, windows);
+    }
+
+    let mut osts = Vec::new();
+    for track in trace.ost_tracks() {
+        let TrackKey::Ost(ost) = track.key else { continue };
+        let mut d = OstDigest {
+            ost,
+            busy_us: 0.0,
+            queue_wait_us: 0.0,
+            bytes: 0.0,
+            round_busy_us: BTreeMap::new(),
+        };
+        for event in &track.events {
+            let Event::Span {
+                cat: "ost",
+                name,
+                start_us,
+                dur_us,
+                args,
+            } = event
+            else {
+                continue;
+            };
+            if name == "queue" {
+                d.queue_wait_us += dur_us;
+                continue;
+            }
+            if name != "serve" {
+                continue;
+            }
+            d.busy_us += dur_us;
+            d.bytes += arg_u64(args, "bytes").unwrap_or(0) as f64;
+            // Bin the request to the requester's enclosing round: the
+            // last round window starting at or before the service start
+            // (drain-time service still belongs to the round that
+            // issued it).
+            let round_key = arg_u64(args, "rank")
+                .and_then(|r| rank_rounds.get(&(r as usize)))
+                .and_then(|windows| {
+                    let i = windows.partition_point(|(_, _, start, _)| *start <= *start_us);
+                    i.checked_sub(1).map(|i| (windows[i].0, windows[i].1))
+                })
+                .unwrap_or(NO_ROUND);
+            *d.round_busy_us.entry(round_key).or_insert(0.0) += dur_us;
+        }
+        osts.push(d);
+    }
+
+    Some(RunDigest {
+        label: label.to_string(),
+        wall_us: path.wall_us,
+        end_rank: path.end_rank,
+        path_phases_us: path.breakdown(),
+        chain: path.straggler_chain(),
+        ranks: slack
+            .iter()
+            .map(|s| RankDigest {
+                rank: s.rank,
+                busy_us: s.busy_us,
+                sync_us: s.sync_us,
+                on_path_us: s.on_path_us,
+            })
+            .collect(),
+        collectives: collective_ops(trace)
+            .iter()
+            .map(|op| CollectiveDigest {
+                op: op.op.clone(),
+                ctx: op.ctx,
+                seq: op.seq,
+                straggler: op.straggler,
+                max_wait_us: op.max_wait_us,
+                total_wait_us: op.total_wait_us,
+            })
+            .collect(),
+        osts,
+        rounds: rounds.into_values().collect(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Digest JSON round trip
+// ---------------------------------------------------------------------
+
+fn round_key_str(key: (u64, u64)) -> String {
+    if key == NO_ROUND {
+        "-".to_string()
+    } else {
+        format!("{}/{}", key.0, key.1)
+    }
+}
+
+fn round_key_parse(s: &str) -> Option<(u64, u64)> {
+    if s == "-" {
+        return Some(NO_ROUND);
+    }
+    let (c, r) = s.split_once('/')?;
+    Some((c.parse().ok()?, r.parse().ok()?))
+}
+
+fn f64_map_json(m: &BTreeMap<String, f64>) -> Json {
+    Json::Obj(m.iter().map(|(k, v)| (k.clone(), Json::Num(*v))).collect())
+}
+
+fn f64_map_parse(doc: &Json) -> Option<BTreeMap<String, f64>> {
+    doc.as_obj()?
+        .iter()
+        .map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+        .collect()
+}
+
+/// Serialize a digest (`kind: "parcoll_run_digest"`). Byte-reproducible
+/// for identical runs.
+pub fn digest_json(d: &RunDigest) -> String {
+    Json::Obj(vec![
+        ("kind".into(), Json::Str("parcoll_run_digest".into())),
+        ("label".into(), Json::Str(d.label.clone())),
+        ("wall_us".into(), Json::Num(d.wall_us)),
+        ("end_rank".into(), Json::U64(d.end_rank as u64)),
+        ("path_phases_us".into(), f64_map_json(&d.path_phases_us)),
+        (
+            "chain".into(),
+            Json::Arr(
+                d.chain
+                    .iter()
+                    .map(|(rank, us)| {
+                        Json::Arr(vec![Json::U64(*rank as u64), Json::Num(*us)])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "ranks".into(),
+            Json::Arr(
+                d.ranks
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("rank".into(), Json::U64(r.rank as u64)),
+                            ("busy_us".into(), Json::Num(r.busy_us)),
+                            ("sync_us".into(), Json::Num(r.sync_us)),
+                            ("on_path_us".into(), Json::Num(r.on_path_us)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "collectives".into(),
+            Json::Arr(
+                d.collectives
+                    .iter()
+                    .map(|c| {
+                        Json::Obj(vec![
+                            ("op".into(), Json::Str(c.op.clone())),
+                            ("ctx".into(), Json::U64(c.ctx)),
+                            ("seq".into(), Json::U64(c.seq)),
+                            ("straggler".into(), Json::U64(c.straggler as u64)),
+                            ("max_wait_us".into(), Json::Num(c.max_wait_us)),
+                            ("total_wait_us".into(), Json::Num(c.total_wait_us)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "osts".into(),
+            Json::Arr(
+                d.osts
+                    .iter()
+                    .map(|o| {
+                        Json::Obj(vec![
+                            ("ost".into(), Json::U64(o.ost as u64)),
+                            ("busy_us".into(), Json::Num(o.busy_us)),
+                            ("queue_wait_us".into(), Json::Num(o.queue_wait_us)),
+                            ("bytes".into(), Json::Num(o.bytes)),
+                            (
+                                "round_busy_us".into(),
+                                Json::Obj(
+                                    o.round_busy_us
+                                        .iter()
+                                        .map(|(k, v)| (round_key_str(*k), Json::Num(*v)))
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "rounds".into(),
+            Json::Arr(
+                d.rounds
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("call".into(), Json::U64(r.call)),
+                            ("round".into(), Json::U64(r.round)),
+                            ("phases_us".into(), f64_map_json(&r.phases_us)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .pretty()
+}
+
+/// Parse a digest document back (inverse of [`digest_json`]).
+pub fn digest_from_json(text: &str) -> Option<RunDigest> {
+    let doc = Json::parse(text).ok()?;
+    if doc.get("kind")?.as_str()? != "parcoll_run_digest" {
+        return None;
+    }
+    Some(RunDigest {
+        label: doc.get("label")?.as_str()?.to_string(),
+        wall_us: doc.get("wall_us")?.as_f64()?,
+        end_rank: doc.get("end_rank")?.as_u64()? as usize,
+        path_phases_us: f64_map_parse(doc.get("path_phases_us")?)?,
+        chain: doc
+            .get("chain")?
+            .as_array()?
+            .iter()
+            .map(|pair| {
+                let items = pair.as_array()?;
+                Some((items.first()?.as_u64()? as usize, items.get(1)?.as_f64()?))
+            })
+            .collect::<Option<Vec<_>>>()?,
+        ranks: doc
+            .get("ranks")?
+            .as_array()?
+            .iter()
+            .map(|r| {
+                Some(RankDigest {
+                    rank: r.get("rank")?.as_u64()? as usize,
+                    busy_us: r.get("busy_us")?.as_f64()?,
+                    sync_us: r.get("sync_us")?.as_f64()?,
+                    on_path_us: r.get("on_path_us")?.as_f64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        collectives: doc
+            .get("collectives")?
+            .as_array()?
+            .iter()
+            .map(|c| {
+                Some(CollectiveDigest {
+                    op: c.get("op")?.as_str()?.to_string(),
+                    ctx: c.get("ctx")?.as_u64()?,
+                    seq: c.get("seq")?.as_u64()?,
+                    straggler: c.get("straggler")?.as_u64()? as usize,
+                    max_wait_us: c.get("max_wait_us")?.as_f64()?,
+                    total_wait_us: c.get("total_wait_us")?.as_f64()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        osts: doc
+            .get("osts")?
+            .as_array()?
+            .iter()
+            .map(|o| {
+                Some(OstDigest {
+                    ost: o.get("ost")?.as_u64()? as usize,
+                    busy_us: o.get("busy_us")?.as_f64()?,
+                    queue_wait_us: o.get("queue_wait_us")?.as_f64()?,
+                    bytes: o.get("bytes")?.as_f64()?,
+                    round_busy_us: o
+                        .get("round_busy_us")?
+                        .as_obj()?
+                        .iter()
+                        .map(|(k, v)| Some((round_key_parse(k)?, v.as_f64()?)))
+                        .collect::<Option<BTreeMap<_, _>>>()?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+        rounds: doc
+            .get("rounds")?
+            .as_array()?
+            .iter()
+            .map(|r| {
+                Some(RoundDigest {
+                    call: r.get("call")?.as_u64()?,
+                    round: r.get("round")?.as_u64()?,
+                    phases_us: f64_map_parse(r.get("phases_us")?)?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The diff
+// ---------------------------------------------------------------------
+
+/// One ranked delta between two digests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    /// What kind of key moved: `"ost"`, `"round"`, `"collective"`,
+    /// `"phase"` or `"rank"`.
+    pub kind: &'static str,
+    /// The moved key, human-readable (`"ost 6"`, `"call 0 round 3"`).
+    pub subject: String,
+    /// Phase name the delta is charged to (`"io"` for OST service).
+    pub phase: String,
+    /// Inclusive round range `(lo, hi)` localizing the delta, when the
+    /// per-round attribution supports one.
+    pub rounds: Option<(u64, u64)>,
+    /// Baseline value, µs.
+    pub base_us: f64,
+    /// HEAD value, µs.
+    pub head_us: f64,
+    /// Ranking score: `|Δ| ×` the kind weight.
+    pub score: f64,
+    /// The rendered one-line explanation.
+    pub text: String,
+}
+
+/// The ranked root-cause table for one baseline→HEAD comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Baseline digest label.
+    pub base_label: String,
+    /// HEAD digest label.
+    pub head_label: String,
+    /// Baseline wall, µs.
+    pub wall_base_us: f64,
+    /// HEAD wall, µs.
+    pub wall_head_us: f64,
+    /// Critical-path phase totals `(base, head)` µs, by phase.
+    pub path_phases: BTreeMap<String, (f64, f64)>,
+    /// Findings, highest score first (capped at 24).
+    pub findings: Vec<Finding>,
+}
+
+/// Kind weight: resource findings are root causes. Deliberately
+/// decisive: a grown OST service time is a *physical* cause, while
+/// every downstream aggregate (rank busy, collective waits, path
+/// phases) inflates by queue-and-wait amplification — often to many
+/// times the causal delta — so causes need a large prior to outrank
+/// their own echoes.
+const W_OST: f64 = 8.0;
+/// Kind weight: round-localized phase deltas (summed over all ranks'
+/// round windows, so robust to critical-path rerouting).
+const W_ROUND: f64 = 1.0;
+/// Kind weight: collective waits (often symptoms of a resource delta).
+const W_COLLECTIVE: f64 = 1.0;
+/// Kind weight: per-rank busy totals (always downstream of the cause).
+const W_RANK: f64 = 0.25;
+/// Kind weight: critical-path phase totals. The path is a max over
+/// chains, so a small perturbation can reroute it entirely and swing
+/// the per-phase overlap by far more than the causal delta — these
+/// findings contextualize, they rarely explain.
+const W_PHASE: f64 = 0.25;
+/// Score discount for shrinks: time that *shrank* cannot be the cause
+/// of a regression, but is kept (demoted) because a big shift from one
+/// phase into another is worth seeing.
+const SHRINK_DISCOUNT: f64 = 0.5;
+
+/// Findings kept in a report.
+const MAX_FINDINGS: usize = 24;
+
+fn pct(base: f64, head: f64) -> String {
+    if base.abs() > 1e-12 {
+        format!("{:+.1}%", (head - base) / base * 100.0)
+    } else if head > 0.0 {
+        "new".to_string()
+    } else {
+        "gone".to_string()
+    }
+}
+
+fn grew(base: f64, head: f64) -> &'static str {
+    if head >= base {
+        "grew"
+    } else {
+        "shrank"
+    }
+}
+
+/// The round range explaining an OST delta: rounds whose per-round
+/// delta has the same sign as the total and at least a quarter of the
+/// largest per-round magnitude.
+fn round_range(
+    base: &BTreeMap<(u64, u64), f64>,
+    head: &BTreeMap<(u64, u64), f64>,
+    total_delta: f64,
+) -> Option<(u64, u64)> {
+    let mut deltas: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    for (k, v) in head {
+        *deltas.entry(*k).or_insert(0.0) += v;
+    }
+    for (k, v) in base {
+        *deltas.entry(*k).or_insert(0.0) -= v;
+    }
+    deltas.remove(&NO_ROUND);
+    let peak = deltas
+        .values()
+        .map(|d| if d * total_delta > 0.0 { d.abs() } else { 0.0 })
+        .fold(0.0, f64::max);
+    if peak <= 0.0 {
+        return None;
+    }
+    let mut lo = u64::MAX;
+    let mut hi = 0u64;
+    for ((_, round), d) in &deltas {
+        if d * total_delta > 0.0 && d.abs() >= 0.25 * peak {
+            lo = lo.min(*round);
+            hi = hi.max(*round);
+        }
+    }
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// Compare two digests and rank the deltas. Deterministic: identical
+/// inputs produce an identical report.
+pub fn diff(base: &RunDigest, head: &RunDigest) -> DiffReport {
+    let wall = base.wall_us.max(head.wall_us);
+    let floor = (1e-4 * wall).max(1.0);
+    let mut findings: Vec<Finding> = Vec::new();
+    let push = |kind: &'static str,
+                    weight: f64,
+                    subject: String,
+                    phase: String,
+                    rounds: Option<(u64, u64)>,
+                    base_us: f64,
+                    head_us: f64,
+                    findings: &mut Vec<Finding>| {
+        let delta = head_us - base_us;
+        if delta.abs() < floor {
+            return;
+        }
+        let where_part = match rounds {
+            Some((lo, hi)) if lo == hi => format!(" in round {lo}"),
+            Some((lo, hi)) => format!(" in rounds {lo}-{hi}"),
+            None => String::new(),
+        };
+        let text = format!(
+            "{phase} {} {} on {subject}{where_part} ({:+.1} us; {:.1} -> {:.1})",
+            grew(base_us, head_us),
+            pct(base_us, head_us),
+            delta,
+            base_us,
+            head_us,
+        );
+        let mut score = delta.abs() * weight;
+        if delta < 0.0 {
+            score *= SHRINK_DISCOUNT;
+        }
+        findings.push(Finding {
+            kind,
+            subject,
+            phase,
+            rounds,
+            base_us,
+            head_us,
+            score,
+            text,
+        });
+    };
+
+    // Critical-path phases (always reported in the header; findings only
+    // past the floor).
+    let mut path_phases: BTreeMap<String, (f64, f64)> = BTreeMap::new();
+    for (name, us) in &base.path_phases_us {
+        path_phases.entry(name.clone()).or_insert((0.0, 0.0)).0 = *us;
+    }
+    for (name, us) in &head.path_phases_us {
+        path_phases.entry(name.clone()).or_insert((0.0, 0.0)).1 = *us;
+    }
+    for (name, (b, h)) in &path_phases {
+        push(
+            "phase",
+            W_PHASE,
+            "critical path".to_string(),
+            name.clone(),
+            None,
+            *b,
+            *h,
+            &mut findings,
+        );
+    }
+
+    // OSTs, joined on index.
+    let base_osts: BTreeMap<usize, &OstDigest> = base.osts.iter().map(|o| (o.ost, o)).collect();
+    let head_osts: BTreeMap<usize, &OstDigest> = head.osts.iter().map(|o| (o.ost, o)).collect();
+    let empty_rounds = BTreeMap::new();
+    let all_osts: std::collections::BTreeSet<usize> =
+        base_osts.keys().chain(head_osts.keys()).copied().collect();
+    for ost in all_osts {
+        let b = base_osts.get(&ost);
+        let h = head_osts.get(&ost);
+        let b_busy = b.map_or(0.0, |o| o.busy_us);
+        let h_busy = h.map_or(0.0, |o| o.busy_us);
+        let rounds = round_range(
+            b.map_or(&empty_rounds, |o| &o.round_busy_us),
+            h.map_or(&empty_rounds, |o| &o.round_busy_us),
+            h_busy - b_busy,
+        );
+        push(
+            "ost",
+            W_OST,
+            format!("ost {ost}"),
+            "io".to_string(),
+            rounds,
+            b_busy,
+            h_busy,
+            &mut findings,
+        );
+    }
+
+    // Rounds, joined on (call, round).
+    let base_rounds: BTreeMap<(u64, u64), &RoundDigest> =
+        base.rounds.iter().map(|r| ((r.call, r.round), r)).collect();
+    let head_rounds: BTreeMap<(u64, u64), &RoundDigest> =
+        head.rounds.iter().map(|r| ((r.call, r.round), r)).collect();
+    let all_rounds: std::collections::BTreeSet<(u64, u64)> =
+        base_rounds.keys().chain(head_rounds.keys()).copied().collect();
+    for key in all_rounds {
+        let mut phases: std::collections::BTreeSet<&String> = std::collections::BTreeSet::new();
+        if let Some(r) = base_rounds.get(&key) {
+            phases.extend(r.phases_us.keys());
+        }
+        if let Some(r) = head_rounds.get(&key) {
+            phases.extend(r.phases_us.keys());
+        }
+        for phase in phases {
+            let b = base_rounds
+                .get(&key)
+                .and_then(|r| r.phases_us.get(phase))
+                .copied()
+                .unwrap_or(0.0);
+            let h = head_rounds
+                .get(&key)
+                .and_then(|r| r.phases_us.get(phase))
+                .copied()
+                .unwrap_or(0.0);
+            push(
+                "round",
+                W_ROUND,
+                format!("call {} round {}", key.0, key.1),
+                phase.clone(),
+                Some((key.1, key.1)),
+                b,
+                h,
+                &mut findings,
+            );
+        }
+    }
+
+    // Collectives, joined on (ctx, seq).
+    let base_colls: BTreeMap<(u64, u64), &CollectiveDigest> =
+        base.collectives.iter().map(|c| ((c.ctx, c.seq), c)).collect();
+    for c in &head.collectives {
+        let Some(b) = base_colls.get(&(c.ctx, c.seq)) else {
+            continue;
+        };
+        push(
+            "collective",
+            W_COLLECTIVE,
+            format!("{} ctx={} seq={}", c.op, c.ctx, c.seq),
+            "sync".to_string(),
+            None,
+            b.max_wait_us,
+            c.max_wait_us,
+            &mut findings,
+        );
+    }
+
+    // Ranks, joined on rank id.
+    let base_ranks: BTreeMap<usize, &RankDigest> = base.ranks.iter().map(|r| (r.rank, r)).collect();
+    for r in &head.ranks {
+        let Some(b) = base_ranks.get(&r.rank) else {
+            continue;
+        };
+        push(
+            "rank",
+            W_RANK,
+            format!("rank {}", r.rank),
+            "busy".to_string(),
+            None,
+            b.busy_us,
+            r.busy_us,
+            &mut findings,
+        );
+    }
+
+    findings.sort_by(|a, b| {
+        b.score
+            .total_cmp(&a.score)
+            .then(a.kind.cmp(b.kind))
+            .then(a.subject.cmp(&b.subject))
+            .then(a.phase.cmp(&b.phase))
+    });
+    findings.truncate(MAX_FINDINGS);
+
+    DiffReport {
+        base_label: base.label.clone(),
+        head_label: head.label.clone(),
+        wall_base_us: base.wall_us,
+        wall_head_us: head.wall_us,
+        path_phases,
+        findings,
+    }
+}
+
+impl DiffReport {
+    /// The human-readable form of the report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "== simtrace diff: {} -> {} ==\n",
+            self.base_label, self.head_label
+        ));
+        out.push_str(&format!(
+            "wall: {:.1} -> {:.1} us ({})\n",
+            self.wall_base_us,
+            self.wall_head_us,
+            pct(self.wall_base_us, self.wall_head_us)
+        ));
+        out.push_str("critical-path phases (us):\n");
+        for (name, (b, h)) in &self.path_phases {
+            out.push_str(&format!(
+                "  {name:<10} {b:>12.1} -> {h:>12.1}  ({})\n",
+                pct(*b, *h)
+            ));
+        }
+        if self.findings.is_empty() {
+            out.push_str("no findings above the noise floor\n");
+        } else {
+            out.push_str("ranked findings:\n");
+            for (i, f) in self.findings.iter().enumerate() {
+                out.push_str(&format!("  {:>2}. [{}] {}\n", i + 1, f.kind, f.text));
+            }
+        }
+        out
+    }
+
+    /// The machine-readable form (`kind: "simtrace_diff"`).
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("simtrace_diff".into())),
+            ("base".into(), Json::Str(self.base_label.clone())),
+            ("head".into(), Json::Str(self.head_label.clone())),
+            ("wall_base_us".into(), Json::Num(self.wall_base_us)),
+            ("wall_head_us".into(), Json::Num(self.wall_head_us)),
+            (
+                "path_phases_us".into(),
+                Json::Obj(
+                    self.path_phases
+                        .iter()
+                        .map(|(name, (b, h))| {
+                            (
+                                name.clone(),
+                                Json::Obj(vec![
+                                    ("base".into(), Json::Num(*b)),
+                                    ("head".into(), Json::Num(*h)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "findings".into(),
+                Json::Arr(
+                    self.findings
+                        .iter()
+                        .map(|f| {
+                            let mut members = vec![
+                                ("kind".into(), Json::Str(f.kind.to_string())),
+                                ("subject".into(), Json::Str(f.subject.clone())),
+                                ("phase".into(), Json::Str(f.phase.clone())),
+                            ];
+                            if let Some((lo, hi)) = f.rounds {
+                                members.push((
+                                    "rounds".into(),
+                                    Json::Arr(vec![Json::U64(lo), Json::U64(hi)]),
+                                ));
+                            }
+                            members.extend([
+                                ("base_us".into(), Json::Num(f.base_us)),
+                                ("head_us".into(), Json::Num(f.head_us)),
+                                ("score".into(), Json::Num(f.score)),
+                                ("text".into(), Json::Str(f.text.clone())),
+                            ]);
+                            Json::Obj(members)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .pretty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::TraceSink;
+
+    /// Two ranks, two exchange rounds per call, one OST serving each
+    /// round. `slow_ost_us` inflates OST 1's second-round service and
+    /// the requester's io phase by that much.
+    fn run(slow_ost_us: f64) -> RunDigest {
+        let sink = TraceSink::enabled();
+        let r0 = sink.recorder(TrackKey::Rank(0));
+        let r1 = sink.recorder(TrackKey::Rank(1));
+        let rdv = |straggler: u64| {
+            vec![
+                ("ctx", 0u64.into()),
+                ("seq", 1u64.into()),
+                ("n", 2u64.into()),
+                ("straggler", straggler.into()),
+            ]
+        };
+        let e = 100.0 + slow_ost_us;
+        for rec in [&r0, &r1] {
+            rec.span("round", "write_round", 0.0, 50.0, vec![
+                ("round", 0u64.into()),
+                ("of", 2u64.into()),
+            ]);
+            rec.span("phase", "io", 0.0, 50.0, vec![]);
+            rec.span("round", "write_round", 50.0, e, vec![
+                ("round", 1u64.into()),
+                ("of", 2u64.into()),
+            ]);
+            rec.span("phase", "io", 50.0, e, vec![]);
+        }
+        r0.span("rdv", "barrier", e, e + 10.0, rdv(1));
+        r0.span("phase", "sync", e, e + 10.0, vec![]);
+        r1.span("rdv", "barrier", e + 10.0, e + 10.0, rdv(1));
+        let ost = sink.recorder(TrackKey::Ost(1));
+        ost.span("ost", "serve", 0.0, 40.0, vec![
+            ("bytes", 4000u64.into()),
+            ("rank", 0u64.into()),
+        ]);
+        ost.span("ost", "serve", 55.0, 95.0 + slow_ost_us, vec![
+            ("bytes", 4000u64.into()),
+            ("rank", 1u64.into()),
+        ]);
+        digest(&sink.finish(), if slow_ost_us > 0.0 { "head" } else { "base" }).unwrap()
+    }
+
+    #[test]
+    fn digest_captures_rounds_and_osts() {
+        let d = run(0.0);
+        assert_eq!(d.wall_us, 110.0);
+        assert_eq!(d.rounds.len(), 2);
+        assert_eq!(d.rounds[0].phases_us["io"], 100.0); // both ranks
+        assert_eq!(d.osts.len(), 1);
+        assert_eq!(d.osts[0].busy_us, 80.0);
+        // Round binning: first serve in round 0, second in round 1.
+        assert_eq!(d.osts[0].round_busy_us[&(0, 0)], 40.0);
+        assert_eq!(d.osts[0].round_busy_us[&(0, 1)], 40.0);
+        assert_eq!(d.collectives.len(), 1);
+    }
+
+    #[test]
+    fn digest_round_trips_through_json() {
+        let d = run(25.0);
+        let text = digest_json(&d);
+        let back = digest_from_json(&text).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(digest_json(&back), text);
+    }
+
+    #[test]
+    fn diff_ranks_the_slow_ost_first_with_the_right_round() {
+        let base = run(0.0);
+        let head = run(25.0);
+        let report = diff(&base, &head);
+        assert!(!report.findings.is_empty());
+        let top = &report.findings[0];
+        assert_eq!(top.kind, "ost", "top finding: {}", top.text);
+        assert_eq!(top.phase, "io");
+        assert_eq!(top.subject, "ost 1");
+        assert_eq!(top.rounds, Some((1, 1)), "round localization: {}", top.text);
+        assert!(top.text.contains("io grew"), "{}", top.text);
+        assert!(top.text.contains("ost 1"), "{}", top.text);
+        assert!(top.text.contains("round 1"), "{}", top.text);
+        // The report is reproducible.
+        assert_eq!(report, diff(&base, &head));
+        assert_eq!(report.to_json(), diff(&base, &head).to_json());
+    }
+
+    #[test]
+    fn identical_digests_produce_no_findings() {
+        let d = run(0.0);
+        let report = diff(&d, &d);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert!(report.render_text().contains("no findings"));
+    }
+}

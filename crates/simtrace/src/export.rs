@@ -9,11 +9,17 @@ use std::collections::BTreeMap;
 /// plausible node id so the storage lane groups separately from compute.
 const STORAGE_PID: u64 = 1_000_000;
 
-fn track_ids(track: &TrackData) -> (u64, u64) {
-    match track.key {
-        TrackKey::Rank(r) => (track.node.unwrap_or(0) as u64, r as u64),
+/// Perfetto (pid, tid) for a track identity (shared with the streamed
+/// exporter, which has no `TrackData` in memory).
+pub(crate) fn track_ids_for(key: TrackKey, node: Option<usize>) -> (u64, u64) {
+    match key {
+        TrackKey::Rank(r) => (node.unwrap_or(0) as u64, r as u64),
         TrackKey::Ost(o) => (STORAGE_PID, o as u64),
     }
+}
+
+fn track_ids(track: &TrackData) -> (u64, u64) {
+    track_ids_for(track.key, track.node)
 }
 
 fn args_json(args: &[(&'static str, ArgValue)]) -> Json {
@@ -31,25 +37,25 @@ fn args_json(args: &[(&'static str, ArgValue)]) -> Json {
     )
 }
 
-/// Render a merged trace as Chrome trace-event JSON (the format Perfetto
-/// and `chrome://tracing` load): rank → "thread", node → "process",
-/// virtual microseconds → `ts`.
-pub fn chrome_trace_json(trace: &Trace) -> String {
-    let mut events: Vec<Json> = Vec::new();
+/// The Perfetto metadata events for a set of tracks: `process_name`
+/// records in pid order, then one `thread_name` record per track in
+/// track order. Shared by the in-memory and streamed exporters so both
+/// emit identical bytes.
+pub(crate) fn meta_events_json(tracks: &[(TrackKey, Option<usize>)]) -> Vec<Json> {
+    let mut thread_metas: Vec<Json> = Vec::new();
     let mut named_processes: BTreeMap<u64, String> = BTreeMap::new();
-
-    for track in &trace.tracks {
-        let (pid, tid) = track_ids(track);
-        let process_name = match track.key {
-            TrackKey::Rank(_) => format!("node{}", track.node.unwrap_or(0)),
+    for (key, node) in tracks {
+        let (pid, tid) = track_ids_for(*key, *node);
+        let process_name = match key {
+            TrackKey::Rank(_) => format!("node{}", node.unwrap_or(0)),
             TrackKey::Ost(_) => "storage".to_string(),
         };
         named_processes.entry(pid).or_insert(process_name);
-        let thread_name = match track.key {
+        let thread_name = match key {
             TrackKey::Rank(r) => format!("rank {r}"),
             TrackKey::Ost(o) => format!("ost {o}"),
         };
-        events.push(Json::Obj(vec![
+        thread_metas.push(Json::Obj(vec![
             ("ph".into(), Json::Str("M".into())),
             ("name".into(), Json::Str("thread_name".into())),
             ("pid".into(), Json::U64(pid)),
@@ -60,7 +66,6 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
             ),
         ]));
     }
-
     let mut meta: Vec<Json> = named_processes
         .iter()
         .map(|(pid, name)| {
@@ -76,55 +81,67 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
             ])
         })
         .collect();
-    meta.append(&mut events);
-    let mut events = meta;
+    meta.append(&mut thread_metas);
+    meta
+}
 
+/// One event's Chrome trace-event object (shared with the streamed
+/// exporter).
+pub(crate) fn event_json(event: &Event, pid: u64, tid: u64) -> Json {
+    match event {
+        Event::Span {
+            cat,
+            name,
+            start_us,
+            dur_us,
+            args,
+        } => Json::Obj(vec![
+            ("name".into(), Json::Str(name.to_string())),
+            ("cat".into(), Json::Str((*cat).to_string())),
+            ("ph".into(), Json::Str("X".into())),
+            ("ts".into(), Json::Num(*start_us)),
+            ("dur".into(), Json::Num(*dur_us)),
+            ("pid".into(), Json::U64(pid)),
+            ("tid".into(), Json::U64(tid)),
+            ("args".into(), args_json(args)),
+        ]),
+        Event::Instant { cat, name, ts_us, args } => Json::Obj(vec![
+            ("name".into(), Json::Str(name.to_string())),
+            ("cat".into(), Json::Str((*cat).to_string())),
+            ("ph".into(), Json::Str("i".into())),
+            ("s".into(), Json::Str("t".into())),
+            ("ts".into(), Json::Num(*ts_us)),
+            ("pid".into(), Json::U64(pid)),
+            ("tid".into(), Json::U64(tid)),
+            ("args".into(), args_json(args)),
+        ]),
+        Event::Counter { name, ts_us, value } => Json::Obj(vec![
+            ("name".into(), Json::Str((*name).to_string())),
+            ("ph".into(), Json::Str("C".into())),
+            ("ts".into(), Json::Num(*ts_us)),
+            ("pid".into(), Json::U64(pid)),
+            ("tid".into(), Json::U64(tid)),
+            (
+                "args".into(),
+                Json::Obj(vec![("value".into(), Json::Num(*value))]),
+            ),
+        ]),
+    }
+}
+
+/// Render a merged trace as Chrome trace-event JSON (the format Perfetto
+/// and `chrome://tracing` load): rank → "thread", node → "process",
+/// virtual microseconds → `ts`.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let identities: Vec<(TrackKey, Option<usize>)> =
+        trace.tracks.iter().map(|t| (t.key, t.node)).collect();
+    let mut events = meta_events_json(&identities);
     for track in &trace.tracks {
         let (pid, tid) = track_ids(track);
         for event in &track.events {
-            let json = match event {
-                Event::Span {
-                    cat,
-                    name,
-                    start_us,
-                    dur_us,
-                    args,
-                } => Json::Obj(vec![
-                    ("name".into(), Json::Str(name.to_string())),
-                    ("cat".into(), Json::Str((*cat).to_string())),
-                    ("ph".into(), Json::Str("X".into())),
-                    ("ts".into(), Json::Num(*start_us)),
-                    ("dur".into(), Json::Num(*dur_us)),
-                    ("pid".into(), Json::U64(pid)),
-                    ("tid".into(), Json::U64(tid)),
-                    ("args".into(), args_json(args)),
-                ]),
-                Event::Instant { cat, name, ts_us, args } => Json::Obj(vec![
-                    ("name".into(), Json::Str(name.to_string())),
-                    ("cat".into(), Json::Str((*cat).to_string())),
-                    ("ph".into(), Json::Str("i".into())),
-                    ("s".into(), Json::Str("t".into())),
-                    ("ts".into(), Json::Num(*ts_us)),
-                    ("pid".into(), Json::U64(pid)),
-                    ("tid".into(), Json::U64(tid)),
-                    ("args".into(), args_json(args)),
-                ]),
-                Event::Counter { name, ts_us, value } => Json::Obj(vec![
-                    ("name".into(), Json::Str((*name).to_string())),
-                    ("ph".into(), Json::Str("C".into())),
-                    ("ts".into(), Json::Num(*ts_us)),
-                    ("pid".into(), Json::U64(pid)),
-                    ("tid".into(), Json::U64(tid)),
-                    (
-                        "args".into(),
-                        Json::Obj(vec![("value".into(), Json::Num(*value))]),
-                    ),
-                ]),
-            };
-            events.push(json);
+            events.push(event_json(event, pid, tid));
         }
     }
-
     Json::Obj(vec![
         ("displayTimeUnit".into(), Json::Str("ms".into())),
         ("traceEvents".into(), Json::Arr(events)),

@@ -27,6 +27,19 @@
 //! are Chrome/Perfetto trace-event JSON ([`chrome_trace_json`]) and a
 //! machine-readable metrics document ([`metrics_json`]).
 //!
+//! Three post-processing layers build on the trace:
+//!
+//! * [`diff`] — cross-run critical-path diffing: [`digest`] reduces a
+//!   run to stably-keyed aggregates, [`diff::diff`] aligns two digests
+//!   and emits a ranked root-cause table ("io grew 11.8% on ost 6 in
+//!   rounds 3–5").
+//! * [`series`] — interval'd time-series (per-OST bandwidth/queue,
+//!   per-rank phase occupancy, counter maxima) folded in O(intervals)
+//!   memory.
+//! * [`stream`] — the storage behind [`TraceSink::streaming`]: raw
+//!   spans spill to disk in chunks and every exporter re-reads one
+//!   track at a time, bounding trace memory for paper-scale runs.
+//!
 //! # Example: setting up a sink and exporting a trace
 //!
 //! In real use the enabled sink is threaded through the stack — set
@@ -57,7 +70,10 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod diff;
 pub mod json;
+pub mod series;
+pub mod stream;
 
 mod export;
 mod sink;
@@ -66,5 +82,8 @@ pub use analysis::{
     critical_path, rank_slack, sync_share, what_if, what_if_rank_bound_us, CriticalPath,
     PathEdge, PathSegment, RankSlack, WhatIf,
 };
+pub use diff::{digest, digest_from_json, digest_json, DiffReport, Finding, RunDigest};
 pub use export::{chrome_trace_json, collective_ops, metrics_json, CollectiveOp};
+pub use series::{series_from_trace, series_json, SeriesConfig, TimeSeries, TrackSeries};
 pub use sink::{ArgValue, Event, Hist, Recorder, Trace, TraceSink, TrackData, TrackKey};
+pub use stream::{StreamStats, StreamTrackMeta, StreamedTrace};

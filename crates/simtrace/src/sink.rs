@@ -15,9 +15,20 @@
 //! The sink is **disabled by default** and every recording method returns
 //! immediately after one branch in that state, so instrumented release
 //! builds measure the same virtual and host times as uninstrumented ones.
+//!
+//! A third mode, [`TraceSink::streaming`], bounds memory for paper-scale
+//! runs: each track spills its event buffer to a JSONL chunk file on
+//! disk whenever it exceeds a configured length, so at most
+//! `tracks × chunk_events` events are ever resident. Metrics (counters,
+//! histograms) stay in memory — they are O(names), not O(events). See
+//! [`crate::stream`] for the spill format and the streamed exporters.
 
+use crate::stream::{self, StreamStats, StreamTrackMeta, StreamedTrace};
 use std::borrow::Cow;
 use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// Identifies one timeline in the trace. `Rank` tracks order before `Ost`
@@ -117,6 +128,18 @@ pub enum Event {
         /// Sampled value.
         value: f64,
     },
+}
+
+/// The deterministic content order for OST-track events: OSTs are
+/// served by many rank threads, so append order reflects host
+/// scheduling; sorting by `(ts, dur/value, name, args)` erases it.
+pub(crate) fn ost_event_cmp(a: &Event, b: &Event) -> std::cmp::Ordering {
+    let (at, ad, an, ah) = a.sort_key();
+    let (bt, bd, bn, bh) = b.sort_key();
+    at.total_cmp(&bt)
+        .then(ad.total_cmp(&bd))
+        .then(an.cmp(bn))
+        .then(ah.cmp(&bh))
 }
 
 impl Event {
@@ -220,11 +243,80 @@ struct TrackBuf {
     events: Vec<Event>,
     counters: BTreeMap<&'static str, u64>,
     hists: BTreeMap<&'static str, Hist>,
+    /// Open spill file (streaming mode only, created on first spill).
+    spill: Option<std::io::BufWriter<std::fs::File>>,
+    /// Events already spilled from this track.
+    spilled: u64,
+}
+
+/// Streaming-mode state shared by all tracks.
+#[derive(Debug)]
+struct StreamState {
+    dir: PathBuf,
+    chunk_events: usize,
+    total_events: AtomicU64,
+    buffered: AtomicU64,
+    peak_buffered: AtomicU64,
+    /// Latest event end seen, as non-negative f64 bits (bit order ==
+    /// numeric order for non-negative floats).
+    wall_bits: AtomicU64,
+    /// First spill I/O error, surfaced by `finish_stream`.
+    error: Mutex<Option<String>>,
+}
+
+impl StreamState {
+    fn on_append(&self, end_us: f64) {
+        self.total_events.fetch_add(1, Ordering::Relaxed);
+        let buffered = self.buffered.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_buffered.fetch_max(buffered, Ordering::Relaxed);
+        self.wall_bits
+            .fetch_max(end_us.max(0.0).to_bits(), Ordering::Relaxed);
+    }
+
+    fn note_error(&self, e: String) {
+        lock(&self.error).get_or_insert(e);
+    }
+
+    /// Write the track's buffered events out and clear the buffer. On
+    /// I/O failure the events are dropped (memory stays bounded) and
+    /// the first error is kept for `finish_stream`.
+    fn spill(&self, key: TrackKey, buf: &mut TrackBuf) {
+        if buf.events.is_empty() {
+            return;
+        }
+        if buf.spill.is_none() {
+            let path = self.dir.join(format!("track_{}.jsonl", key.label()));
+            match std::fs::File::create(&path) {
+                Ok(f) => buf.spill = Some(std::io::BufWriter::new(f)),
+                Err(e) => {
+                    self.note_error(format!("cannot create {}: {e}", path.display()));
+                    let n = buf.events.len() as u64;
+                    buf.events.clear();
+                    self.buffered.fetch_sub(n, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+        let writer = buf.spill.as_mut().expect("spill file just ensured");
+        let mut chunk = String::new();
+        for event in &buf.events {
+            stream::event_line(event, &mut chunk);
+            chunk.push('\n');
+        }
+        if let Err(e) = writer.write_all(chunk.as_bytes()) {
+            self.note_error(format!("spill write failed: {e}"));
+        }
+        let n = buf.events.len() as u64;
+        buf.spilled += n;
+        buf.events.clear();
+        self.buffered.fetch_sub(n, Ordering::Relaxed);
+    }
 }
 
 #[derive(Debug, Default)]
 struct Shared {
     tracks: Mutex<BTreeMap<TrackKey, Arc<Mutex<TrackBuf>>>>,
+    stream: Option<StreamState>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -234,6 +326,24 @@ fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 impl Shared {
     fn track(&self, key: TrackKey) -> Arc<Mutex<TrackBuf>> {
         Arc::clone(lock(&self.tracks).entry(key).or_default())
+    }
+
+    /// Append one event, spilling the track when streaming and over the
+    /// chunk threshold.
+    fn record(&self, key: TrackKey, buf: &Mutex<TrackBuf>, event: Event) {
+        let end_us = match &event {
+            Event::Span { start_us, dur_us, .. } => start_us + dur_us,
+            Event::Instant { ts_us, .. } => *ts_us,
+            Event::Counter { ts_us, .. } => *ts_us,
+        };
+        let mut buf = lock(buf);
+        buf.events.push(event);
+        if let Some(stream) = &self.stream {
+            stream.on_append(end_us);
+            if buf.events.len() >= stream.chunk_events {
+                stream.spill(key, &mut buf);
+            }
+        }
     }
 }
 
@@ -255,6 +365,32 @@ impl TraceSink {
         TraceSink {
             shared: Some(Arc::new(Shared::default())),
         }
+    }
+
+    /// A live sink that bounds event memory: whenever a track's buffer
+    /// reaches `chunk_events` events it is spilled to
+    /// `dir/track_<label>.jsonl` (one compact JSON event per line) and
+    /// cleared, so at most `tracks × chunk_events` events are resident
+    /// at any instant. Close with [`TraceSink::finish_stream`];
+    /// [`TraceSink::finish`] panics on a streaming sink because the
+    /// spilled events are no longer in memory.
+    pub fn streaming(dir: impl Into<PathBuf>, chunk_events: usize) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(TraceSink {
+            shared: Some(Arc::new(Shared {
+                tracks: Mutex::new(BTreeMap::new()),
+                stream: Some(StreamState {
+                    dir,
+                    chunk_events: chunk_events.max(1),
+                    total_events: AtomicU64::new(0),
+                    buffered: AtomicU64::new(0),
+                    peak_buffered: AtomicU64::new(0),
+                    wall_bits: AtomicU64::new(0),
+                    error: Mutex::new(None),
+                }),
+            })),
+        })
     }
 
     /// True when this sink is collecting (the recording layers use this
@@ -279,7 +415,11 @@ impl TraceSink {
                     lock(&buf).node = node;
                 }
                 Recorder {
-                    inner: Some(RecorderInner { buf }),
+                    inner: Some(RecorderInner {
+                        shared: Arc::clone(shared),
+                        key,
+                        buf,
+                    }),
                 }
             }
         }
@@ -290,7 +430,8 @@ impl TraceSink {
     /// deterministic).
     pub fn append(&self, key: TrackKey, event: Event) {
         if let Some(shared) = &self.shared {
-            lock(&shared.track(key)).events.push(event);
+            let buf = shared.track(key);
+            shared.record(key, &buf, event);
         }
     }
 
@@ -322,20 +463,18 @@ impl TraceSink {
         let Some(shared) = &self.shared else {
             return Trace { tracks: Vec::new() };
         };
+        assert!(
+            shared.stream.is_none(),
+            "TraceSink::finish on a streaming sink — spilled events are \
+             on disk, use finish_stream()"
+        );
         let tracks = lock(&shared.tracks);
         let mut out = Vec::with_capacity(tracks.len());
         for (key, buf) in tracks.iter() {
             let buf = lock(buf);
             let mut events = buf.events.clone();
             if matches!(key, TrackKey::Ost(_)) {
-                events.sort_by(|a, b| {
-                    let (at, ad, an, ah) = a.sort_key();
-                    let (bt, bd, bn, bh) = b.sort_key();
-                    at.total_cmp(&bt)
-                        .then(ad.total_cmp(&bd))
-                        .then(an.cmp(bn))
-                        .then(ah.cmp(&bh))
-                });
+                events.sort_by(ost_event_cmp);
             }
             out.push(TrackData {
                 key: *key,
@@ -347,10 +486,57 @@ impl TraceSink {
         }
         Trace { tracks: out }
     }
+
+    /// Close a streaming sink: spill every track's remaining buffer,
+    /// flush and close the chunk files, and return a [`StreamedTrace`]
+    /// handle over the on-disk events plus the in-memory metrics.
+    ///
+    /// Errors on a non-streaming sink and on any spill I/O failure.
+    pub fn finish_stream(&self) -> Result<StreamedTrace, String> {
+        let Some(shared) = &self.shared else {
+            return Err("finish_stream on a disabled sink".to_string());
+        };
+        let Some(stream) = &shared.stream else {
+            return Err("finish_stream on an in-memory sink — use finish()".to_string());
+        };
+        let tracks = lock(&shared.tracks);
+        let mut metas = Vec::with_capacity(tracks.len());
+        for (key, buf) in tracks.iter() {
+            let mut buf = lock(buf);
+            stream.spill(*key, &mut buf);
+            if let Some(mut writer) = buf.spill.take() {
+                if let Err(e) = writer.flush() {
+                    stream.note_error(format!("spill flush failed: {e}"));
+                }
+            }
+            metas.push(StreamTrackMeta {
+                key: *key,
+                node: buf.node,
+                events: buf.spilled,
+                counters: buf.counters.clone(),
+                hists: buf.hists.clone(),
+                events_path: stream.dir.join(format!("track_{}.jsonl", key.label())),
+            });
+        }
+        if let Some(e) = lock(&stream.error).clone() {
+            return Err(e);
+        }
+        Ok(StreamedTrace::new(
+            stream.dir.clone(),
+            metas,
+            StreamStats {
+                total_events: stream.total_events.load(Ordering::Relaxed),
+                peak_buffered: stream.peak_buffered.load(Ordering::Relaxed),
+                wall_us: f64::from_bits(stream.wall_bits.load(Ordering::Relaxed)),
+            },
+        ))
+    }
 }
 
 #[derive(Debug, Clone)]
 struct RecorderInner {
+    shared: Arc<Shared>,
+    key: TrackKey,
     buf: Arc<Mutex<TrackBuf>>,
 }
 
@@ -383,13 +569,17 @@ impl Recorder {
         args: Vec<(&'static str, ArgValue)>,
     ) {
         if let Some(inner) = &self.inner {
-            lock(&inner.buf).events.push(Event::Span {
-                cat,
-                name: name.into(),
-                start_us,
-                dur_us: (end_us - start_us).max(0.0),
-                args,
-            });
+            inner.shared.record(
+                inner.key,
+                &inner.buf,
+                Event::Span {
+                    cat,
+                    name: name.into(),
+                    start_us,
+                    dur_us: (end_us - start_us).max(0.0),
+                    args,
+                },
+            );
         }
     }
 
@@ -402,21 +592,25 @@ impl Recorder {
         args: Vec<(&'static str, ArgValue)>,
     ) {
         if let Some(inner) = &self.inner {
-            lock(&inner.buf).events.push(Event::Instant {
-                cat,
-                name: name.into(),
-                ts_us,
-                args,
-            });
+            inner.shared.record(
+                inner.key,
+                &inner.buf,
+                Event::Instant {
+                    cat,
+                    name: name.into(),
+                    ts_us,
+                    args,
+                },
+            );
         }
     }
 
     /// Record a counter sample (timeline event).
     pub fn counter(&self, name: &'static str, ts_us: f64, value: f64) {
         if let Some(inner) = &self.inner {
-            lock(&inner.buf)
-                .events
-                .push(Event::Counter { name, ts_us, value });
+            inner
+                .shared
+                .record(inner.key, &inner.buf, Event::Counter { name, ts_us, value });
         }
     }
 

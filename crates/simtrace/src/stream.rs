@@ -1,0 +1,477 @@
+//! On-disk event chunks for the streaming sink, and exporters that
+//! never hold the whole run in memory.
+//!
+//! [`TraceSink::streaming`](crate::TraceSink::streaming) spills each
+//! track's event buffer to `dir/track_<label>.jsonl` whenever it
+//! exceeds the chunk length. One line = one event, as a compact JSON
+//! array:
+//!
+//! ```text
+//! ["S", cat, name, start_us, dur_us, [[key, value], ...]]   span
+//! ["I", cat, name, ts_us, [[key, value], ...]]              instant
+//! ["C", name, ts_us, value]                                 counter
+//! ```
+//!
+//! The round trip is *type-faithful*: `u64` arguments serialize without
+//! a decimal point and parse back as `u64`, floats keep Rust's
+//! shortest-roundtrip formatting, and `&'static str` names come back
+//! through a global interner (each distinct instrumentation string is
+//! leaked once per process — there are dozens of them, not millions).
+//! A spilled-and-reloaded track is therefore `==` to the in-memory one,
+//! which is what makes [`StreamedTrace::export_chrome_to`] byte-identical
+//! to [`chrome_trace_json`](crate::chrome_trace_json) over the same run.
+//!
+//! Memory bounds: collection holds ≤ `tracks × chunk_events` events;
+//! [`StreamedTrace::series`] and [`StreamedTrace::export_chrome_to`]
+//! re-read one track at a time, so post-processing holds one track's
+//! events plus O(intervals) fold state. Spill-file *bytes* for rank
+//! tracks are deterministic (append order is); OST chunk files reflect
+//! host scheduling, but every reader re-sorts them with the same
+//! comparator [`TraceSink::finish`](crate::TraceSink::finish) uses, so
+//! all derived artifacts stay byte-reproducible.
+
+use crate::export::{event_json, meta_events_json, track_ids_for};
+use crate::json::Json;
+use crate::series::{SeriesBuilder, SeriesConfig, TimeSeries};
+use crate::sink::{ost_event_cmp, ArgValue, Event, Hist, Trace, TrackData, TrackKey};
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Intern a string so it can stand in for the `&'static str` fields of
+/// [`Event`]. Each distinct string leaks once per process.
+fn intern(s: &str) -> &'static str {
+    static POOL: Mutex<std::collections::BTreeSet<&'static str>> =
+        Mutex::new(std::collections::BTreeSet::new());
+    let mut pool = POOL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(hit) = pool.get(s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+    pool.insert(leaked);
+    leaked
+}
+
+fn args_to_json(args: &[(&'static str, ArgValue)]) -> Json {
+    Json::Arr(
+        args.iter()
+            .map(|(k, v)| {
+                let value = match v {
+                    ArgValue::U64(v) => Json::U64(*v),
+                    ArgValue::F64(v) => Json::Num(*v),
+                    ArgValue::Str(s) => Json::Str(s.to_string()),
+                };
+                Json::Arr(vec![Json::Str((*k).to_string()), value])
+            })
+            .collect(),
+    )
+}
+
+fn args_from_json(doc: &Json) -> Option<Vec<(&'static str, ArgValue)>> {
+    doc.as_array()?
+        .iter()
+        .map(|pair| {
+            let items = pair.as_array()?;
+            let key = intern(items.first()?.as_str()?);
+            let value = match items.get(1)? {
+                Json::U64(v) => ArgValue::U64(*v),
+                Json::Num(v) => ArgValue::F64(*v),
+                Json::I64(v) => ArgValue::F64(*v as f64),
+                Json::Str(s) => ArgValue::Str(Cow::Owned(s.clone())),
+                _ => return None,
+            };
+            Some((key, value))
+        })
+        .collect()
+}
+
+/// Append one event's spill line (no trailing newline) to `out`.
+pub(crate) fn event_line(event: &Event, out: &mut String) {
+    let doc = match event {
+        Event::Span {
+            cat,
+            name,
+            start_us,
+            dur_us,
+            args,
+        } => Json::Arr(vec![
+            Json::Str("S".into()),
+            Json::Str((*cat).to_string()),
+            Json::Str(name.to_string()),
+            Json::Num(*start_us),
+            Json::Num(*dur_us),
+            args_to_json(args),
+        ]),
+        Event::Instant { cat, name, ts_us, args } => Json::Arr(vec![
+            Json::Str("I".into()),
+            Json::Str((*cat).to_string()),
+            Json::Str(name.to_string()),
+            Json::Num(*ts_us),
+            args_to_json(args),
+        ]),
+        Event::Counter { name, ts_us, value } => Json::Arr(vec![
+            Json::Str("C".into()),
+            Json::Str((*name).to_string()),
+            Json::Num(*ts_us),
+            Json::Num(*value),
+        ]),
+    };
+    out.push_str(&doc.compact());
+}
+
+/// Parse one spill line back into an [`Event`].
+pub(crate) fn parse_event_line(line: &str) -> Option<Event> {
+    let doc = Json::parse(line).ok()?;
+    let items = doc.as_array()?;
+    match items.first()?.as_str()? {
+        "S" => Some(Event::Span {
+            cat: intern(items.get(1)?.as_str()?),
+            name: Cow::Owned(items.get(2)?.as_str()?.to_string()),
+            start_us: items.get(3)?.as_f64()?,
+            dur_us: items.get(4)?.as_f64()?,
+            args: args_from_json(items.get(5)?)?,
+        }),
+        "I" => Some(Event::Instant {
+            cat: intern(items.get(1)?.as_str()?),
+            name: Cow::Owned(items.get(2)?.as_str()?.to_string()),
+            ts_us: items.get(3)?.as_f64()?,
+            args: args_from_json(items.get(4)?)?,
+        }),
+        "C" => Some(Event::Counter {
+            name: intern(items.get(1)?.as_str()?),
+            ts_us: items.get(2)?.as_f64()?,
+            value: items.get(3)?.as_f64()?,
+        }),
+        _ => None,
+    }
+}
+
+/// One track's identity and in-memory metrics after a streamed run.
+#[derive(Debug, Clone)]
+pub struct StreamTrackMeta {
+    /// Which rank or OST.
+    pub key: TrackKey,
+    /// Physical node hosting the rank, when known.
+    pub node: Option<usize>,
+    /// Number of events spilled for this track.
+    pub events: u64,
+    /// Monotone counters (kept in memory — O(names)).
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Histograms (kept in memory).
+    pub hists: BTreeMap<&'static str, Hist>,
+    /// The track's chunk file (absent when the track never produced a
+    /// timeline event).
+    pub events_path: PathBuf,
+}
+
+/// Collection statistics of a streamed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamStats {
+    /// Events recorded over the whole run.
+    pub total_events: u64,
+    /// Largest number of events resident in memory at any instant —
+    /// the streamed run's event-memory high-water mark.
+    pub peak_buffered: u64,
+    /// Latest event end seen, virtual µs.
+    pub wall_us: f64,
+}
+
+impl StreamStats {
+    /// How many times smaller the resident event buffer stayed compared
+    /// to buffering the whole run (what `TraceSink::enabled` does).
+    pub fn reduction(&self) -> f64 {
+        self.total_events as f64 / self.peak_buffered.max(1) as f64
+    }
+}
+
+/// Handle over a finished streamed run: per-track metrics in memory,
+/// events on disk. Produced by
+/// [`TraceSink::finish_stream`](crate::TraceSink::finish_stream).
+#[derive(Debug, Clone)]
+pub struct StreamedTrace {
+    dir: PathBuf,
+    tracks: Vec<StreamTrackMeta>,
+    stats: StreamStats,
+}
+
+impl StreamedTrace {
+    pub(crate) fn new(dir: PathBuf, tracks: Vec<StreamTrackMeta>, stats: StreamStats) -> Self {
+        StreamedTrace { dir, tracks, stats }
+    }
+
+    /// The spill directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Track metadata, ranks first then OSTs (the merge order).
+    pub fn tracks(&self) -> &[StreamTrackMeta] {
+        &self.tracks
+    }
+
+    /// Collection statistics.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// One track's events in deterministic order (OST chunk files are
+    /// re-sorted with the merge comparator).
+    fn track_events(&self, meta: &StreamTrackMeta) -> Result<Vec<Event>, String> {
+        if meta.events == 0 {
+            return Ok(Vec::new());
+        }
+        let text = std::fs::read_to_string(&meta.events_path)
+            .map_err(|e| format!("cannot read {}: {e}", meta.events_path.display()))?;
+        let mut events = Vec::with_capacity(meta.events as usize);
+        for line in text.lines() {
+            events.push(
+                parse_event_line(line)
+                    .ok_or_else(|| format!("bad spill line in {}", meta.events_path.display()))?,
+            );
+        }
+        if matches!(meta.key, TrackKey::Ost(_)) {
+            events.sort_by(ost_event_cmp);
+        }
+        Ok(events)
+    }
+
+    /// Reload the whole run as an in-memory [`Trace`] (convenience for
+    /// tests and small runs — this is the O(events) path the streaming
+    /// mode exists to avoid).
+    pub fn load(&self) -> Result<Trace, String> {
+        let mut tracks = Vec::with_capacity(self.tracks.len());
+        for meta in &self.tracks {
+            tracks.push(TrackData {
+                key: meta.key,
+                node: meta.node,
+                events: self.track_events(meta)?,
+                counters: meta.counters.clone(),
+                hists: meta.hists.clone(),
+            });
+        }
+        Ok(Trace { tracks })
+    }
+
+    /// Fold the run into interval'd time-series, one track resident at
+    /// a time. Byte-equivalent to
+    /// [`series_from_trace`](crate::series::series_from_trace) over the
+    /// same run.
+    pub fn series(&self, cfg: SeriesConfig) -> Result<TimeSeries, String> {
+        let mut builder = SeriesBuilder::new(cfg, self.stats.wall_us);
+        for meta in &self.tracks {
+            let events = self.track_events(meta)?;
+            builder.fold_track(meta.key, events.iter());
+        }
+        Ok(builder.build())
+    }
+
+    /// Write the Chrome/Perfetto trace-event JSON to `path`, streaming
+    /// one track at a time. The output is byte-identical to
+    /// [`chrome_trace_json`](crate::chrome_trace_json) over the same
+    /// run's in-memory trace.
+    pub fn export_chrome_to(&self, path: &Path) -> Result<(), String> {
+        let file = std::fs::File::create(path)
+            .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+        let mut writer = std::io::BufWriter::new(file);
+        let mut out = String::with_capacity(1 << 20);
+        out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [");
+        let mut wrote_any = false;
+        let emit = |writer: &mut std::io::BufWriter<std::fs::File>,
+                        out: &mut String,
+                        json: &Json,
+                        wrote_any: &mut bool|
+         -> Result<(), String> {
+            if *wrote_any {
+                out.push(',');
+            }
+            *wrote_any = true;
+            out.push_str("\n    ");
+            json.pretty_into(out, 2);
+            if out.len() >= (1 << 20) {
+                writer
+                    .write_all(out.as_bytes())
+                    .map_err(|e| format!("write failed: {e}"))?;
+                out.clear();
+            }
+            Ok(())
+        };
+
+        let identities: Vec<(TrackKey, Option<usize>)> =
+            self.tracks.iter().map(|t| (t.key, t.node)).collect();
+        for meta_event in meta_events_json(&identities) {
+            emit(&mut writer, &mut out, &meta_event, &mut wrote_any)?;
+        }
+        for meta in &self.tracks {
+            let (pid, tid) = track_ids_for(meta.key, meta.node);
+            for event in self.track_events(meta)? {
+                emit(&mut writer, &mut out, &event_json(&event, pid, tid), &mut wrote_any)?;
+            }
+        }
+        if wrote_any {
+            out.push_str("\n  ]\n}");
+        } else {
+            // An empty array renders inline, matching `Json::pretty`.
+            out.push_str("]\n}");
+        }
+        writer
+            .write_all(out.as_bytes())
+            .map_err(|e| format!("write failed: {e}"))?;
+        writer.flush().map_err(|e| format!("flush failed: {e}"))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::chrome_trace_json;
+    use crate::series::series_from_trace;
+    use crate::sink::TraceSink;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "simtrace_stream_{name}_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(sink: &TraceSink) {
+        let r0 = sink.recorder_on_node(TrackKey::Rank(0), Some(0));
+        let r1 = sink.recorder_on_node(TrackKey::Rank(1), Some(1));
+        for i in 0..10u64 {
+            let t = i as f64 * 10.0;
+            r0.span("phase", "io", t, t + 6.5, vec![("i", i.into())]);
+            r1.span("phase", "sync", t, t + 3.25, vec![("lbl", "x".into())]);
+            r1.counter("mailbox_depth", t, i as f64);
+        }
+        r0.instant("parcoll", "autotune", 42.0, vec![("action", "hold".into())]);
+        r0.count("calls", 10);
+        r0.observe("bytes", 4096.0);
+        let ost = sink.recorder(TrackKey::Ost(0));
+        for i in 0..8u64 {
+            ost.span(
+                "ost",
+                "serve",
+                i as f64 * 12.0,
+                i as f64 * 12.0 + 9.0,
+                vec![("bytes", (1000 + i).into())],
+            );
+        }
+    }
+
+    #[test]
+    fn spill_line_round_trips_every_event_shape() {
+        let events = [
+            Event::Span {
+                cat: "phase",
+                name: Cow::Borrowed("io"),
+                start_us: 1.5,
+                dur_us: 2.25,
+                args: vec![
+                    ("n", ArgValue::U64(7)),
+                    ("f", ArgValue::F64(0.1)),
+                    ("s", ArgValue::Str(Cow::Borrowed("lbl"))),
+                ],
+            },
+            Event::Instant {
+                cat: "parcoll",
+                name: Cow::Owned("autotune".to_string()),
+                ts_us: 99.0,
+                args: vec![("whole", ArgValue::F64(4.0))],
+            },
+            Event::Counter {
+                name: "depth",
+                ts_us: 3.0,
+                value: 2.0,
+            },
+        ];
+        for event in &events {
+            let mut line = String::new();
+            event_line(event, &mut line);
+            let back = parse_event_line(&line).unwrap();
+            assert_eq!(&back, event, "line: {line}");
+            // Serialization is a fixed point.
+            let mut line2 = String::new();
+            event_line(&back, &mut line2);
+            assert_eq!(line, line2);
+        }
+    }
+
+    #[test]
+    fn streamed_chrome_export_matches_in_memory_bytes() {
+        let mem = TraceSink::enabled();
+        record(&mem);
+        let expected = chrome_trace_json(&mem.finish());
+
+        let dir = scratch("chrome");
+        let stream = TraceSink::streaming(&dir, 3).unwrap();
+        record(&stream);
+        let st = stream.finish_stream().unwrap();
+        let out = dir.join("trace.json");
+        st.export_chrome_to(&out).unwrap();
+        let got = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(got, expected, "streamed export must be byte-identical");
+
+        // The reloaded trace also matches event-for-event.
+        let mem2 = TraceSink::enabled();
+        record(&mem2);
+        let loaded = st.load().unwrap();
+        let full = mem2.finish();
+        assert_eq!(loaded.tracks.len(), full.tracks.len());
+        for (a, b) in loaded.tracks.iter().zip(full.tracks.iter()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.events, b.events);
+            assert_eq!(a.counters, b.counters);
+            assert_eq!(a.hists, b.hists);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streamed_series_matches_in_memory_fold() {
+        let mem = TraceSink::enabled();
+        record(&mem);
+        let expected = series_from_trace(&mem.finish(), SeriesConfig::new(25.0));
+
+        let dir = scratch("series");
+        let stream = TraceSink::streaming(&dir, 4).unwrap();
+        record(&stream);
+        let st = stream.finish_stream().unwrap();
+        assert_eq!(st.series(SeriesConfig::new(25.0)).unwrap(), expected);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streaming_bounds_resident_events() {
+        let dir = scratch("bounds");
+        let stream = TraceSink::streaming(&dir, 4).unwrap();
+        record(&stream);
+        let st = stream.finish_stream().unwrap();
+        let stats = st.stats();
+        assert_eq!(stats.total_events, 39);
+        // 3 tracks × chunk 4: never more than 12 resident.
+        assert!(stats.peak_buffered <= 12, "peak {}", stats.peak_buffered);
+        assert!(stats.reduction() >= 3.0, "reduction {}", stats.reduction());
+        assert!(stats.wall_us > 0.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "use finish_stream")]
+    fn finish_on_streaming_sink_panics() {
+        let dir = scratch("panic");
+        let sink = TraceSink::streaming(&dir, 8).unwrap();
+        sink.recorder(TrackKey::Rank(0)).span("phase", "io", 0.0, 1.0, vec![]);
+        let _ = sink.finish();
+    }
+
+    #[test]
+    fn finish_stream_on_in_memory_sink_errors() {
+        assert!(TraceSink::enabled().finish_stream().is_err());
+        assert!(TraceSink::disabled().finish_stream().is_err());
+    }
+}
