@@ -1,0 +1,173 @@
+//! Driver-side glue for the `simtrace::host` profiler: run a figure
+//! scenario under a root scope, fold the sample report into
+//! per-subsystem attribution [`Row`]s, print the top host sinks, and
+//! render the collapsed-stack file flamegraph tools consume.
+//!
+//! The `hostprof` binary is a thin wrapper over this module, and
+//! `hostperf --profile` reuses [`profile`] + [`print_top`] to attach an
+//! attribution printout to its timing runs.
+
+use crate::figures::{collective_wall, tileio_group_sweep, tileio_scalability};
+use crate::{Row, Scale};
+use simtrace::host;
+use std::time::Instant;
+
+/// A named figure sweep to run in-process: `(figure name, runner)`.
+pub type Scenario = (&'static str, Box<dyn Fn()>);
+
+/// The profiled figure scenarios: the same fig1/fig7/fig9 sweeps
+/// `hostperf` times (identical parameters per scale), so attribution
+/// percentages line up with the wall-clock series PRs are judged on.
+pub fn scenarios(scale: Scale) -> Vec<Scenario> {
+    let full = scale == Scale::Paper;
+    vec![
+        (
+            "fig1_collective_wall",
+            Box::new(move || {
+                let procs: &[usize] = if full { &[16, 32, 64, 128, 256, 512] } else { &[8, 16, 32] };
+                std::hint::black_box(collective_wall(procs, full));
+            }) as Box<dyn Fn()>,
+        ),
+        (
+            "fig7_tileio_groups",
+            Box::new(move || {
+                let (procs, groups): (usize, &[usize]) = if full {
+                    (512, &[1, 2, 4, 8, 16, 32, 64, 128, 256])
+                } else {
+                    (16, &[1, 2, 4])
+                };
+                std::hint::black_box(tileio_group_sweep(procs, groups, full));
+            }),
+        ),
+        (
+            "fig9_scalability",
+            Box::new(move || {
+                let procs: &[usize] = if full { &[64, 128, 256, 512, 1024] } else { &[8, 16] };
+                std::hint::black_box(tileio_scalability(procs, |p| (p / 8).min(64), full));
+            }),
+        ),
+    ]
+}
+
+/// One profiled scenario run: the folded sample report plus the
+/// measured wall it is attributed against.
+pub struct Profiled {
+    /// Folded host-time samples (see [`host::collect`]).
+    pub report: host::Report,
+    /// Host seconds the scenario took under the profiler.
+    pub wall_s: f64,
+}
+
+impl Profiled {
+    /// Fraction of the measured wall attributed to *named* sinks, in
+    /// percent — every sampled frame except the root scenario scope's
+    /// self time (setup, verification and result folding the finer
+    /// probes don't cover).
+    pub fn attributed_pct(&self) -> f64 {
+        let named: u64 = self
+            .report
+            .by_site()
+            .iter()
+            .filter(|s| s.site != host::Site::Scenario)
+            .map(|s| s.self_ns)
+            .sum();
+        100.0 * named as f64 / (self.wall_s * 1e9).max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Run `run` once with the profiler armed, under a root
+/// [`host::Site::Scenario`] scope, and collect the report. Profiler
+/// state is reset first so each scenario's report stands alone; the
+/// profiler is disarmed again before returning.
+pub fn profile(run: &dyn Fn()) -> Profiled {
+    host::reset();
+    host::set_enabled(true);
+    let t0 = Instant::now();
+    {
+        let _root = host::scope(host::Site::Scenario);
+        run();
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    host::set_enabled(false);
+    Profiled { report: host::collect(), wall_s }
+}
+
+/// Fold a profiled run into report rows: `<fig>/<subsystem>` percent
+/// rows (plus `<fig>/site/<name>` per-site detail), the
+/// `<fig>/attributed` coverage row, and `<fig>/counter/<name>` rows
+/// carrying the flatten-cache and buffer-pool hit counts. Percentages
+/// are of measured wall; `self_s` extras carry the absolute seconds.
+pub fn attribution_rows(fig: &str, p: &Profiled) -> Vec<Row> {
+    let wall_ns = (p.wall_s * 1e9).max(f64::MIN_POSITIVE);
+    let mut rows = Vec::new();
+    for (subsystem, self_ns) in p.report.by_subsystem() {
+        rows.push(
+            Row::new(format!("{fig}/{subsystem}"), 0.0, 100.0 * self_ns as f64 / wall_ns, "%")
+                .with("self_s", self_ns as f64 / 1e9),
+        );
+    }
+    for s in p.report.by_site() {
+        rows.push(
+            Row::new(
+                format!("{fig}/site/{}", s.site.name()),
+                0.0,
+                100.0 * s.self_ns as f64 / wall_ns,
+                "%",
+            )
+            .with("self_s", s.self_ns as f64 / 1e9)
+            .with("samples", s.count as f64),
+        );
+    }
+    rows.push(
+        Row::new(format!("{fig}/attributed"), 0.0, p.attributed_pct(), "%")
+            .with("wall_s", p.wall_s)
+            .with("dropped", p.report.dropped as f64),
+    );
+    for (name, value) in &p.report.counters {
+        rows.push(Row::new(format!("{fig}/counter/{name}"), 0.0, *value as f64, "n"));
+    }
+    rows
+}
+
+/// Print the top-`k` host sinks of a profiled run by self time, with
+/// percentages of the measured wall.
+pub fn print_top(fig: &str, p: &Profiled, k: usize) {
+    let wall_ns = (p.wall_s * 1e9).max(f64::MIN_POSITIVE);
+    let sites = p.report.by_site();
+    println!(
+        "hostprof: {fig} wall {:.3}s, {:.1}% attributed to named sinks \
+         ({} sites, {} dropped samples); top {} by self time:",
+        p.wall_s,
+        p.attributed_pct(),
+        sites.len(),
+        p.report.dropped,
+        k.min(sites.len())
+    );
+    for s in sites.iter().take(k) {
+        println!(
+            "  {:5.1}%  {:9.4}s  {:<10} {:<14} ({} samples)",
+            100.0 * s.self_ns as f64 / wall_ns,
+            s.self_ns as f64 / 1e9,
+            s.site.subsystem(),
+            s.site.name(),
+            s.count
+        );
+    }
+    let mut counters = String::new();
+    for (name, value) in &p.report.counters {
+        if !counters.is_empty() {
+            counters.push_str(", ");
+        }
+        counters.push_str(&format!("{name} {value}"));
+    }
+    println!("  counters: {counters}");
+}
+
+/// Write the report's collapsed stacks to `path` (the input format of
+/// `flamegraph.pl`, inferno and speedscope: `outer;inner self_ns`).
+pub fn write_collapsed(path: &std::path::Path, p: &Profiled) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, p.report.collapsed())
+}

@@ -28,6 +28,10 @@
 //! re-checks every headline number against its paper target; and
 //! `explain`, which runs the fixed diffable scenario of [`explain`]
 //! and turns a tripped `regress` gate into a ranked root-cause table.
+//! `hostperf` times figure regeneration in host seconds, and `hostprof`
+//! (see [`hostprof`]) attributes that host wall to named simulator hot
+//! paths — fiber scheduling, mailboxes, buffer pooling, pack/unpack —
+//! with a collapsed-stack flamegraph export.
 //!
 //! Binaries accept `--quick` to run a reduced-scale version (smaller
 //! process counts and data) for smoke testing; the default is the paper's
@@ -39,6 +43,7 @@
 pub mod doccheck;
 pub mod explain;
 pub mod figures;
+pub mod hostprof;
 pub mod metrics;
 pub mod regress;
 pub mod scale;

@@ -260,10 +260,14 @@ impl Datatype {
         /// Rank threads see a handful of distinct types; the bound only
         /// guards pathological type churn from pinning memory.
         const FLAT_CACHE_MAX: usize = 128;
+        use simtrace::host;
+        let _hp = host::scope(host::Site::Flatten);
         FLAT_CACHE.with_borrow_mut(|cache| {
             if let Some(flat) = cache.get(self) {
+                host::count(host::Counter::FlattenHit, 1);
                 return Arc::clone(flat);
             }
+            host::count(host::Counter::FlattenMiss, 1);
             let flat = Arc::new(self.flatten());
             if cache.len() >= FLAT_CACHE_MAX {
                 cache.clear();

@@ -634,12 +634,14 @@ pub fn write_all(
                 continue;
             }
             let t = PhaseTimer::start(Phase::Local, ep.now());
+            let hp = simtrace::host::scope(simtrace::host::Site::Pack);
             let mut payload = BufferBuilder::with_capacity(n as usize);
             send_cursors[a].consume(n, |piece| {
                 payload.push(&buf.sub(piece.buf_off as usize, piece.len as usize));
             });
             ep.charge_memcpy(n as usize);
             let payload = payload.finish();
+            drop(hp);
             t.stop_traced(ep.now(), prof, ep.trace());
             if agg_rank == comm.rank() {
                 self_payload = Some(payload);
@@ -658,12 +660,14 @@ pub fn write_all(
             let n = expected2[*successor];
             if n > 0 {
                 let t = PhaseTimer::start(Phase::Local, ep.now());
+                let hp = simtrace::host::scope(simtrace::host::Site::Pack);
                 let mut payload = BufferBuilder::with_capacity(n as usize);
                 send_cursors[*dead_agg].consume(n, |piece| {
                     payload.push(&buf.sub(piece.buf_off as usize, piece.len as usize));
                 });
                 ep.charge_memcpy(n as usize);
                 let payload = payload.finish();
+                drop(hp);
                 t.stop_traced(ep.now(), prof, ep.trace());
                 if *successor == comm.rank() {
                     adopt_self = Some(payload);
@@ -782,6 +786,7 @@ fn write_window(
     }
     // Targets: where each payload's bytes land, plus coverage tracking.
     let t = PhaseTimer::start(Phase::Local, ep.now());
+    let hp = simtrace::host::scope(simtrace::host::Site::Unpack);
     let mut coverage = RangeSet::new();
     let mut placements: Vec<(u64, IoBuffer)> = Vec::new(); // (file_off, data)
     let mut total_bytes = 0u64;
@@ -800,6 +805,7 @@ fn write_window(
         });
     }
     ep.charge_memcpy(total_bytes as usize); // staging-buffer assembly
+    drop(hp);
     t.stop_traced(ep.now(), prof, ep.trace());
 
     let write_lo = coverage.ranges().first().expect("non-empty round").0;
@@ -815,10 +821,12 @@ fn write_window(
         ep.clock().advance_to(done);
         t.stop_traced(ep.now(), prof, ep.trace());
         let t = PhaseTimer::start(Phase::Local, ep.now());
+        let hp = simtrace::host::scope(simtrace::host::Site::Unpack);
         for (off, data) in &placements {
             window_buf.copy_in((off - write_lo) as usize, data);
         }
         ep.charge_memcpy(total_bytes as usize);
+        drop(hp);
         t.stop_traced(ep.now(), prof, ep.trace());
         let t = PhaseTimer::start(Phase::Io, ep.now());
         let done = space.write(fh, write_lo, &window_buf, ep.now());
@@ -917,6 +925,7 @@ pub fn read_all(
                         continue;
                     }
                     let t = PhaseTimer::start(Phase::Local, ep.now());
+                    let hp = simtrace::host::scope(simtrace::host::Site::Pack);
                     let mut payload = BufferBuilder::with_capacity(n as usize);
                     cursors[src].consume(n, |piece| {
                         payload.push(
@@ -926,6 +935,7 @@ pub fn read_all(
                     });
                     ep.charge_memcpy(n as usize);
                     let payload = payload.finish();
+                    drop(hp);
                     t.stop_traced(ep.now(), prof, ep.trace());
                     if src == comm.rank() {
                         self_payload = Some(payload);
@@ -960,6 +970,7 @@ pub fn read_all(
         // Unpack: scatter received pieces into the user buffer — local
         // memory movement.
         let t = PhaseTimer::start(Phase::Local, ep.now());
+        let hp = simtrace::host::scope(simtrace::host::Site::Unpack);
         for (agg_rank, payload) in arrived {
             let a = cfg
                 .aggregators
@@ -977,6 +988,7 @@ pub fn read_all(
             });
             ep.charge_memcpy(n as usize);
         }
+        drop(hp);
         t.stop_traced(ep.now(), prof, ep.trace());
 
         let rec = ep.trace();

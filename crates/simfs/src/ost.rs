@@ -116,6 +116,10 @@ impl Ost {
         // held for the whole state mutation.
         let _admission = simnet::progress::admit(arrival);
         let mut st = self.state.lock();
+        // hostprof: everything under the state lock (fault arithmetic,
+        // queue maintenance, jitter, trace emission) is non-yielding;
+        // the admission gate above can block and stays outside the scope.
+        let _hp = simtrace::host::scope(simtrace::host::Site::OstServe);
         let mut fault_factor = 1.0f64;
         if let Some((plan, idx)) = st.faults.clone() {
             // The op counter and the queue mutate under one admission +

@@ -107,6 +107,10 @@ impl Communicator<'_> {
             overhead += self.ep.net().recv_overhead(payload.len());
             payloads.push(payload);
         }
+        // hostprof: completion bookkeeping after every packet is in hand
+        // (the recv_meta loop above can block and stays outside the
+        // scope); the trace span below nests under this frame.
+        let _hp = simtrace::host::scope(simtrace::host::Site::P2pWaitall);
         self.ep.clock().advance_to(latest);
         self.ep.clock().advance(overhead);
         let rec = self.ep.trace();

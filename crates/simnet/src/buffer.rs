@@ -77,6 +77,8 @@ thread_local! {
 /// An empty `Vec` with at least `min_cap` capacity, recycled when the
 /// pool has one that fits.
 fn pool_take(min_cap: usize) -> Vec<u8> {
+    use simtrace::host;
+    let _hp = host::scope(host::Site::PoolTake);
     if buffer_pooling() && (POOL_MIN_CAP..=POOL_MAX_CAP).contains(&min_cap) {
         let recycled = POOL.with_borrow_mut(|pool| {
             pool.iter()
@@ -85,14 +87,17 @@ fn pool_take(min_cap: usize) -> Vec<u8> {
         });
         if let Some(mut v) = recycled {
             v.clear();
+            host::count(host::Counter::PoolReuse, 1);
             return v;
         }
     }
+    host::count(host::Counter::PoolMiss, 1);
     Vec::with_capacity(min_cap)
 }
 
 /// Offer a no-longer-used backing store to this thread's pool.
 fn pool_put(mut v: Vec<u8>) {
+    let _hp = simtrace::host::scope(simtrace::host::Site::PoolPut);
     if !buffer_pooling() || !(POOL_MIN_CAP..=POOL_MAX_CAP).contains(&v.capacity()) {
         return;
     }

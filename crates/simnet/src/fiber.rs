@@ -349,6 +349,10 @@ pub(crate) fn run_fibers<'a>(
     let mut panics: Vec<Option<Box<dyn Any + Send>>> = (0..n).map(|_| None).collect();
     let mut unproductive_cycles = 0u64;
     let mut stalled = false;
+    // hostprof: the whole scheduler loop is one frame; fiber slices nest
+    // inside it, so this frame's self time is pure scheduling overhead
+    // (run-queue churn, context-switch cost, stall detection).
+    let _sched_scope = simtrace::host::scope(simtrace::host::Site::FiberSched);
     while !runq.is_empty() {
         let events_before = EVENTS.load(Ordering::Relaxed);
         let mut any_done = false;
@@ -357,6 +361,12 @@ pub(crate) fn run_fibers<'a>(
             let idx = runq.pop_front().expect("runq non-empty within cycle");
             let (stack, rt) = &mut fibers[idx];
             let rtp: *mut FiberRt = &mut **rt;
+            // hostprof: time one slice (resume -> suspend). The guard is
+            // created and dropped on the scheduler side of the switch, so
+            // it never spans a yield; probes inside the fiber body nest
+            // under this frame because fibers share the scheduler's
+            // thread-local profiler stack.
+            let run_scope = simtrace::host::scope(simtrace::host::Site::FiberRun);
             unsafe {
                 crate::progress::tl_set((*rtp).saved_ctx.take());
                 CURRENT.with(|c| c.set(rtp));
@@ -364,6 +374,7 @@ pub(crate) fn run_fibers<'a>(
                 CURRENT.with(|c| c.set(std::ptr::null_mut()));
                 (*rtp).saved_ctx = crate::progress::tl_take();
             }
+            drop(run_scope);
             match rt.action {
                 Action::Yielded => runq.push_back(idx),
                 Action::Done => {

@@ -114,6 +114,8 @@ impl Mailbox {
     /// registers under the same shard lock, so the protocol is unchanged
     /// from the single-lock design — just per source.)
     pub fn deliver(&self, pkt: Packet) {
+        // hostprof: deposit + targeted notify; nothing below yields.
+        let _hp = simtrace::host::scope(simtrace::host::Site::MboxDeliver);
         let shard = self.shard(pkt.src);
         let key = (pkt.ctx, pkt.tag);
         let src = pkt.src;
@@ -135,6 +137,10 @@ impl Mailbox {
         let mut woken = false;
         let mut polls = 0u32;
         loop {
+            // hostprof: one lock-held matching pass. The guard is dropped
+            // before the yield/wait below, so the frame never absorbs the
+            // time spent blocked (which belongs to other fibers' work).
+            let hp = simtrace::host::scope(simtrace::host::Site::MboxRecv);
             if let Some(dq) = q.get_mut(&key) {
                 if let Some(pkt) = dq.pop_front() {
                     if dq.is_empty() {
@@ -163,6 +169,7 @@ impl Mailbox {
                 crate::progress::tl_block_recv(src, ctx, tag);
                 registered = true;
             }
+            drop(hp);
             self.poison.check();
             if crate::fiber::in_fiber() {
                 // Cooperative executor: the sender is another fiber on

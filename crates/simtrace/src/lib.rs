@@ -40,6 +40,12 @@
 //!   spans spill to disk in chunks and every exporter re-reads one
 //!   track at a time, bounding trace memory for paper-scale runs.
 //!
+//! One module is deliberately *not* about virtual time: [`host`]
+//! (a.k.a. `hostprof`) attributes the simulator's own wall-clock to
+//! named hot paths (fiber scheduling, mailboxes, buffer pooling,
+//! pack/unpack memcpy, trace recording itself). Its samples never enter
+//! the deterministic artifacts above.
+//!
 //! # Example: setting up a sink and exporting a trace
 //!
 //! In real use the enabled sink is threaded through the stack — set
@@ -71,6 +77,7 @@
 
 pub mod analysis;
 pub mod diff;
+pub mod host;
 pub mod json;
 pub mod series;
 pub mod stream;

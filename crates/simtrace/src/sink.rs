@@ -281,6 +281,9 @@ impl StreamState {
     /// I/O failure the events are dropped (memory stays bounded) and
     /// the first error is kept for `finish_stream`.
     fn spill(&self, key: TrackKey, buf: &mut TrackBuf) {
+        // hostprof: chunk serialization + file write (blocking I/O, but
+        // never a fiber yield).
+        let _hp = crate::host::scope(crate::host::Site::TraceSpill);
         if buf.events.is_empty() {
             return;
         }
@@ -331,6 +334,9 @@ impl Shared {
     /// Append one event, spilling the track when streaming and over the
     /// chunk threshold.
     fn record(&self, key: TrackKey, buf: &Mutex<TrackBuf>, event: Event) {
+        // hostprof: tracing overhead is self-measured (spills nest under
+        // this frame as `trace_spill`).
+        let _hp = crate::host::scope(crate::host::Site::TraceRecord);
         let end_us = match &event {
             Event::Span { start_us, dur_us, .. } => start_us + dur_us,
             Event::Instant { ts_us, .. } => *ts_us,
