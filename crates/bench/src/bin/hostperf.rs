@@ -7,6 +7,7 @@
 //! ```text
 //! hostperf [--quick] [--iters N] [--warmup N] [--series LABEL]
 //!          [--figure NAME]... [--stack-size BYTES] [--profile]
+//!          [--workers N] [--workers-matrix]
 //!          [--check <baseline.json>] [--tol FIGURE=REL[:ABS]]...
 //!          [--check-overhead <baseline.json>] [--out PATH] [--no-emit]
 //! ```
@@ -34,6 +35,19 @@
 //! `hostprof` attribution (never affecting the timed samples).
 //! `--stack-size` overrides the per-rank thread stack for every cluster
 //! the sweeps spawn (see `ClusterConfig::stack_size`).
+//!
+//! `--workers N` pins the sharded fiber executor's worker count for the
+//! whole run (equivalent to `SIMNET_WORKERS=N`; CI's overhead A/B runs
+//! at `--workers 4` so the gate covers the multi-threaded scheduler).
+//! `--workers-matrix` additionally times fig1/fig7/fig9 at
+//! `SIMNET_WORKERS={1,2,4,8}` and emits them as `<figure>@workers<N>`
+//! series rows — the committed sharded-executor trajectory. Virtual
+//! results are bitwise identical across the matrix (the determinism
+//! suite pins that); only host wall time moves. Sharded rows get their
+//! own looser one-sided `--check` envelope: on shared runners the
+//! worker threads contend with whatever else the machine runs, and on
+//! single-core runners `workers>1` legitimately costs scheduling
+//! overhead instead of gaining parallelism.
 
 use bench::figures::{collective_wall, tileio_group_sweep, tileio_scalability};
 use bench::regress::Tolerance;
@@ -50,9 +64,21 @@ const OVERHEAD_TOL: Tolerance = Tolerance { rel: 0.02, abs: 1e-4 };
 /// scale — pure relative gating would make it the loosest or the
 /// noisiest series depending on the constant, so the fast sweeps get an
 /// absolute floor and the long steady ones a tighter relative bound.
-fn check_tolerance(figure: &str, overrides: &[(String, Tolerance)]) -> Tolerance {
-    if let Some((_, tol)) = overrides.iter().find(|(f, _)| f == figure) {
+/// `@workers<N>` sharded series get their own one-sided envelope:
+/// multi-worker wall time depends on how many cores the runner actually
+/// has free, so the budget is looser both relatively and absolutely
+/// (still one-sided — a sharded config can only fail by getting
+/// *slower* than its own baseline). Overrides match either the bare
+/// figure name or the full `figure@label` series.
+fn check_tolerance(series: &str, overrides: &[(String, Tolerance)]) -> Tolerance {
+    let figure = figure_of(series);
+    if let Some((_, tol)) = overrides.iter().find(|(f, _)| f == series || f == figure) {
         return *tol;
+    }
+    if let Some((_, label)) = series.split_once('@') {
+        if label.starts_with("workers") {
+            return Tolerance { rel: 0.40, abs: 0.005 };
+        }
     }
     match figure {
         "fig7_tileio_groups" => Tolerance { rel: 0.20, abs: 0.002 },
@@ -73,6 +99,7 @@ struct Args {
     series: String,
     figures: Vec<String>,
     profile: bool,
+    workers_matrix: bool,
     check: Option<String>,
     check_overhead: Option<String>,
     tol_overrides: Vec<(String, Tolerance)>,
@@ -88,6 +115,7 @@ fn parse_args() -> Args {
         series: "HEAD".to_string(),
         figures: Vec::new(),
         profile: false,
+        workers_matrix: false,
         check: None,
         check_overhead: None,
         tol_overrides: Vec::new(),
@@ -122,6 +150,12 @@ fn parse_args() -> Args {
                 i += 1;
             }
             "--profile" => out.profile = true,
+            "--workers" => {
+                let n: usize = value(i).parse().expect("--workers: not a number");
+                simnet::set_workers(n);
+                i += 1;
+            }
+            "--workers-matrix" => out.workers_matrix = true,
             "--stack-size" => {
                 let bytes: usize = value(i).parse().expect("--stack-size: not a number");
                 simnet::set_default_stack_size(bytes);
@@ -243,6 +277,36 @@ fn load_baseline(path: &str) -> Vec<Row> {
     })
 }
 
+/// Warmup + timed iterations of one sweep; returns sorted samples.
+fn time_sweep(run: &dyn Fn(), warmup: usize, iters: usize) -> Vec<f64> {
+    for _ in 0..warmup {
+        run();
+    }
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        run();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(f64::total_cmp);
+    samples
+}
+
+fn timing_row(series: String, samples: &[f64], iters: usize) -> Row {
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    Row::new(series, 0.0, median(samples), "s")
+        .with("min", samples[0])
+        .with("max", *samples.last().expect("at least one iteration"))
+        .with("mean", mean)
+        .with("iters", iters as f64)
+}
+
+/// The figures the `--workers-matrix` sharded series cover, and the
+/// worker counts they sweep.
+const MATRIX_FIGURES: [&str; 3] =
+    ["fig1_collective_wall", "fig7_tileio_groups", "fig9_scalability"];
+const MATRIX_WORKERS: [usize; 4] = [1, 2, 4, 8];
+
 fn main() {
     let args = parse_args();
     let mut rows = Vec::new();
@@ -250,29 +314,42 @@ fn main() {
         if !args.figures.is_empty() && !args.figures.iter().any(|f| name.starts_with(f.as_str())) {
             continue;
         }
-        for _ in 0..args.warmup {
-            run();
-        }
-        let mut samples = Vec::with_capacity(args.iters);
-        for _ in 0..args.iters {
-            let t0 = Instant::now();
-            run();
-            samples.push(t0.elapsed().as_secs_f64());
-        }
-        samples.sort_by(f64::total_cmp);
-        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        rows.push(
-            Row::new(format!("{name}@{}", args.series), 0.0, median(&samples), "s")
-                .with("min", samples[0])
-                .with("max", *samples.last().unwrap())
-                .with("mean", mean)
-                .with("iters", args.iters as f64),
-        );
+        let samples = time_sweep(&run, args.warmup, args.iters);
+        rows.push(timing_row(
+            format!("{name}@{}", args.series),
+            &samples,
+            args.iters,
+        ));
         if args.profile {
             // One extra armed run, outside the timed samples above.
             let profiled = bench::hostprof::profile(&run);
             bench::hostprof::print_top(name, &profiled, 8);
         }
+    }
+    if args.workers_matrix {
+        // The sharded-executor trajectory: same sweeps, worker counts
+        // pinned per series. Restore the ambient worker count after, so
+        // `--workers`/`SIMNET_WORKERS` still governs anything else.
+        let ambient = simnet::workers();
+        for (name, run) in tracked(args.scale) {
+            if !MATRIX_FIGURES.contains(&name) {
+                continue;
+            }
+            if !args.figures.is_empty()
+                && !args.figures.iter().any(|f| name.starts_with(f.as_str()))
+            {
+                continue;
+            }
+            for w in MATRIX_WORKERS {
+                simnet::set_workers(w);
+                let samples = time_sweep(&run, args.warmup, args.iters);
+                rows.push(
+                    timing_row(format!("{name}@workers{w}"), &samples, args.iters)
+                        .with("workers", w as f64),
+                );
+            }
+        }
+        simnet::set_workers(ambient);
     }
     if rows.is_empty() {
         eprintln!("hostperf: no tracked figure matches {:?}", args.figures);
@@ -288,7 +365,7 @@ fn main() {
                 println!("hostperf: {} has no baseline series (skipped)", fresh.series);
                 continue;
             };
-            let tol = check_tolerance(figure_of(&fresh.series), &args.tol_overrides);
+            let tol = check_tolerance(&fresh.series, &args.tol_overrides);
             // One-sided: only slower-than-baseline trips the gate.
             let budget = base.y * (1.0 + tol.rel) + tol.abs;
             let verdict = if fresh.y > budget {

@@ -118,11 +118,13 @@ pub fn attribution_rows(fig: &str, p: &Profiled) -> Vec<Row> {
             .with("samples", s.count as f64),
         );
     }
-    rows.push(
-        Row::new(format!("{fig}/attributed"), 0.0, p.attributed_pct(), "%")
-            .with("wall_s", p.wall_s)
-            .with("dropped", p.report.dropped as f64),
-    );
+    let mut attributed = Row::new(format!("{fig}/attributed"), 0.0, p.attributed_pct(), "%")
+        .with("wall_s", p.wall_s)
+        .with("dropped", p.report.dropped as f64);
+    for (thread, d) in &p.report.dropped_by_thread {
+        attributed = attributed.with(&format!("dropped[{thread}]"), *d as f64);
+    }
+    rows.push(attributed);
     for (name, value) in &p.report.counters {
         rows.push(Row::new(format!("{fig}/counter/{name}"), 0.0, *value as f64, "n"));
     }
@@ -161,6 +163,11 @@ pub fn print_top(fig: &str, p: &Profiled, k: usize) {
         counters.push_str(&format!("{name} {value}"));
     }
     println!("  counters: {counters}");
+    // Drops are a per-worker phenomenon under the sharded executor:
+    // name the thread instead of hiding it in the sum.
+    for (thread, d) in &p.report.dropped_by_thread {
+        println!("  dropped[{thread}]: {d}");
+    }
 }
 
 /// Write the report's collapsed stacks to `path` (the input format of

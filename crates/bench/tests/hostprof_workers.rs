@@ -1,0 +1,52 @@
+//! Multi-worker hostprof correctness: with the fiber executor sharded
+//! across 4 workers, every worker thread's samples must reach the
+//! merged report — armed runs still attribute the overwhelming share
+//! of wall time to named sinks, and any ring drops are reported
+//! against the worker that dropped them rather than vanishing into a
+//! silent sum.
+//!
+//! Lives in its own integration-test process because the worker count
+//! is process-global.
+
+use bench::hostprof::{profile, scenarios};
+use bench::Scale;
+
+#[cfg(not(feature = "hostprof-off"))]
+#[test]
+fn multi_worker_fig9_attributes_most_wall_to_named_sinks() {
+    simnet::set_workers(4);
+    let scens = scenarios(Scale::Quick);
+    let (name, run) = scens
+        .iter()
+        .find(|(name, _)| *name == "fig9_scalability")
+        .expect("fig9 scenario registered");
+    let p = profile(run);
+
+    // Each worker contributes its own FiberSched/FiberRun frames; if the
+    // sharded executor's threads failed to register with the profiler,
+    // attribution would collapse toward zero. (Per-thread frames can
+    // legitimately sum past 100% of wall — workers run concurrently.)
+    assert!(
+        p.attributed_pct() >= 80.0,
+        "{name}: only {:.1}% of wall attributed to named sinks under 4 workers",
+        p.attributed_pct()
+    );
+
+    // Sharded scheduling appeared at all: the scheduler frame sampled.
+    assert!(
+        p.report
+            .by_site()
+            .iter()
+            .any(|s| s.site == simtrace::host::Site::FiberSched && s.count > 0),
+        "no scheduler frames sampled"
+    );
+
+    // Drop accounting stays per-thread: rings normally never overflow,
+    // and when they do the report must name the thread.
+    assert_eq!(
+        p.report.dropped_by_thread.iter().map(|(_, d)| d).sum::<u64>(),
+        p.report.dropped,
+        "per-thread drop rows must tile the total"
+    );
+    assert_eq!(p.report.dropped, 0, "profiler rings overflowed mid-run");
+}

@@ -79,6 +79,11 @@ pub struct FsStats {
     /// Busy time of the busiest target — the straggler that lock-step
     /// collective rounds end up waiting for.
     pub max_ost_busy: SimTime,
+    /// Bytes of file-image pages resident in memory across all files
+    /// (the quantity the `SIMFS_SPILL_MB` streaming limit caps).
+    pub image_resident_bytes: u64,
+    /// Bytes of file-image pages parked in spill files across all files.
+    pub image_spilled_bytes: u64,
 }
 
 impl FileSystem {
@@ -278,15 +283,27 @@ impl FileSystem {
     /// Snapshot aggregate statistics.
     pub fn stats(&self) -> FsStats {
         let osts: Vec<OstStats> = self.inner.osts.iter().map(Ost::stats).collect();
+        let (opens, image_resident_bytes, image_spilled_bytes) = {
+            let mds = self.inner.mds.lock();
+            let (mut res, mut spill) = (0u64, 0u64);
+            for entry in mds.files.values() {
+                let st = entry.storage.lock();
+                res += st.resident_bytes();
+                spill += st.spilled_bytes();
+            }
+            (mds.opens, res, spill)
+        };
         FsStats {
             total_bytes: osts.iter().map(|s| s.bytes).sum(),
             total_requests: osts.iter().map(|s| s.requests).sum(),
-            opens: self.inner.mds.lock().opens,
+            opens,
             max_ost_busy: osts
                 .iter()
                 .map(|s| s.busy)
                 .fold(SimTime::ZERO, SimTime::max),
             osts,
+            image_resident_bytes,
+            image_spilled_bytes,
         }
     }
 }

@@ -41,3 +41,4 @@ pub use config::FsConfig;
 pub use fs::{FileHandle, FileSystem, FsStats};
 pub use layout::StripeLayout;
 pub use rangeset::RangeSet;
+pub use storage::{set_spill_limit, spill_limit};

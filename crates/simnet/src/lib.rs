@@ -58,7 +58,7 @@ pub use clock::Clock;
 pub use endpoint::{Endpoint, RecvInfo};
 pub use error::{SimError, SimResult};
 pub use fault::{FaultPlan, FaultRule, FaultState, MsgFault};
-pub use fiber::{executor, set_executor, Executor};
+pub use fiber::{executor, set_executor, set_workers, workers, Executor};
 pub use model::{CollectiveAlg, MachineModel, NetworkModel};
 pub use noise::SplitMix64;
 pub use progress::{admit, current_rank, Admission};

@@ -108,6 +108,15 @@ struct RankState {
 struct Inner {
     ranks: Vec<RankState>,
     next_seq: u64,
+    /// Bumped by every state change (all of which run through
+    /// [`ProgressRegistry::wake_min`]). Spinning waiters in
+    /// [`ProgressRegistry::acquire`] use it to skip the `O(n)`
+    /// admissibility re-scan when nothing has changed since the scan
+    /// last said no — admissibility is a pure function of this state,
+    /// so an unchanged version means an unchanged verdict. This matters
+    /// most under the sharded fiber executor, where several workers
+    /// poll the one registry concurrently.
+    version: u64,
 }
 
 /// Cluster-wide admission gate; one per [`crate::run_cluster`] run.
@@ -193,6 +202,7 @@ impl ProgressRegistry {
                     })
                     .collect(),
                 next_seq: 0,
+                version: 0,
             }),
             cvs: (0..n).map(|_| Condvar::new()).collect(),
             poison,
@@ -203,7 +213,8 @@ impl ProgressRegistry {
     /// the holder of the minimum pending key. (If that rank currently
     /// *holds* the admission rather than waiting, the notify is a no-op
     /// and the next wake happens at its release — which re-runs this.)
-    fn wake_min(&self, inner: &Inner) {
+    fn wake_min(&self, inner: &mut Inner) {
+        inner.version += 1;
         let mut best: Option<(&ReqKey, usize)> = None;
         for (r, st) in inner.ranks.iter().enumerate() {
             if let Mode::Pending { key } = &st.mode {
@@ -355,9 +366,19 @@ impl ProgressRegistry {
         st.mode = Mode::Pending { key };
         // The new pending key raises this rank's bound for everyone
         // else, possibly unblocking the current minimum pending request.
-        self.wake_min(&inner);
+        self.wake_min(&mut inner);
         let mut polls = 0u32;
-        while !Self::admissible(&inner, &key) {
+        // Version of the registry state the last failed scan saw: an
+        // unchanged version on wake means an unchanged (negative)
+        // verdict, so the scan can be skipped outright.
+        let mut denied_at: Option<u64> = None;
+        while denied_at == Some(inner.version) || {
+            let ok = Self::admissible(&inner, &key);
+            if !ok {
+                denied_at = Some(inner.version);
+            }
+            !ok
+        } {
             self.poison.check();
             if crate::fiber::in_fiber() {
                 // Cooperative executor: release the lock and let the
@@ -387,7 +408,7 @@ impl ProgressRegistry {
             st.floor = st.floor.max(key.arrival);
         }
         st.mode = Mode::Running;
-        self.wake_min(&inner);
+        self.wake_min(&mut inner);
     }
 
     /// Register `rank` as blocked on a receive with no matching packet
@@ -396,7 +417,7 @@ impl ProgressRegistry {
     pub(crate) fn block_recv(&self, rank: usize, src: usize, ctx: u32, tag: i32) {
         let mut inner = self.inner.lock();
         inner.ranks[rank].mode = Mode::Recv { src, ctx, tag };
-        self.wake_min(&inner);
+        self.wake_min(&mut inner);
     }
 
     /// A packet `(src, ctx, tag)` was just delivered to `dst`'s mailbox:
@@ -409,7 +430,7 @@ impl ProgressRegistry {
         if matches!(&st.mode, Mode::Recv { src: s, ctx: c, tag: t } if *s == src && *c == ctx && *t == tag)
         {
             st.mode = Mode::Running;
-            self.wake_min(&inner);
+            self.wake_min(&mut inner);
         }
     }
 
@@ -419,7 +440,7 @@ impl ProgressRegistry {
     pub(crate) fn block_rdv(&self, rank: usize, id: u64, members: Arc<Vec<usize>>) {
         let mut inner = self.inner.lock();
         inner.ranks[rank].mode = Mode::Rdv { id, members };
-        self.wake_min(&inner);
+        self.wake_min(&mut inner);
     }
 
     /// The meeting `id` just completed: downgrade every participant still
@@ -436,7 +457,7 @@ impl ProgressRegistry {
             }
         }
         if changed {
-            self.wake_min(&inner);
+            self.wake_min(&mut inner);
         }
     }
 
@@ -447,7 +468,7 @@ impl ProgressRegistry {
         let st = &mut inner.ranks[rank];
         if !matches!(st.mode, Mode::Running) {
             st.mode = Mode::Running;
-            self.wake_min(&inner);
+            self.wake_min(&mut inner);
         }
     }
 
@@ -455,7 +476,7 @@ impl ProgressRegistry {
     fn finish(&self, rank: usize) {
         let mut inner = self.inner.lock();
         inner.ranks[rank].mode = Mode::Finished;
-        self.wake_min(&inner);
+        self.wake_min(&mut inner);
     }
 }
 

@@ -59,6 +59,18 @@ pub struct ClusterConfig {
     /// is the unperturbed cluster, bitwise identical to a build without
     /// the fault layer.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Worker threads for the fiber executor: `0` (the default) uses the
+    /// process default ([`crate::fiber::workers`], i.e. `SIMNET_WORKERS`
+    /// or 1). Purely a host-side knob — virtual time and every
+    /// deterministic artifact are bitwise identical for any value.
+    pub workers: usize,
+    /// Rank → worker placement hint for the sharded fiber executor
+    /// (length `nranks`, values below the worker count; out-of-range
+    /// values clamp). `None` falls back to contiguous rank blocks.
+    /// ParColl callers align this to subgroup boundaries so each
+    /// subgroup's communication stays worker-local. Placement affects
+    /// host performance only, never virtual time.
+    pub placement: Option<Arc<Vec<usize>>>,
 }
 
 impl ClusterConfig {
@@ -72,6 +84,8 @@ impl ClusterConfig {
             stack_size: default_stack_size(),
             trace: simtrace::TraceSink::disabled(),
             faults: None,
+            workers: 0,
+            placement: None,
         }
     }
 
@@ -84,6 +98,8 @@ impl ClusterConfig {
             stack_size: default_stack_size(),
             trace: simtrace::TraceSink::disabled(),
             faults: None,
+            workers: 0,
+            placement: None,
         }
     }
 }
@@ -179,6 +195,70 @@ where
     // not nest a second scheduler on the same stack — fall back to
     // threads for the inner run.
     if crate::fiber::executor() == crate::fiber::Executor::Fibers && !crate::fiber::in_fiber() {
+        let workers = if cfg.workers == 0 {
+            crate::fiber::workers()
+        } else {
+            cfg.workers
+        }
+        .clamp(1, n.max(1));
+        if workers > 1 {
+            // Sharded fiber executor: partition ranks across worker
+            // threads (by the placement hint, aligned to ParColl
+            // subgroups when the caller provides one) and run one
+            // scheduler per worker. Virtual time is identical to the
+            // single-worker path — determinism never depended on the
+            // interleaving — so this changes host wall-clock only.
+            let placement: Vec<usize> = match cfg.placement.as_deref() {
+                Some(p) if p.len() == n => {
+                    p.iter().map(|&w| w.min(workers - 1)).collect()
+                }
+                _ => (0..n).map(|r| r * workers / n).collect(),
+            };
+            let slots: Vec<parking_lot::Mutex<Option<T>>> =
+                (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+                .iter()
+                .enumerate()
+                .map(|(rank, slot)| {
+                    let ep = make_ep(rank);
+                    let f = Arc::clone(&f);
+                    let guard_flag = Arc::clone(&poison);
+                    let registry = Arc::clone(&registry);
+                    Box::new(move || {
+                        let _guard = PoisonOnPanic(guard_flag);
+                        // See the single-worker path below for the
+                        // context's role.
+                        let _ctx = progress::install(registry, rank);
+                        *slot.lock() = Some(f(ep));
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            let stall_flag = Arc::clone(&poison);
+            let stall_plan = cfg.faults.clone();
+            let panics = crate::fiber::run_fibers_sharded(
+                tasks,
+                &placement,
+                workers,
+                cfg.stack_size,
+                move || {
+                    if stall_plan.as_ref().is_some_and(|p| p.outstanding() > 0) {
+                        return false;
+                    }
+                    stall_flag.poison();
+                    true
+                },
+            );
+            if let Some(payload) = pick_primary(panics.into_iter().flatten()) {
+                std::panic::resume_unwind(payload);
+            }
+            return slots
+                .into_iter()
+                .map(|s| {
+                    s.into_inner()
+                        .expect("every fiber completed without panicking")
+                })
+                .collect();
+        }
         let slots: Vec<std::cell::RefCell<Option<T>>> =
             (0..n).map(|_| std::cell::RefCell::new(None)).collect();
         let tasks: Vec<Box<dyn FnOnce() + '_>> = slots
@@ -359,6 +439,48 @@ mod tests {
         let threads = run(crate::fiber::Executor::Threads);
         crate::fiber::set_executor(before);
         assert_eq!(fibers, threads, "executor choice leaked into virtual time");
+    }
+
+    #[test]
+    fn sharded_and_single_agree_on_virtual_time() {
+        // The sharded fiber executor is a host-side substrate choice
+        // exactly like fibers-vs-threads: virtual timestamps must be
+        // bitwise identical for every worker count and placement,
+        // including workers exceeding the rank count and a placement
+        // hint that splits communicating ranks across workers.
+        let workload = |ep: crate::endpoint::Endpoint| {
+            let n = ep.size();
+            let next = (ep.rank() + 1) % n;
+            let prev = (ep.rank() + n - 1) % n;
+            ep.send(next, 0, 1, IoBuffer::synthetic(1 << 14));
+            let _ = ep.recv(prev, 0, 1);
+            let rdv = ep.world_rendezvous();
+            let (_, done) = rdv.meet(ep.rank(), ep.now(), (), |_, max| ((), max));
+            ep.clock().advance_to(done);
+            ep.now().as_secs()
+        };
+        let run = |e: crate::fiber::Executor, workers: usize, placement: Option<Vec<usize>>| {
+            crate::fiber::set_executor(e);
+            let mut cfg = ClusterConfig::cray_xt(12, Mapping::Cyclic);
+            cfg.workers = workers;
+            cfg.placement = placement.map(Arc::new);
+            run_cluster(cfg, workload)
+        };
+        let before = crate::fiber::executor();
+        let single = run(crate::fiber::Executor::Fibers, 1, None);
+        let threads = run(crate::fiber::Executor::Threads, 1, None);
+        for w in [2, 4, 8, 16] {
+            let sharded = run(crate::fiber::Executor::Fibers, w, None);
+            assert_eq!(sharded, single, "workers={w} changed virtual time");
+        }
+        let scattered = run(
+            crate::fiber::Executor::Fibers,
+            4,
+            Some((0..12).map(|r| r % 4).collect()),
+        );
+        crate::fiber::set_executor(before);
+        assert_eq!(scattered, single, "placement hint changed virtual time");
+        assert_eq!(threads, single, "thread fallback changed virtual time");
     }
 
     #[test]

@@ -351,6 +351,12 @@ pub struct Report {
     /// Samples dropped by full rings (0 in normal operation: rings
     /// drain into the aggregate table before they fill).
     pub dropped: u64,
+    /// Per-thread drop counts, summed by thread name and sorted by it;
+    /// only threads that dropped anything appear. With the sharded
+    /// executor each worker records into its own ring, so a drop on one
+    /// worker is reported against that worker's name instead of being
+    /// silently folded into the total.
+    pub dropped_by_thread: Vec<(String, u64)>,
 }
 
 impl Report {
@@ -449,10 +455,28 @@ mod engine {
     }
 
     /// Per-thread aggregate shared with the collector via the registry.
-    #[derive(Default)]
     struct ThreadAgg {
+        /// The owning thread's name at registration time (executor
+        /// workers are named `simnet-worker-<w>`); anonymous threads
+        /// get their `ThreadId` rendering.
+        name: String,
         stats: Mutex<HashMap<u64, PathStat>>,
         dropped: AtomicU64,
+    }
+
+    impl ThreadAgg {
+        fn for_current_thread() -> Self {
+            let t = std::thread::current();
+            let name = match t.name() {
+                Some(n) => n.to_string(),
+                None => format!("{:?}", t.id()),
+            };
+            ThreadAgg {
+                name,
+                stats: Mutex::new(HashMap::new()),
+                dropped: AtomicU64::new(0),
+            }
+        }
     }
 
     fn registry() -> &'static Mutex<Vec<Arc<ThreadAgg>>> {
@@ -472,12 +496,15 @@ mod engine {
         /// + 1), outermost in the highest occupied byte.
         path: u64,
         ring: RingBuf<Sample>,
+        /// Ring drops already published to `agg` (the ring's counter is
+        /// cumulative; only the delta is new on each flush).
+        reported_drops: u64,
         agg: Arc<ThreadAgg>,
     }
 
     impl ThreadState {
         fn new() -> Self {
-            let agg = Arc::new(ThreadAgg::default());
+            let agg = Arc::new(ThreadAgg::for_current_thread());
             let epoch = EPOCH.load(Ordering::Relaxed);
             lock(registry()).push(Arc::clone(&agg));
             ThreadState {
@@ -485,6 +512,7 @@ mod engine {
                 stack: Vec::with_capacity(2 * MAX_DEPTH),
                 path: 0,
                 ring: RingBuf::new(RING_CAP),
+                reported_drops: 0,
                 agg,
             }
         }
@@ -505,18 +533,22 @@ mod engine {
         }
 
         fn flush(&mut self) {
-            if self.ring.is_empty() {
-                return;
+            if !self.ring.is_empty() {
+                let mut stats = lock(&self.agg.stats);
+                while let Some(s) = self.ring.pop() {
+                    let e = stats.entry(s.path).or_default();
+                    e.count += 1;
+                    e.total_ns += s.dur_ns;
+                }
             }
-            let mut stats = lock(&self.agg.stats);
-            while let Some(s) = self.ring.pop() {
-                let e = stats.entry(s.path).or_default();
-                e.count += 1;
-                e.total_ns += s.dur_ns;
-            }
-            let dropped = self.ring.dropped();
-            if dropped > 0 {
-                self.agg.dropped.fetch_add(dropped, Ordering::Relaxed);
+            // The ring's drop counter is cumulative over its lifetime;
+            // publish only what has not been reported yet.
+            let total = self.ring.dropped();
+            if total > self.reported_drops {
+                self.agg
+                    .dropped
+                    .fetch_add(total - self.reported_drops, Ordering::Relaxed);
+                self.reported_drops = total;
             }
         }
 
@@ -629,13 +661,19 @@ mod engine {
         let _ = STATE.try_with(|st| st.borrow_mut().flush());
         let mut merged: HashMap<u64, PathStat> = HashMap::new();
         let mut dropped = 0u64;
+        let mut by_thread: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
         for agg in lock(registry()).iter() {
             for (path, stat) in lock(&agg.stats).iter() {
                 let e = merged.entry(*path).or_default();
                 e.count += stat.count;
                 e.total_ns += stat.total_ns;
             }
-            dropped += agg.dropped.load(Ordering::Relaxed);
+            let d = agg.dropped.load(Ordering::Relaxed);
+            dropped += d;
+            if d > 0 {
+                *by_thread.entry(agg.name.clone()).or_default() += d;
+            }
         }
         let mut keys: Vec<u64> = merged.keys().copied().collect();
         keys.sort_unstable();
@@ -662,7 +700,23 @@ mod engine {
         let counters = (0..COUNTER_COUNT)
             .map(|i| (COUNTER_NAMES[i], COUNTERS[i].load(Ordering::Relaxed)))
             .collect();
-        Report { paths, counters, dropped }
+        Report {
+            paths,
+            counters,
+            dropped,
+            dropped_by_thread: by_thread.into_iter().collect(),
+        }
+    }
+
+    /// Test-only: register `n` synthetic ring drops on the calling
+    /// thread, as a full ring whose drain failed would.
+    #[cfg(test)]
+    pub(super) fn inject_drops_for_test(n: u64) {
+        let _ = STATE.try_with(|st| {
+            let mut st = st.borrow_mut();
+            st.resync();
+            st.agg.dropped.fetch_add(n, Ordering::Relaxed);
+        });
     }
 
     fn parent_of(path: u64) -> Option<u64> {
@@ -829,11 +883,50 @@ mod tests {
         assert!(Site::from_id(SITE_COUNT as u8).is_none());
     }
 
+    /// The recording tests mutate process-global profiler state
+    /// (enable flag, epoch, registry); serialize them.
+    #[cfg(not(feature = "hostprof-off"))]
+    fn recording_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[cfg(not(feature = "hostprof-off"))]
+    #[test]
+    fn dropped_samples_are_attributed_to_their_thread() {
+        let _serial = recording_lock();
+        std::thread::Builder::new()
+            .name("drop-source".into())
+            .spawn(|| {
+                engine::inject_drops_for_test(3);
+                engine::inject_drops_for_test(2);
+            })
+            .expect("spawn drop-source")
+            .join()
+            .expect("join drop-source");
+        let report = collect();
+        let per_thread = report
+            .dropped_by_thread
+            .iter()
+            .find(|(name, _)| name == "drop-source")
+            .expect("dropping thread reported by name");
+        assert_eq!(per_thread.1, 5);
+        assert!(report.dropped >= 5, "total covers the per-thread rows");
+        assert_eq!(
+            report.dropped_by_thread.iter().map(|(_, d)| d).sum::<u64>(),
+            report.dropped,
+            "per-thread rows tile the total"
+        );
+        reset();
+        assert!(collect().dropped_by_thread.is_empty());
+    }
+
     // The recording tests mutate process-global profiler state, so they
     // run as one test body.
     #[cfg(not(feature = "hostprof-off"))]
     #[test]
     fn scopes_nest_counters_count_and_reset_clears() {
+        let _serial = recording_lock();
         reset();
         set_enabled(true);
         {
@@ -899,6 +992,7 @@ mod tests {
     #[cfg(not(feature = "hostprof-off"))]
     #[test]
     fn deep_nesting_folds_into_deepest_representable_ancestor() {
+        let _serial = recording_lock();
         // Depth > MAX_DEPTH must not lose time or unbalance the stack.
         fn nest(depth: usize) {
             if depth == 0 {

@@ -6,7 +6,7 @@
 
 use parcoll::PolicyCache;
 use simtrace::{chrome_trace_json, metrics_json, TraceSink};
-use workloads::runner::{run_workload, DataMode, IoMode, RunConfig, RunResult};
+use workloads::runner::{run_workload, IoMode, RunConfig, RunResult};
 use workloads::tileio::TileIo;
 
 /// One tuned epoch: a full open→write→read-back→close cycle resuming
@@ -122,6 +122,8 @@ fn degraded_reopen_invalidates_healthy_policy() {
         stack_size: simnet::default_stack_size(),
         trace: TraceSink::disabled(),
         faults: Some(plan),
+        workers: 0,
+        placement: None,
     };
     let fs2 = fs.clone();
     let cache2 = cache.clone();
@@ -131,7 +133,7 @@ fn degraded_reopen_invalidates_healthy_policy() {
             .with("parcoll_autotune", "true")
             .with("parcoll_min_group", 1);
         let n = 256usize;
-        let mut write_epochs = |f: &mut ParcollFile<'_>, k: usize| {
+        let write_epochs = |f: &mut ParcollFile<'_>, k: usize| {
             for call in 0..k {
                 let off = ((call * 8 + comm.rank()) * n) as u64;
                 f.write_at_all(off, &IoBuffer::synthetic(n));
