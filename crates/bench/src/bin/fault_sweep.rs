@@ -7,7 +7,10 @@
 //!
 //! * message-drop probability (each drop costs a retry round-trip),
 //! * a uniform OST service-time slowdown,
-//! * a single aggregator crash with mid-call failover.
+//! * a single aggregator crash with mid-call failover,
+//! * silent-corruption probability with end-to-end checksums on
+//!   (DESIGN.md §14) — every flipped piece is detected and repaired with
+//!   priced retries, and the row carries the repair volume.
 //!
 //! Every row is a fully deterministic virtual-time measurement: the same
 //! seeded plan always yields the same bandwidth, so these rows are
@@ -16,6 +19,7 @@
 use bench::figures::{tileio_at, BASELINE};
 use bench::{emit_json, print_table, Row, Scale};
 use simnet::{FaultPlan, SimTime};
+use simtrace::TraceSink;
 use std::sync::Arc;
 use workloads::runner::{run_workload, IoMode, RunConfig, RunResult};
 
@@ -76,6 +80,36 @@ fn main() {
             let r = faulted_run(mode.clone(), procs, full, plan);
             rows.push(
                 Row::new(format!("agg_crash/{series}"), crash as u64 as f64, r.write_mbps, "MB/s")
+                    .with("sync_s_avg", r.profile_avg.sync.as_secs()),
+            );
+        }
+    }
+
+    // Sweep 4: silent-corruption probability under the checksum
+    // protocol. Bandwidth decays smoothly as repair retries are priced
+    // onto the exchange; the traced `pieces_repaired` counter rides
+    // along so the row pins the repair *volume*, not just its cost —
+    // a protocol change that repairs more (or fewer) pieces trips the
+    // gate even if the timing happens to cancel out.
+    for &(ref series, ref mode) in &modes {
+        for &p in &[0.0, 0.05, 0.10, 0.25, 0.50] {
+            let sink = TraceSink::enabled();
+            let mut cfg = RunConfig::paper(mode.clone());
+            cfg.integrity = true;
+            cfg.trace = sink.clone();
+            if p > 0.0 {
+                cfg.faults = Some(Arc::new(FaultPlan::new(0xC02A).msg_corrupt(p, None, None)));
+            }
+            let r = run_workload(tileio_at(procs, full), cfg);
+            let repaired: u64 = sink
+                .finish()
+                .tracks
+                .iter()
+                .map(|t| t.counters.get("pieces_repaired").copied().unwrap_or(0))
+                .sum();
+            rows.push(
+                Row::new(format!("corrupt/{series}"), p, r.write_mbps, "MB/s")
+                    .with("pieces_repaired", repaired as f64)
                     .with("sync_s_avg", r.profile_avg.sync.as_secs()),
             );
         }

@@ -7,7 +7,7 @@
 //! ```text
 //! hostperf [--quick] [--iters N] [--warmup N] [--series LABEL]
 //!          [--figure NAME]... [--stack-size BYTES] [--profile]
-//!          [--workers N] [--workers-matrix]
+//!          [--workers N] [--workers-matrix] [--integrity-ab]
 //!          [--check <baseline.json>] [--tol FIGURE=REL[:ABS]]...
 //!          [--check-overhead <baseline.json>] [--out PATH] [--no-emit]
 //! ```
@@ -36,6 +36,14 @@
 //! `--stack-size` overrides the per-rank thread stack for every cluster
 //! the sweeps spawn (see `ClusterConfig::stack_size`).
 //!
+//! `--integrity-ab` is the checksum-cost gate (DESIGN.md §14): it times
+//! fig1/fig9-shaped *real-data* sweeps twice in-process — end-to-end
+//! integrity off, then on — and fails if checksums-on costs more than 5%
+//! wall-clock. Real data matters: the default tracked sweeps run
+//! synthetic buffers, where sealing is a placeholder and an A/B would
+//! measure nothing. Both sides are emitted as `<figure>@integrity-off` /
+//! `@integrity-on` rows so the trajectory is reviewable.
+//!
 //! `--workers N` pins the sharded fiber executor's worker count for the
 //! whole run (equivalent to `SIMNET_WORKERS=N`; CI's overhead A/B runs
 //! at `--workers 4` so the gate covers the multi-threaded scheduler).
@@ -59,6 +67,11 @@ use std::time::Instant;
 /// `hostprof-off` build, plus a 0.1 ms absolute floor so millisecond
 /// figures don't fail on scheduler noise.
 const OVERHEAD_TOL: Tolerance = Tolerance { rel: 0.02, abs: 1e-4 };
+
+/// `--integrity-ab` budget: checksums-on may cost at most 5% wall over
+/// checksums-off on the same real-data sweep, plus a 2 ms absolute floor
+/// so the quick-scale (tens of ms) sweeps don't fail on scheduler noise.
+const INTEGRITY_TOL: Tolerance = Tolerance { rel: 0.05, abs: 2e-3 };
 
 /// Per-figure `--check` envelope. fig1 regenerates in ~3 ms at quick
 /// scale — pure relative gating would make it the loosest or the
@@ -100,6 +113,7 @@ struct Args {
     figures: Vec<String>,
     profile: bool,
     workers_matrix: bool,
+    integrity_ab: bool,
     check: Option<String>,
     check_overhead: Option<String>,
     tol_overrides: Vec<(String, Tolerance)>,
@@ -116,6 +130,7 @@ fn parse_args() -> Args {
         figures: Vec::new(),
         profile: false,
         workers_matrix: false,
+        integrity_ab: false,
         check: None,
         check_overhead: None,
         tol_overrides: Vec::new(),
@@ -156,6 +171,7 @@ fn parse_args() -> Args {
                 i += 1;
             }
             "--workers-matrix" => out.workers_matrix = true,
+            "--integrity-ab" => out.integrity_ab = true,
             "--stack-size" => {
                 let bytes: usize = value(i).parse().expect("--stack-size: not a number");
                 simnet::set_default_stack_size(bytes);
@@ -256,6 +272,46 @@ fn tracked(scale: Scale) -> Vec<bench::hostprof::Scenario> {
     ]
 }
 
+/// The fig1/fig9-shaped sweeps the `--integrity-ab` gate times, each
+/// parameterized by the checksum knob. Paper configuration on both
+/// sides — the same synthetic regime the tracked fig1/fig9 sweeps run —
+/// so the A/B isolates what turning integrity on costs the figure
+/// pipeline itself: the hint plumbing, trailer bookkeeping, and per-page
+/// sum tracking (synthetic pages record a marker, real hashing only
+/// happens where data is real).
+fn integrity_scenarios(scale: Scale) -> Vec<(&'static str, Box<dyn Fn(bool)>)> {
+    use workloads::runner::{run_workload, IoMode, RunConfig};
+    let full = scale == Scale::Paper;
+    let paper_run = move |p: usize, mode: IoMode, integrity: bool| {
+        let mut cfg = RunConfig::paper(mode);
+        cfg.integrity = integrity;
+        std::hint::black_box(run_workload(bench::figures::tileio_at(p, full), cfg));
+    };
+    vec![
+        (
+            "fig1_collective_wall",
+            Box::new(move |integrity| {
+                let procs: &[usize] =
+                    if full { &[16, 32, 64, 128, 256, 512] } else { &[8, 16, 32] };
+                for &p in procs {
+                    paper_run(p, IoMode::Collective, integrity);
+                }
+            }) as Box<dyn Fn(bool)>,
+        ),
+        (
+            "fig9_scalability",
+            Box::new(move |integrity| {
+                let procs: &[usize] = if full { &[64, 128, 256, 512, 1024] } else { &[8, 16] };
+                for &p in procs {
+                    paper_run(p, IoMode::Collective, integrity);
+                    let g = (p / 8).clamp(2, 64);
+                    paper_run(p, IoMode::Parcoll { groups: g }, integrity);
+                }
+            }),
+        ),
+    ]
+}
+
 fn median(sorted: &[f64]) -> f64 {
     let n = sorted.len();
     if n % 2 == 1 {
@@ -351,6 +407,48 @@ fn main() {
         }
         simnet::set_workers(ambient);
     }
+    let mut integrity_failures = 0usize;
+    if args.integrity_ab {
+        // Checksum-cost A/B: both halves timed back-to-back in this
+        // process, so the 5% budget compares like with like instead of
+        // this runner against whichever machine wrote the baseline.
+        for (name, run) in integrity_scenarios(args.scale) {
+            if !args.figures.is_empty() && !args.figures.iter().any(|f| name.starts_with(f.as_str()))
+            {
+                continue;
+            }
+            let off = time_sweep(&|| run(false), args.warmup, args.iters);
+            let on = time_sweep(&|| run(true), args.warmup, args.iters);
+            let (m_off, m_on) = (median(&off), median(&on));
+            let budget = m_off * (1.0 + INTEGRITY_TOL.rel) + INTEGRITY_TOL.abs;
+            let verdict = if m_on > budget {
+                integrity_failures += 1;
+                "FAIL"
+            } else {
+                "ok"
+            };
+            println!(
+                "hostperf: integrity: {name} checksums-on {:.4}s vs off {:.4}s \
+                 ({:+.2}%, budget {:.0}%+{:.0}ms) {verdict}",
+                m_on,
+                m_off,
+                (m_on / m_off.max(f64::MIN_POSITIVE) - 1.0) * 100.0,
+                INTEGRITY_TOL.rel * 100.0,
+                INTEGRITY_TOL.abs * 1e3,
+            );
+            rows.push(
+                timing_row(format!("{name}@integrity-off"), &off, args.iters),
+            );
+            rows.push(
+                timing_row(format!("{name}@integrity-on"), &on, args.iters)
+                    .with("overhead_rel", m_on / m_off.max(f64::MIN_POSITIVE) - 1.0),
+            );
+            if args.profile {
+                let profiled = bench::hostprof::profile(&|| run(true));
+                bench::hostprof::print_top(&format!("{name} (checksums on)"), &profiled, 8);
+            }
+        }
+    }
     if rows.is_empty() {
         eprintln!("hostperf: no tracked figure matches {:?}", args.figures);
         std::process::exit(2);
@@ -428,6 +526,14 @@ fn main() {
             );
             std::process::exit(1);
         }
+    }
+
+    if integrity_failures > 0 {
+        eprintln!(
+            "hostperf: checksums-on cost >{:.0}% wall-clock on {integrity_failures} figure(s)",
+            INTEGRITY_TOL.rel * 100.0
+        );
+        std::process::exit(1);
     }
 
     if let Some(path) = &args.out {

@@ -13,6 +13,9 @@
 //!   --align BYTES        stripe-align collective file domains
 //!   --adaptive           adaptive group-size selection
 //!   --autotune           online feedback tuning (parcoll::autotune)
+//!   --integrity          end-to-end checksums (pieces + at-rest pages)
+//!   --scrub              at-rest scrub pass after the run (implies --integrity)
+//!   --rot N              plant N seeded at-rest rot extents (with --scrub)
 //!   --block BYTES        ior: per-rank block (default 64 MiB)
 //!   --transfer BYTES     ior: per-call transfer (default 4 MiB)
 //!   --calls N            ior: cap transfer count
@@ -51,7 +54,7 @@ impl Args {
                 .unwrap_or_else(|| usage(&format!("unexpected argument {a:?}")))
                 .to_string();
             match key.as_str() {
-                "verify" | "adaptive" | "autotune" => {
+                "verify" | "adaptive" | "autotune" | "integrity" | "scrub" => {
                     flags.insert(key);
                 }
                 _ => {
@@ -120,6 +123,8 @@ fn main() {
         read_back: args.flags.contains("verify"),
         trace: simtrace::TraceSink::disabled(),
         faults: None,
+        integrity: args.flags.contains("integrity") || args.flags.contains("scrub"),
+        scrub: args.flags.contains("scrub"),
         autotune: args
             .flags
             .contains("autotune")
@@ -133,6 +138,16 @@ fn main() {
     }
     if args.flags.contains("adaptive") {
         cfg.info.set("parcoll_adaptive", "true");
+    }
+    let rot: usize = args.get("rot", 0);
+    if rot > 0 {
+        // Seeded at-rest corruption for the scrubber to find: spread the
+        // extents across the front of the file image.
+        let mut plan = simnet::FaultPlan::new(0xD1CE);
+        for i in 0..rot {
+            plan = plan.ost_rot((i as u64) * (1 << 20), 4096);
+        }
+        cfg.faults = Some(std::sync::Arc::new(plan));
     }
 
     let result: RunResult = match args.workload.as_str() {
@@ -185,6 +200,21 @@ fn main() {
         "rounds={} collective_calls={}",
         result.profile_max.rounds, result.profile_max.calls
     );
+    if let Some(scrub) = &result.scrub {
+        println!(
+            "scrub: {} files, {:.1} MB scanned, {} extents repaired, {} unrepairable",
+            scrub.files_scanned,
+            scrub.bytes_scanned as f64 / 1e6,
+            scrub.repaired.len(),
+            scrub.unrepairable.len()
+        );
+        for (path, off, len) in &scrub.repaired {
+            println!("  repaired {path} [{off}, +{len})");
+        }
+        for (path, off, len) in &scrub.unrepairable {
+            println!("  UNREPAIRABLE {path} [{off}, +{len})");
+        }
+    }
 }
 
 fn describe<W: Workload>(w: &W) {

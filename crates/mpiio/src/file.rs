@@ -153,6 +153,7 @@ impl<'ep> File<'ep> {
             aggregators: select_aggregators(&self.comm, &self.hints),
             cb_buffer_size: self.hints.cb_buffer_size,
             align: self.hints.cb_align,
+            checksums: self.hints.integrity,
         }
     }
 

@@ -28,6 +28,11 @@ pub struct Hints {
     /// (`romio_ds_write`); off by default, as in ROMIO on Lustre (the
     /// read-modify-write needs whole-span locking).
     pub ds_write: bool,
+    /// End-to-end piece checksums in the collective exchange
+    /// (`integrity_checksums`): pieces carry FNV-1a trailers, corrupted
+    /// transfers are detected and re-requested. Off by default — the
+    /// off path is bitwise identical to a build without the feature.
+    pub integrity: bool,
     /// Align collective file domains to this boundary (`striping_unit`):
     /// the Lustre-aware refinement Cray later shipped — aligned domains
     /// keep each stripe's writes on a single aggregator, avoiding
@@ -59,6 +64,7 @@ impl Hints {
                 .unwrap_or(4 << 20),
             ds_read: info.get_bool("romio_ds_read").unwrap_or(true),
             ds_write: info.get_bool("romio_ds_write").unwrap_or(false),
+            integrity: info.get_bool("integrity_checksums").unwrap_or(false),
             cb_align: info.get_usize("striping_unit").map(|v| v as u64),
             raw: info.clone(),
         }
@@ -78,6 +84,7 @@ mod tests {
         assert!(!h.ds_write);
         assert_eq!(h.cb_align, None);
         assert!(h.cb_aggregator_list.is_none());
+        assert!(!h.integrity);
     }
 
     #[test]
@@ -89,6 +96,7 @@ mod tests {
             .with("ind_rd_buffer_size", 65536)
             .with("romio_ds_read", "disable")
             .with("romio_ds_write", "enable")
+            .with("integrity_checksums", "enable")
             .with("striping_unit", 4 << 20);
         let h = Hints::from_info(&info);
         assert_eq!(h.cb_nodes, Some(16));
@@ -97,6 +105,7 @@ mod tests {
         assert_eq!(h.ind_rd_buffer_size, 65536);
         assert!(!h.ds_read);
         assert!(h.ds_write);
+        assert!(h.integrity);
         assert_eq!(h.cb_align, Some(4 << 20));
         assert_eq!(h.raw.get_usize("cb_nodes"), Some(16));
     }

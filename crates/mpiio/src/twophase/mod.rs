@@ -40,7 +40,7 @@ use reqs::{calc_my_req, pieces_in_window, Piece, PieceIndex};
 use simfs::{FileHandle, RangeSet};
 use simmpi::{codec, Communicator, ReduceOp};
 use simnet::buffer::BufferBuilder;
-use simnet::{FaultState, IoBuffer};
+use simnet::{corrupt_flip, fnv1a, FaultState, IoBuffer};
 
 /// Tag for request-list metadata messages.
 const TAG_REQ: i32 = 0x7001;
@@ -50,6 +50,12 @@ const TAG_DATA: i32 = 0x7002;
 const TAG_RECOVER: i32 = 0x7003;
 /// Tag for data exchange of an adopted (failed-over) file domain.
 const TAG_RECOVER_DATA: i32 = 0x7004;
+/// Tag for clean re-sends of a corrupted [`TAG_DATA`] message.
+const TAG_REPAIR: i32 = 0x7005;
+/// Tag for clean re-sends of a corrupted [`TAG_RECOVER_DATA`] message.
+const TAG_RECOVER_REPAIR: i32 = 0x7006;
+/// Bytes of the FNV-1a checksum trailer sealed onto exchanged pieces.
+const TRAILER: usize = 8;
 
 /// Configuration of one collective operation.
 #[derive(Debug, Clone)]
@@ -61,6 +67,12 @@ pub struct CollConfig {
     /// Align file-domain boundaries to this unit (Lustre stripe size);
     /// `None` divides evenly (ROMIO generic).
     pub align: Option<u64>,
+    /// End-to-end piece integrity (`integrity_checksums` hint): seal every
+    /// exchanged data payload with an FNV-1a trailer at pack time, verify
+    /// at unpack, and run the sender-assisted detect-and-repair protocol
+    /// on mismatch. Off is bitwise identical to a build without the
+    /// integrity layer.
+    pub checksums: bool,
 }
 
 impl CollConfig {
@@ -74,6 +86,170 @@ impl CollConfig {
             self.aggregators
         );
     }
+}
+
+/// Seal a packed payload: append the 8-byte little-endian FNV-1a trailer
+/// over the payload bytes. Announced transfer sizes exclude the trailer,
+/// so the protocol's size agreement and cursor lock-step are unchanged —
+/// only the wire carries the extra bytes. Synthetic payloads stay
+/// synthetic at `n + 8`: their integrity is modeled by the fault token (a
+/// link-level checksum stands in for one over bytes never materialized).
+fn seal(payload: IoBuffer, checksums: bool) -> IoBuffer {
+    if !checksums {
+        return payload;
+    }
+    let sum = match payload.as_slice() {
+        Some(bytes) => {
+            let _hp = simtrace::host::scope(simtrace::host::Site::CksumCompute);
+            fnv1a(bytes)
+        }
+        None => 0,
+    };
+    let mut b = BufferBuilder::with_capacity(payload.len() + TRAILER);
+    b.push(&payload);
+    b.push_bytes(&sum.to_le_bytes());
+    b.finish()
+}
+
+/// Check a sealed payload's trailer against its bytes. Synthetic payloads
+/// pass — the caller's fault token carries their corruption state.
+fn trailer_ok(payload: &IoBuffer) -> bool {
+    match payload.as_slice() {
+        Some(bytes) => {
+            let _hp = simtrace::host::scope(simtrace::host::Site::CksumVerify);
+            let n = bytes.len() - TRAILER;
+            let mut t = [0u8; TRAILER];
+            t.copy_from_slice(&bytes[n..]);
+            fnv1a(&bytes[..n]) == u64::from_le_bytes(t)
+        }
+        None => true,
+    }
+}
+
+/// Sender side of the repair protocol: when the fault layer corrupted the
+/// data message just posted, immediately post clean copies on the repair
+/// tag until one survives its own corruption draw (or the retry budget
+/// runs out). Sender and receiver derive the same copy count from the
+/// same seeded draws, so no negative acknowledgement needs to travel.
+fn resend_if_corrupt(
+    comm: &Communicator<'_>,
+    dst: usize,
+    repair_tag: i32,
+    payload: &IoBuffer,
+    checksums: bool,
+) {
+    if !checksums {
+        return;
+    }
+    let ep = comm.endpoint();
+    let Some(faults) = ep.faults().filter(|f| f.plan().has_corrupt_rules()) else {
+        return;
+    };
+    if faults.last_send_corrupt() == 0 {
+        return;
+    }
+    let retries = faults.plan().max_retries.max(1);
+    for _ in 0..retries {
+        comm.isend(dst, repair_tag, payload.clone());
+        if faults.last_send_corrupt() == 0 {
+            break;
+        }
+    }
+}
+
+/// Receiver side of the end-to-end integrity protocol for one received
+/// data payload.
+///
+/// Delivery is tombstoned: the wire payload arrives untouched and the
+/// consumer realizes any corruption its packet drew. Without checksums
+/// the flip is applied silently — exactly the wrong answer the integrity
+/// layer exists to prevent. With checksums the trailer mismatch is
+/// detected, an exponential-backoff re-request is charged per attempt,
+/// and the sender's clean copies (already posted, see
+/// [`resend_if_corrupt`]) are consumed until one verifies. If every copy
+/// was damaged in flight too, the recorded flip — which is self-inverse —
+/// is inverted in place, so the protocol never returns a silently wrong
+/// byte. Returns the payload with the trailer stripped.
+fn verify_payload(
+    comm: &Communicator<'_>,
+    src: usize,
+    data_tag: i32,
+    repair_tag: i32,
+    payload: IoBuffer,
+    checksums: bool,
+    prof: &mut PhaseProfile,
+) -> IoBuffer {
+    let ep = comm.endpoint();
+    let faults = ep.faults().filter(|f| f.plan().has_corrupt_rules());
+    let mut payload = payload;
+    let mut token = 0u64;
+    if src != comm.rank() {
+        if let Some(f) = &faults {
+            token = f.take_corrupt(src, data_tag);
+            if token != 0 {
+                if let Some(bytes) = payload.as_mut_slice() {
+                    corrupt_flip(bytes, token);
+                }
+            }
+        }
+    }
+    if !checksums {
+        return payload;
+    }
+    let n = payload.len() - TRAILER;
+    if token == 0 && trailer_ok(&payload) {
+        return payload.sub(0, n);
+    }
+    // Detected: consume the sender's clean copies, backing off per
+    // attempt as a re-request round trip. All costs land in a `recovery`
+    // span, like aggregator failover.
+    let faults = faults.expect("a corrupted payload implies an installed plan");
+    let plan = faults.plan();
+    let _hold = plan.hold_timer();
+    let t0 = ep.now();
+    let t = PhaseTimer::start(Phase::P2p, ep.now());
+    let mut repaired: Option<IoBuffer> = None;
+    let retries = plan.max_retries.max(1);
+    for attempt in 0..retries {
+        ep.clock()
+            .advance(plan.retry_timeout * (1u64 << attempt.min(20)) as f64);
+        let copy = comm.recv(src, repair_tag);
+        let copy_token = faults.take_corrupt(src, repair_tag);
+        if copy_token == 0 && trailer_ok(&copy) {
+            repaired = Some(copy);
+            break;
+        }
+    }
+    let fell_back = repaired.is_none();
+    let mut payload = repaired.unwrap_or(payload);
+    if fell_back && token != 0 {
+        if let Some(bytes) = payload.as_mut_slice() {
+            corrupt_flip(bytes, token);
+        }
+    }
+    t.stop_traced(ep.now(), prof, ep.trace());
+    let rec = ep.trace();
+    if rec.enabled() {
+        rec.span(
+            "phase",
+            "recovery",
+            t0.as_micros(),
+            ep.now().as_micros(),
+            vec![("at", simtrace::ArgValue::from("piece_repair"))],
+        );
+        rec.span(
+            "fault",
+            "piece_repair",
+            t0.as_micros(),
+            ep.now().as_micros(),
+            vec![("src", simtrace::ArgValue::from(src))],
+        );
+        rec.count("pieces_repaired", 1);
+        if fell_back {
+            rec.count("piece_repair_fallbacks", 1);
+        }
+    }
+    payload.sub(0, n)
 }
 
 /// Cursor over a sorted piece list that yields clipped sub-pieces in
@@ -356,6 +532,7 @@ fn fault_entry(
         aggregators: live,
         cb_buffer_size: cfg.cb_buffer_size,
         align: cfg.align,
+        checksums: cfg.checksums,
     }
 }
 
@@ -376,6 +553,10 @@ struct AdoptShared {
     dead_agg: usize,
     /// Local rank that adopted the dead domain.
     successor: usize,
+    /// Round whose detection must heal a torn write first: the dead
+    /// aggregator half-applied its previous window, so that round's
+    /// exchange replays in full before the current one.
+    heal_at: Option<u64>,
 }
 
 /// Aggregator failover, detected at `round`: the subgroup re-homes the
@@ -392,6 +573,7 @@ fn failover(
     faults: &FaultState,
     dead_agg: usize,
     round: u64,
+    torn: bool,
 ) -> (AdoptShared, Option<Adoption>) {
     let ep = comm.endpoint();
     let p = comm.size();
@@ -444,11 +626,15 @@ fn failover(
             .unwrap_or(0);
         // Replay: advance each source's cursor past the rounds the dead
         // aggregator completed. Senders consumed exactly these byte
-        // counts, so both sides stay in lock step.
+        // counts, so both sides stay in lock step. A torn crash backs up
+        // one extra window — the dead role's last write was only half
+        // applied, and the detection round re-exchanges it in full.
+        let done_rounds = if torn { round - 1 } else { round };
         let cursor_pos = others
             .iter()
             .map(|idx| {
-                let done = idx.bytes_in_window(st_dead, st_dead + round * cfg.cb_buffer_size);
+                let done =
+                    idx.bytes_in_window(st_dead, st_dead + done_rounds * cfg.cb_buffer_size);
                 let mut c = PieceCursor::new(idx.pieces());
                 c.consume(done, |_| {});
                 c.position()
@@ -496,6 +682,7 @@ fn failover(
         AdoptShared {
             dead_agg,
             successor,
+            heal_at: torn.then_some(round),
         },
         adoption,
     )
@@ -544,40 +731,92 @@ pub fn write_all(
         .iter()
         .map(|&a| comm.global_rank(a))
         .collect();
-    let mut adopt_shared: Option<AdoptShared> = None;
-    let mut adoption: Option<Adoption> = None;
+    let mut adoptions: Vec<(AdoptShared, Option<Adoption>)> = Vec::new();
     let mut my_role_dead = false;
+    // Torn-write bookkeeping: cumulative and previous-round bytes this
+    // rank sent toward each aggregator's domain, so a torn failover can
+    // rewind the send cursor by exactly one window.
+    let naggs = cfg.aggregators.len();
+    let mut sent_total = vec![0u64; naggs];
+    let mut sent_last = vec![0u64; naggs];
 
     for round in 0..setup.ntimes {
         prof.rounds += 1;
         let round_start = ep.now();
+        let mut torn_write = false;
         // Symmetric crash detection: every member consults the shared
         // plan against the agreed round counter, so the subgroup learns
         // of a crash in the same round without communicating (the
-        // simulation stands in for a timeout-based detector).
+        // simulation stands in for a timeout-based detector). Successor
+        // ranks adopted on an earlier failover are watched too: a crash
+        // while recovering re-homes the adopted domain again.
         if let Some(faults) = crash_faults {
             let round_id = faults.next_write_round();
+            let crashed = |g: usize| {
+                faults.plan().agg_crash(g).is_some_and(|k| round_id >= k) && !faults.is_dead(g)
+            };
             let newly: Vec<usize> = agg_globals
                 .iter()
                 .enumerate()
-                .filter(|&(_, &g)| {
-                    faults.plan().agg_crash(g).is_some_and(|k| round_id >= k) && !faults.is_dead(g)
-                })
+                .filter(|&(_, &g)| crashed(g))
                 .map(|(ai, _)| ai)
                 .collect();
-            if let Some(&dead_ai) = newly.first() {
-                assert!(
-                    newly.len() == 1 && adopt_shared.is_none(),
-                    "at most one aggregator failover per collective call is supported"
-                );
-                faults.mark_dead(agg_globals[dead_ai]);
-                if setup.my_agg_idx == Some(dead_ai) {
-                    my_role_dead = true;
+            let rehome: Vec<usize> = adoptions
+                .iter()
+                .filter(|(sh, _)| crashed(comm.global_rank(sh.successor)))
+                .map(|(sh, _)| sh.dead_agg)
+                .collect();
+            if !newly.is_empty() || !rehome.is_empty() {
+                // Mark every rank that died this round before choosing
+                // successors, so no domain lands on a fresh corpse.
+                for &ai in &newly {
+                    faults.mark_dead(agg_globals[ai]);
+                    if setup.my_agg_idx == Some(ai) {
+                        my_role_dead = true;
+                    }
                 }
-                let (shared, mine) = failover(comm, cfg, &setup, faults, dead_ai, round);
-                adopt_shared = Some(shared);
-                adoption = mine;
+                for (sh, ad) in adoptions.iter_mut() {
+                    if rehome.contains(&sh.dead_agg) {
+                        faults.mark_dead(comm.global_rank(sh.successor));
+                        *ad = None;
+                    }
+                }
+                // Domains to (re)assign, ascending: freshly dead ones
+                // plus adopted ones whose successor died.
+                let mut domains: Vec<usize> =
+                    newly.iter().chain(rehome.iter()).copied().collect();
+                domains.sort_unstable();
+                domains.dedup();
+                for dead_ai in domains {
+                    adoptions.retain(|(sh, _)| sh.dead_agg != dead_ai);
+                    let torn = newly.contains(&dead_ai)
+                        && round >= 1
+                        && faults.plan().torn_crash(agg_globals[dead_ai]);
+                    if torn {
+                        // Senders rewind one window; the heal exchange
+                        // in this round's adopted batch re-consumes it.
+                        let back = sent_total[dead_ai] - sent_last[dead_ai];
+                        let mut c = PieceCursor::new(&setup.my_req[dead_ai]);
+                        c.consume(back, |_| {});
+                        send_cursors[dead_ai] = c;
+                        sent_total[dead_ai] = back;
+                    }
+                    let (shared, mine) =
+                        failover(comm, cfg, &setup, faults, dead_ai, round, torn);
+                    adoptions.push((shared, mine));
+                }
             }
+            // The round before a torn crash: the dying aggregator's own
+            // window write is half-applied (the exchange itself succeeds;
+            // only the OST write is interrupted). Injected only when the
+            // detection round still falls inside this call, so the heal
+            // replay can run.
+            let g = comm.global_rank(comm.rank());
+            torn_write = setup.my_agg_idx.is_some()
+                && !my_role_dead
+                && round + 1 < setup.ntimes
+                && faults.plan().torn_crash(g)
+                && faults.plan().agg_crash(g) == Some(faults.write_round());
         }
         // Aggregator's window for this round. A dead I/O role lives on
         // as a sender, but its domain now belongs to the successor.
@@ -605,31 +844,12 @@ pub fn write_all(
         let expected = comm.alltoall_sizes(row);
         t.stop_traced(ep.now(), prof, ep.trace());
 
-        // Adopted domain's size exchange (after a mid-call failover): the
-        // successor announces what it expects inside the dead domain's
-        // window for this round.
-        let adopt_round = adopt_shared.as_ref().map(|sh| {
-            let t = PhaseTimer::start(Phase::Sync, ep.now());
-            let mut row2 = vec![0u64; p];
-            let mut win2 = (0, 0);
-            if let Some(ad) = &adoption {
-                let lo = ad.st_dead + round * cfg.cb_buffer_size;
-                win2 = (lo, lo + cfg.cb_buffer_size);
-                for (src, idx) in ad.others.iter().enumerate() {
-                    row2[src] = idx.bytes_in_window(win2.0, win2.1);
-                }
-            }
-            let my_row2 = row2.clone();
-            let expected2 = comm.alltoall_sizes(row2);
-            t.stop_traced(ep.now(), prof, ep.trace());
-            (win2, my_row2, expected2, sh.dead_agg, sh.successor)
-        });
-
         // Senders: pack (local memcpy) and post (p2p) this round's bytes
         // for each aggregator.
         let mut self_payload: Option<IoBuffer> = None;
         for (a, &agg_rank) in cfg.aggregators.iter().enumerate() {
             let n = expected[agg_rank];
+            sent_last[a] = n;
             if n == 0 {
                 continue;
             }
@@ -640,42 +860,17 @@ pub fn write_all(
                 payload.push(&buf.sub(piece.buf_off as usize, piece.len as usize));
             });
             ep.charge_memcpy(n as usize);
-            let payload = payload.finish();
+            let payload = seal(payload.finish(), cfg.checksums);
             drop(hp);
             t.stop_traced(ep.now(), prof, ep.trace());
+            sent_total[a] += n;
             if agg_rank == comm.rank() {
                 self_payload = Some(payload);
             } else {
                 let t = PhaseTimer::start(Phase::P2p, ep.now());
-                comm.isend(agg_rank, TAG_DATA, payload);
+                comm.isend(agg_rank, TAG_DATA, payload.clone());
+                resend_if_corrupt(comm, agg_rank, TAG_REPAIR, &payload, cfg.checksums);
                 t.stop_traced(ep.now(), prof, ep.trace());
-            }
-        }
-
-        // Senders: this round's bytes for the adopted domain go to the
-        // successor (the dead role announces nothing after the crash, so
-        // the loop above never touches its cursor again).
-        let mut adopt_self: Option<IoBuffer> = None;
-        if let Some((_, _, expected2, dead_agg, successor)) = &adopt_round {
-            let n = expected2[*successor];
-            if n > 0 {
-                let t = PhaseTimer::start(Phase::Local, ep.now());
-                let hp = simtrace::host::scope(simtrace::host::Site::Pack);
-                let mut payload = BufferBuilder::with_capacity(n as usize);
-                send_cursors[*dead_agg].consume(n, |piece| {
-                    payload.push(&buf.sub(piece.buf_off as usize, piece.len as usize));
-                });
-                ep.charge_memcpy(n as usize);
-                let payload = payload.finish();
-                drop(hp);
-                t.stop_traced(ep.now(), prof, ep.trace());
-                if *successor == comm.rank() {
-                    adopt_self = Some(payload);
-                } else {
-                    let t = PhaseTimer::start(Phase::P2p, ep.now());
-                    comm.isend(*successor, TAG_RECOVER_DATA, payload);
-                    t.stop_traced(ep.now(), prof, ep.trace());
-                }
             }
         }
 
@@ -702,43 +897,141 @@ pub fn write_all(
         }
         t.stop_traced(ep.now(), prof, ep.trace());
 
+        // Verify (and, with checksums on, repair) every payload before it
+        // reaches the staging buffer; with checksums off this is where a
+        // planted in-flight flip lands in the data.
+        let incoming: Vec<(usize, IoBuffer)> = incoming
+            .into_iter()
+            .map(|(src, payload)| {
+                let payload =
+                    verify_payload(comm, src, TAG_DATA, TAG_REPAIR, payload, cfg.checksums, prof);
+                (src, payload)
+            })
+            .collect();
+
         // Aggregator: assemble the staging buffer and perform file I/O.
         if let (Some((lo, hi)), Some(cursors)) = (window, recv_cursors.as_mut()) {
-            write_window(comm, fh, space, prof, lo, hi, cursors, incoming);
+            write_window(comm, fh, space, prof, lo, hi, cursors, incoming, torn_write);
         }
 
-        // Successor: collect and write the adopted window, rebuilding
-        // transient cursors at the replayed positions and persisting the
-        // advance for the next round.
-        if let (Some(((lo2, hi2), my_row2, ..)), Some(ad)) = (&adopt_round, adoption.as_mut()) {
-            let t = PhaseTimer::start(Phase::P2p, ep.now());
-            let mut incoming2: Vec<(usize, IoBuffer)> = Vec::new();
-            let reqs: Vec<(usize, simmpi::RecvRequest)> = (0..p)
-                .filter(|&src| src != comm.rank() && my_row2[src] > 0)
-                .map(|src| (src, comm.irecv(src, TAG_RECOVER_DATA)))
-                .collect();
-            let payloads = comm.waitall(&reqs.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>());
-            for ((src, _), payload) in reqs.iter().zip(payloads) {
-                incoming2.push((*src, payload));
+        // Adopted domains (after mid-call failovers): each runs its own
+        // size and data exchange per round, in adoption order on every
+        // rank (identical order everywhere keeps the eager exchanges
+        // deadlock-free). A torn-crash domain detected this round first
+        // heals the half-written previous window with a full re-exchange.
+        let batches: Vec<(usize, u64)> = adoptions
+            .iter()
+            .enumerate()
+            .flat_map(|(i, (sh, _))| {
+                let heal = (sh.heal_at == Some(round)).then(|| (i, round - 1));
+                heal.into_iter().chain(std::iter::once((i, round)))
+            })
+            .collect();
+        for (i, wi) in batches {
+            let (dead_agg, successor) = {
+                let (sh, _) = &adoptions[i];
+                (sh.dead_agg, sh.successor)
+            };
+            // Size exchange: the successor announces what it expects
+            // inside the adopted domain's window `wi`.
+            let t = PhaseTimer::start(Phase::Sync, ep.now());
+            let mut row2 = vec![0u64; p];
+            let mut win2 = (0, 0);
+            if let (_, Some(ad)) = &adoptions[i] {
+                let lo = ad.st_dead + wi * cfg.cb_buffer_size;
+                win2 = (lo, lo + cfg.cb_buffer_size);
+                for (src, idx) in ad.others.iter().enumerate() {
+                    row2[src] = idx.bytes_in_window(win2.0, win2.1);
+                }
             }
-            if my_row2[comm.rank()] > 0 {
-                incoming2.push((
-                    comm.rank(),
-                    adopt_self.take().expect("adopted self payload was packed"),
-                ));
-            }
+            let my_row2 = row2.clone();
+            let expected2 = comm.alltoall_sizes(row2);
             t.stop_traced(ep.now(), prof, ep.trace());
-            let Adoption {
-                others, cursor_pos, ..
-            } = ad;
-            let mut tcursors: Vec<PieceCursor<'_>> = others
-                .iter()
-                .zip(cursor_pos.iter())
-                .map(|(idx, &(i, w))| PieceCursor::at(idx.pieces(), i, w))
-                .collect();
-            write_window(comm, fh, space, prof, *lo2, *hi2, &mut tcursors, incoming2);
-            for (pos, c) in cursor_pos.iter_mut().zip(&tcursors) {
-                *pos = c.position();
+
+            // Senders: this window's bytes for the adopted domain go to
+            // the successor (the dead role announces nothing after the
+            // crash, so the main loop never touches its cursor again).
+            let mut adopt_self: Option<IoBuffer> = None;
+            let n = expected2[successor];
+            if n > 0 {
+                let t = PhaseTimer::start(Phase::Local, ep.now());
+                let hp = simtrace::host::scope(simtrace::host::Site::Pack);
+                let mut payload = BufferBuilder::with_capacity(n as usize);
+                send_cursors[dead_agg].consume(n, |piece| {
+                    payload.push(&buf.sub(piece.buf_off as usize, piece.len as usize));
+                });
+                ep.charge_memcpy(n as usize);
+                let payload = seal(payload.finish(), cfg.checksums);
+                drop(hp);
+                t.stop_traced(ep.now(), prof, ep.trace());
+                sent_total[dead_agg] += n;
+                if successor == comm.rank() {
+                    adopt_self = Some(payload);
+                } else {
+                    let t = PhaseTimer::start(Phase::P2p, ep.now());
+                    comm.isend(successor, TAG_RECOVER_DATA, payload.clone());
+                    resend_if_corrupt(
+                        comm,
+                        successor,
+                        TAG_RECOVER_REPAIR,
+                        &payload,
+                        cfg.checksums,
+                    );
+                    t.stop_traced(ep.now(), prof, ep.trace());
+                }
+            }
+
+            // Successor: collect and write this window, rebuilding
+            // transient cursors at the persisted positions.
+            if adoptions[i].1.is_some() {
+                let t = PhaseTimer::start(Phase::P2p, ep.now());
+                let mut incoming2: Vec<(usize, IoBuffer)> = Vec::new();
+                let reqs: Vec<(usize, simmpi::RecvRequest)> = (0..p)
+                    .filter(|&src| src != comm.rank() && my_row2[src] > 0)
+                    .map(|src| (src, comm.irecv(src, TAG_RECOVER_DATA)))
+                    .collect();
+                let payloads =
+                    comm.waitall(&reqs.iter().map(|(_, r)| r.clone()).collect::<Vec<_>>());
+                for ((src, _), payload) in reqs.iter().zip(payloads) {
+                    incoming2.push((*src, payload));
+                }
+                if my_row2[comm.rank()] > 0 {
+                    incoming2.push((
+                        comm.rank(),
+                        adopt_self.take().expect("adopted self payload was packed"),
+                    ));
+                }
+                t.stop_traced(ep.now(), prof, ep.trace());
+                let incoming2: Vec<(usize, IoBuffer)> = incoming2
+                    .into_iter()
+                    .map(|(src, payload)| {
+                        let payload = verify_payload(
+                            comm,
+                            src,
+                            TAG_RECOVER_DATA,
+                            TAG_RECOVER_REPAIR,
+                            payload,
+                            cfg.checksums,
+                            prof,
+                        );
+                        (src, payload)
+                    })
+                    .collect();
+                let ad = adoptions[i].1.as_mut().expect("successor checked above");
+                let Adoption {
+                    others, cursor_pos, ..
+                } = ad;
+                let mut tcursors: Vec<PieceCursor<'_>> = others
+                    .iter()
+                    .zip(cursor_pos.iter())
+                    .map(|(idx, &(ci, w))| PieceCursor::at(idx.pieces(), ci, w))
+                    .collect();
+                write_window(
+                    comm, fh, space, prof, win2.0, win2.1, &mut tcursors, incoming2, false,
+                );
+                for (pos, c) in cursor_pos.iter_mut().zip(&tcursors) {
+                    *pos = c.position();
+                }
             }
         }
 
@@ -769,6 +1062,11 @@ pub fn write_all(
 }
 
 /// Place one round of received pieces and write them out.
+///
+/// `torn` models an aggregator dying mid-OST-write: every chunk of this
+/// window reaches storage truncated to its first half (the crash cuts
+/// the transfer short). The heal replay in the next round's detection
+/// rewrites the full window.
 #[allow(clippy::too_many_arguments)]
 fn write_window(
     comm: &Communicator<'_>,
@@ -779,6 +1077,7 @@ fn write_window(
     hi: u64,
     cursors: &mut [PieceCursor<'_>],
     incoming: Vec<(usize, IoBuffer)>,
+    torn: bool,
 ) {
     let ep = comm.endpoint();
     if incoming.is_empty() {
@@ -829,8 +1128,15 @@ fn write_window(
         drop(hp);
         t.stop_traced(ep.now(), prof, ep.trace());
         let t = PhaseTimer::start(Phase::Io, ep.now());
-        let done = space.write(fh, write_lo, &window_buf, ep.now());
-        ep.clock().advance_to(done);
+        let data = if torn {
+            window_buf.sub(0, window_buf.len() / 2)
+        } else {
+            window_buf
+        };
+        if !data.is_empty() {
+            let done = space.write(fh, write_lo, &data, ep.now());
+            ep.clock().advance_to(done);
+        }
         t.stop_traced(ep.now(), prof, ep.trace());
     } else {
         // Contiguous coverage: one large write per covered run (usually
@@ -847,7 +1153,13 @@ fn write_window(
         let t = PhaseTimer::start(Phase::Io, ep.now());
         let mut now = ep.now();
         for &(s, e) in coverage.ranges() {
-            let chunk = window_buf.sub((s - write_lo) as usize, (e - s) as usize);
+            let mut chunk = window_buf.sub((s - write_lo) as usize, (e - s) as usize);
+            if torn {
+                chunk = chunk.sub(0, chunk.len() / 2);
+                if chunk.is_empty() {
+                    continue;
+                }
+            }
             now = space.write(fh, s, &chunk, now);
         }
         ep.clock().advance_to(now);
@@ -934,14 +1246,15 @@ pub fn read_all(
                         );
                     });
                     ep.charge_memcpy(n as usize);
-                    let payload = payload.finish();
+                    let payload = seal(payload.finish(), cfg.checksums);
                     drop(hp);
                     t.stop_traced(ep.now(), prof, ep.trace());
                     if src == comm.rank() {
                         self_payload = Some(payload);
                     } else {
                         let t = PhaseTimer::start(Phase::P2p, ep.now());
-                        comm.isend(src, TAG_DATA, payload);
+                        comm.isend(src, TAG_DATA, payload.clone());
+                        resend_if_corrupt(comm, src, TAG_REPAIR, &payload, cfg.checksums);
                         t.stop_traced(ep.now(), prof, ep.trace());
                     }
                 }
@@ -966,6 +1279,23 @@ pub fn read_all(
             arrived.push((comm.rank(), selfp));
         }
         t.stop_traced(ep.now(), prof, ep.trace());
+
+        // Verify (and repair) before any byte lands in the user buffer.
+        let arrived: Vec<(usize, IoBuffer)> = arrived
+            .into_iter()
+            .map(|(agg_rank, payload)| {
+                let payload = verify_payload(
+                    comm,
+                    agg_rank,
+                    TAG_DATA,
+                    TAG_REPAIR,
+                    payload,
+                    cfg.checksums,
+                    prof,
+                );
+                (agg_rank, payload)
+            })
+            .collect();
 
         // Unpack: scatter received pieces into the user buffer — local
         // memory movement.

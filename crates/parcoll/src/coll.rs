@@ -569,6 +569,7 @@ fn subgroup_setup<'ep>(
         aggregators: sub_aggs,
         cb_buffer_size: parent_cfg.cb_buffer_size,
         align: parent_cfg.align,
+        checksums: parent_cfg.checksums,
     };
 
     let splits = cache.as_ref().map_or(0, |c| c.splits) + 1;
@@ -1369,6 +1370,7 @@ mod tests {
                 slow_prob: 0.0,
                 slow_factor: 1.0,
                 seed: 7,
+                integrity: false,
             });
             let fs2 = fs.clone();
             let profs = run_cluster(ClusterConfig::cray_xt(P, Mapping::Block), move |ep| {

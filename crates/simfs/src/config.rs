@@ -69,6 +69,11 @@ pub struct FsConfig {
     pub slow_factor: f64,
     /// Seed for the jitter generators.
     pub seed: u64,
+    /// End-to-end integrity: maintain per-page FNV-1a sums on the write
+    /// path, verify (and repair planted `ost_rot`) on the read path, and
+    /// enable [`crate::FileSystem::scrub`]. Off (the default) is bitwise
+    /// identical to a build without the integrity layer.
+    pub integrity: bool,
 }
 
 impl FsConfig {
@@ -91,6 +96,7 @@ impl FsConfig {
             slow_prob: 0.01,
             slow_factor: 20.0,
             seed: 0x0C0FFEE,
+            integrity: false,
         }
     }
 
@@ -114,6 +120,7 @@ impl FsConfig {
             slow_prob: 0.0,
             slow_factor: 1.0,
             seed: 1,
+            integrity: false,
         }
     }
 

@@ -1,11 +1,12 @@
 //! The file system: metadata service, files, and client operations.
 
 use crate::config::FsConfig;
+use crate::integrity::{IntegrityError, IntegrityStore, ScrubReport};
 use crate::layout::StripeLayout;
 use crate::ost::{Ost, OstStats};
-use crate::storage::Storage;
+use crate::storage::{Storage, PAGE_SIZE};
 use parking_lot::Mutex;
-use simnet::{IoBuffer, SimTime};
+use simnet::{FaultPlan, IoBuffer, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -14,6 +15,10 @@ use std::sync::Arc;
 struct FileEntry {
     layout: StripeLayout,
     storage: Mutex<Storage>,
+    /// Per-page checksums and rot bookkeeping; present iff
+    /// [`FsConfig::integrity`] is on. Lock order: integrity before
+    /// storage, everywhere.
+    integrity: Option<Mutex<IntegrityStore>>,
     /// MPI-IO shared file pointer (one per file, across all openers).
     shared_ptr: std::sync::atomic::AtomicU64,
 }
@@ -32,6 +37,9 @@ struct FsInner {
     osts: Vec<Ost>,
     mds: Mutex<Mds>,
     next_client: std::sync::atomic::AtomicU64,
+    /// The installed fault plan (rot rules address file extents through
+    /// it); `None` until [`FileSystem::install_faults`].
+    faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 /// A shared parallel file system instance. Cheap to clone (`Arc` inside);
@@ -84,6 +92,12 @@ pub struct FsStats {
     pub image_resident_bytes: u64,
     /// Bytes of file-image pages parked in spill files across all files.
     pub image_spilled_bytes: u64,
+    /// At-rest extents detected and repaired by the integrity layer
+    /// (read-path verification plus scrub passes), across all files.
+    pub integrity_repaired: u64,
+    /// Pages currently poisoned: corruption detected on data with no
+    /// durable copy to repair from.
+    pub integrity_poisoned: u64,
 }
 
 impl FileSystem {
@@ -104,8 +118,22 @@ impl FileSystem {
                     opens: 0,
                 }),
                 next_client: std::sync::atomic::AtomicU64::new(1),
+                faults: Mutex::new(None),
             }),
         }
+    }
+
+    fn new_entry(&self, layout: StripeLayout) -> Arc<FileEntry> {
+        Arc::new(FileEntry {
+            layout,
+            storage: Mutex::new(Storage::new()),
+            integrity: self
+                .inner
+                .cfg
+                .integrity
+                .then(|| Mutex::new(IntegrityStore::new())),
+            shared_ptr: std::sync::atomic::AtomicU64::new(0),
+        })
     }
 
     /// The configuration in force.
@@ -130,6 +158,9 @@ impl FileSystem {
         for (i, ost) in self.inner.osts.iter().enumerate() {
             ost.install_faults(std::sync::Arc::clone(plan), i);
         }
+        // Keep the plan: `ost_rot` rules address at-rest file extents,
+        // which the integrity layer materializes at read/scrub time.
+        *self.inner.faults.lock() = Some(std::sync::Arc::clone(plan));
     }
 
     /// Open (creating if absent) with the default stripe parameters.
@@ -166,11 +197,8 @@ impl FileSystem {
             None => {
                 let first = mds.next_first_ost;
                 mds.next_first_ost = (mds.next_first_ost + 1) % cfg.n_osts;
-                let entry = Arc::new(FileEntry {
-                    layout: StripeLayout::new(first, stripe_count, stripe_size, cfg.n_osts),
-                    storage: Mutex::new(Storage::new()),
-                    shared_ptr: std::sync::atomic::AtomicU64::new(0),
-                });
+                let entry =
+                    self.new_entry(StripeLayout::new(first, stripe_count, stripe_size, cfg.n_osts));
                 mds.files.insert(path.to_string(), Arc::clone(&entry));
                 entry
             }
@@ -219,11 +247,8 @@ impl FileSystem {
         if !mds.files.contains_key(path) {
             let first = mds.next_first_ost;
             mds.next_first_ost = (mds.next_first_ost + 1) % cfg.n_osts;
-            let entry = Arc::new(FileEntry {
-                layout: StripeLayout::new(first, stripe_count, stripe_size, cfg.n_osts),
-                storage: Mutex::new(Storage::new()),
-                shared_ptr: std::sync::atomic::AtomicU64::new(0),
-            });
+            let entry =
+                self.new_entry(StripeLayout::new(first, stripe_count, stripe_size, cfg.n_osts));
             mds.files.insert(path.to_string(), entry);
         }
         done
@@ -283,15 +308,20 @@ impl FileSystem {
     /// Snapshot aggregate statistics.
     pub fn stats(&self) -> FsStats {
         let osts: Vec<OstStats> = self.inner.osts.iter().map(Ost::stats).collect();
-        let (opens, image_resident_bytes, image_spilled_bytes) = {
+        let (opens, image_resident_bytes, image_spilled_bytes, integrity_repaired, integrity_poisoned) = {
             let mds = self.inner.mds.lock();
-            let (mut res, mut spill) = (0u64, 0u64);
+            let (mut res, mut spill, mut rep, mut poi) = (0u64, 0u64, 0u64, 0u64);
             for entry in mds.files.values() {
+                if let Some(integ) = &entry.integrity {
+                    let integ = integ.lock();
+                    rep += integ.repaired_extents();
+                    poi += integ.poisoned_pages();
+                }
                 let st = entry.storage.lock();
                 res += st.resident_bytes();
                 spill += st.spilled_bytes();
             }
-            (mds.opens, res, spill)
+            (mds.opens, res, spill, rep, poi)
         };
         FsStats {
             total_bytes: osts.iter().map(|s| s.bytes).sum(),
@@ -304,7 +334,61 @@ impl FileSystem {
             osts,
             image_resident_bytes,
             image_spilled_bytes,
+            integrity_repaired,
+            integrity_poisoned,
         }
+    }
+
+    /// Walk every file's extents against its stored page sums in virtual
+    /// time: materialize pending rot, repair what the durable-copy
+    /// journal covers, and report the rest. Files are scanned in path
+    /// order, so two runs with the same plan produce byte-identical
+    /// reports. Returns the findings and the virtual completion instant
+    /// (an idle background scan: OST bandwidth in parallel across
+    /// targets, without perturbing foreground queue accounting).
+    ///
+    /// Without [`FsConfig::integrity`] there are no stored sums and the
+    /// report is trivially clean.
+    pub fn scrub(&self, now: SimTime) -> (ScrubReport, SimTime) {
+        let cfg = &self.inner.cfg;
+        let plan = self.inner.faults.lock().clone();
+        let files: Vec<(String, Arc<FileEntry>)> = {
+            let mds = self.inner.mds.lock();
+            let mut v: Vec<_> = mds
+                .files
+                .iter()
+                .map(|(p, e)| (p.clone(), Arc::clone(e)))
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        let mut report = ScrubReport::default();
+        let mut repairs = 0u64;
+        for (path, entry) in files {
+            report.files_scanned += 1;
+            let Some(integ) = &entry.integrity else {
+                continue;
+            };
+            let mut integ = integ.lock();
+            let mut storage = entry.storage.lock();
+            let size = storage.size();
+            report.bytes_scanned += size;
+            let out = integ.verify_range(&mut storage, plan.as_deref(), 0, size);
+            repairs += out.repaired.len() as u64;
+            for (o, l) in out.repaired {
+                report.repaired.push((path.clone(), o, l));
+            }
+            for (o, l) in out.unrepairable {
+                report.unrepairable.push((path.clone(), o, l));
+            }
+        }
+        let scan = SimTime::secs(
+            report.bytes_scanned as f64 / (cfg.ost_bandwidth_bps * cfg.n_osts as f64),
+        );
+        let repair_cost = (cfg.request_overhead
+            + SimTime::secs(PAGE_SIZE as f64 / cfg.ost_bandwidth_bps))
+            * repairs as f64;
+        (report, now + cfg.rpc_latency * 2.0 + scan + repair_cost)
     }
 }
 
@@ -369,17 +453,75 @@ impl FileHandle {
     pub fn write_at(&self, offset: u64, data: &IoBuffer, now: SimTime) -> SimTime {
         let done = self.charge_io(offset, data.len() as u64, now, true);
         if !data.is_empty() {
-            self.entry.storage.lock().write(offset, data);
+            let integ = self.entry.integrity.as_ref().map(|m| m.lock());
+            let mut st = self.entry.storage.lock();
+            st.write(offset, data);
+            if let Some(mut integ) = integ {
+                integ.note_write(&st, offset, data.len() as u64);
+            }
         }
         done
     }
 
+    /// Write only the first `keep` bytes of `data` at `offset` — a *torn
+    /// write*: the issuing aggregator died mid-request, a prefix landed
+    /// on the platter and the tail did not. Charges I/O for the prefix
+    /// only. Stored page sums cover the prefix (the bytes really are
+    /// durable); the *logical* damage — stale bytes where the tail
+    /// should be — is what crash recovery must replay over.
+    pub fn write_at_torn(&self, offset: u64, data: &IoBuffer, keep: u64, now: SimTime) -> SimTime {
+        let keep = keep.min(data.len() as u64);
+        self.write_at(offset, &data.sub(0, keep as usize), now)
+    }
+
     /// Read `len` bytes at `offset`, arriving at `now`; returns the data
-    /// and the completion instant.
+    /// and the completion instant. With integrity on, the range is
+    /// verified against stored sums first and any repairable corruption
+    /// is repaired (charged to the completion time).
+    ///
+    /// # Panics
+    ///
+    /// Panics on unrepairable corruption — a read must never silently
+    /// return wrong bytes; callers that can degrade gracefully use
+    /// [`read_at_checked`](Self::read_at_checked).
     pub fn read_at(&self, offset: u64, len: usize, now: SimTime) -> (IoBuffer, SimTime) {
-        let done = self.charge_io(offset, len as u64, now, false);
-        let data = self.entry.storage.lock().read(offset, len);
-        (data, done)
+        match self.read_at_checked(offset, len, now) {
+            Ok(r) => r,
+            Err(e) => panic!("integrity failure on read: {e}"),
+        }
+    }
+
+    /// Like [`read_at`](Self::read_at), but surfaces unrepairable
+    /// corruption as a typed [`IntegrityError`] instead of panicking.
+    pub fn read_at_checked(
+        &self,
+        offset: u64,
+        len: usize,
+        now: SimTime,
+    ) -> Result<(IoBuffer, SimTime), IntegrityError> {
+        let mut done = self.charge_io(offset, len as u64, now, false);
+        let integ = self.entry.integrity.as_ref().map(|m| m.lock());
+        let mut st = self.entry.storage.lock();
+        if let Some(mut integ) = integ {
+            let plan = self.fs.inner.faults.lock().clone();
+            let out = integ.verify_range(&mut st, plan.as_deref(), offset, len as u64);
+            if !out.repaired.is_empty() {
+                // Each repaired extent re-reads one page from the
+                // redundant copy: one request plus one page transfer.
+                let cfg = &self.fs.inner.cfg;
+                done += (cfg.request_overhead
+                    + SimTime::secs(PAGE_SIZE as f64 / cfg.ost_bandwidth_bps))
+                    * out.repaired.len() as f64;
+            }
+            if !out.unrepairable.is_empty() {
+                return Err(IntegrityError {
+                    path: self.path.clone(),
+                    extents: out.unrepairable,
+                });
+            }
+        }
+        let data = st.read(offset, len);
+        Ok((data, done))
     }
 
     /// Atomically fetch-and-advance the file's shared pointer by `n`
@@ -398,7 +540,13 @@ impl FileHandle {
 
     /// Truncate the file (metadata-only cost: one RPC).
     pub fn truncate(&self, size: u64, now: SimTime) -> SimTime {
-        self.entry.storage.lock().truncate(size);
+        let integ = self.entry.integrity.as_ref().map(|m| m.lock());
+        let mut st = self.entry.storage.lock();
+        st.truncate(size);
+        if let Some(mut integ) = integ {
+            integ.note_truncate(&st, size);
+        }
+        drop(st);
         now + self.fs.inner.cfg.rpc_latency * 2.0
     }
 

@@ -32,6 +32,7 @@
 
 pub mod config;
 pub mod fs;
+pub mod integrity;
 pub mod layout;
 pub mod ost;
 pub mod rangeset;
@@ -39,6 +40,7 @@ pub mod storage;
 
 pub use config::FsConfig;
 pub use fs::{FileHandle, FileSystem, FsStats};
+pub use integrity::{IntegrityError, ScrubReport};
 pub use layout::StripeLayout;
 pub use rangeset::RangeSet;
 pub use storage::{set_spill_limit, spill_limit};

@@ -237,6 +237,43 @@ impl Storage {
         IoBuffer::from_vec(out)
     }
 
+    /// Checksum of `[offset, offset+len)` exactly as [`Storage::read`]
+    /// would return it — zeros in holes and past EOF — but without
+    /// materializing the window: resident pages are fed to the hasher in
+    /// place, holes from a static zero block, and spilled pages through
+    /// one reused stack-side buffer. `None` when the range intersects a
+    /// synthetic extent (modeled bytes have nothing to hash).
+    pub fn hash_range(&self, offset: u64, len: usize) -> Option<u64> {
+        use simnet::cksum::Fnv1a;
+        static ZEROS: [u8; PAGE_SIZE as usize] = [0u8; PAGE_SIZE as usize];
+        if len == 0 {
+            return Some(Fnv1a::new().digest());
+        }
+        let end = offset + len as u64;
+        if self.synthetic.intersects(offset, end) {
+            return None;
+        }
+        let mut h = Fnv1a::new();
+        let mut spill_buf: Option<Box<[u8]>> = None;
+        for page_idx in offset / PAGE_SIZE..=(end - 1) / PAGE_SIZE {
+            let page_start = page_idx * PAGE_SIZE;
+            let lo = (page_start.max(offset) - page_start) as usize;
+            let hi = ((page_start + PAGE_SIZE).min(end) - page_start) as usize;
+            if let Some(page) = self.pages.get(&page_idx) {
+                h.update(&page[lo..hi]);
+            } else if let Some(&slot) = self.spilled.get(&page_idx) {
+                let spill = self.spill.as_ref().expect("spilled pages imply a file");
+                let buf = spill_buf
+                    .get_or_insert_with(|| vec![0u8; PAGE_SIZE as usize].into_boxed_slice());
+                spill.read_page_into(slot, buf);
+                h.update(&buf[lo..hi]);
+            } else {
+                h.update(&ZEROS[lo..hi]);
+            }
+        }
+        Some(h.digest())
+    }
+
     /// Truncate to `size` bytes, discarding later content.
     pub fn truncate(&mut self, size: u64) {
         self.size = size;

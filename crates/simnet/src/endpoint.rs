@@ -202,6 +202,7 @@ impl Endpoint {
             sent_clock: self.clock.now(),
             fault_drops: fault.drops,
             fault_delay: fault.delay_factor,
+            fault_corrupt: fault.corrupt,
         };
         self.mailboxes[dst].deliver(pkt);
     }
@@ -248,6 +249,14 @@ impl Endpoint {
     /// re-transfer ([`crate::FaultPlan::retry_penalty`]). With no fault
     /// (drops 0, factor 1.0) this is bitwise the clean arrival.
     fn fault_arrival(&self, pkt: &Packet) -> SimTime {
+        if let Some(f) = &self.faults {
+            // One event per packet — zeros included — so the consumer's
+            // per-(src, tag) pops stay aligned with arrivals regardless of
+            // which packets actually drew a corruption.
+            if f.plan().has_corrupt_rules() {
+                f.push_corrupt(pkt.src, pkt.tag, pkt.fault_corrupt);
+            }
+        }
         let wire = self.net.transfer_time(pkt.payload.len()) * pkt.fault_delay;
         let clean = pkt.sent_clock + wire;
         if pkt.fault_drops == 0 {

@@ -70,7 +70,7 @@
 use crate::noise::SplitMix64;
 use crate::time::SimTime;
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
@@ -141,6 +141,54 @@ pub enum FaultRule {
         /// Cumulative write-round index at which it dies.
         at_round: u64,
     },
+    /// Each message matching the src→dst filter independently suffers a
+    /// silent single-byte flip with probability `prob`. The flip is a
+    /// seeded XOR applied to the *payload* only — protocol headers ride a
+    /// protected control channel (link-level CRC in real SeaStar hardware)
+    /// and are immune by model. Without end-to-end checksums the corrupted
+    /// bytes flow into the file undetected; with checksums on, the
+    /// receiver detects the mismatch and runs the bounded repair protocol.
+    MsgCorrupt {
+        /// Per-message corruption probability in `[0, 1)`.
+        prob: f64,
+        /// Only messages from this rank, or any sender when `None`.
+        src: Option<usize>,
+        /// Only messages to this rank, or any receiver when `None`.
+        dst: Option<usize>,
+    },
+    /// The at-rest file extent `[offset, offset + len)` silently rots: a
+    /// seeded byte inside it is flipped on the OST platter *after* it was
+    /// durably written. Materialized lazily by `simfs` the first time the
+    /// extent is read (or scrubbed) — a write that lands later than the
+    /// read supersedes the rot, matching media decay of cold data.
+    OstRot {
+        /// First rotten byte (file offset).
+        offset: u64,
+        /// Extent length in bytes (the flipped byte is seeded within it).
+        len: u64,
+    },
+    /// Like [`FaultRule::AggregatorCrash`], but the dying aggregator's
+    /// final OST write in round `at_round - 1` is *torn*: a prefix of the
+    /// round's window lands on the platter, the tail does not. Recovery
+    /// must therefore replay the torn round, not merely resume past it.
+    TornWrite {
+        /// Global rank whose aggregator role crashes mid-write.
+        rank: usize,
+        /// Cumulative write-round index at which it dies (the write torn
+        /// is the one in round `at_round - 1`, its last served round).
+        at_round: u64,
+    },
+}
+
+/// Apply (or undo — XOR is self-inverse) the seeded single-byte flip a
+/// nonzero corruption token denotes. Token 0 means "clean" and is a no-op,
+/// as is an empty buffer.
+pub fn corrupt_flip(bytes: &mut [u8], token: u64) {
+    if token == 0 || bytes.is_empty() {
+        return;
+    }
+    let pos = ((token >> 8) % bytes.len() as u64) as usize;
+    bytes[pos] ^= (token & 0xff) as u8;
 }
 
 /// What the fault plan decided for one message transmission.
@@ -150,6 +198,9 @@ pub struct MsgFault {
     pub drops: u32,
     /// Multiplier on the wire transfer time (≥ 1.0).
     pub delay_factor: f64,
+    /// Nonzero when the payload suffers a silent single-byte flip; the
+    /// token seeds [`corrupt_flip`] (position and XOR mask). 0 = clean.
+    pub corrupt: u64,
 }
 
 impl MsgFault {
@@ -157,6 +208,7 @@ impl MsgFault {
     pub const NONE: MsgFault = MsgFault {
         drops: 0,
         delay_factor: 1.0,
+        corrupt: 0,
     };
 }
 
@@ -262,29 +314,102 @@ impl FaultPlan {
         self
     }
 
+    /// Add a [`FaultRule::MsgCorrupt`] rule.
+    pub fn msg_corrupt(mut self, prob: f64, src: Option<usize>, dst: Option<usize>) -> Self {
+        self.rules.push(FaultRule::MsgCorrupt { prob, src, dst });
+        self
+    }
+
+    /// Add an [`FaultRule::OstRot`] rule.
+    pub fn ost_rot(mut self, offset: u64, len: u64) -> Self {
+        assert!(len > 0, "a rot extent must span at least one byte");
+        self.rules.push(FaultRule::OstRot { offset, len });
+        self
+    }
+
+    /// Add a [`FaultRule::TornWrite`] rule.
+    pub fn torn_write(mut self, rank: usize, at_round: u64) -> Self {
+        self.rules.push(FaultRule::TornWrite { rank, at_round });
+        self
+    }
+
     /// The rules in force.
     pub fn rules(&self) -> &[FaultRule] {
         &self.rules
     }
 
-    /// True when any [`FaultRule::AggregatorCrash`] rule exists — the gate
-    /// for the (communicating) dead-set agreement in ParColl. Plans
-    /// without crash rules keep the zero-communication steady state.
+    /// True when any [`FaultRule::AggregatorCrash`] or
+    /// [`FaultRule::TornWrite`] rule exists — the gate for the
+    /// (communicating) dead-set agreement in ParColl. Plans without crash
+    /// rules keep the zero-communication steady state.
     pub fn has_crash_rules(&self) -> bool {
-        self.rules
-            .iter()
-            .any(|r| matches!(r, FaultRule::AggregatorCrash { .. }))
+        self.rules.iter().any(|r| {
+            matches!(
+                r,
+                FaultRule::AggregatorCrash { .. } | FaultRule::TornWrite { .. }
+            )
+        })
     }
 
-    /// The earliest configured crash round for `rank`, if any.
+    /// True when any [`FaultRule::MsgCorrupt`] rule exists — the gate for
+    /// per-packet corruption-event bookkeeping on the receive path.
+    pub fn has_corrupt_rules(&self) -> bool {
+        self.rules
+            .iter()
+            .any(|r| matches!(r, FaultRule::MsgCorrupt { .. }))
+    }
+
+    /// The earliest configured crash round for `rank`, if any (torn-write
+    /// crashes included: a torn write *is* an aggregator crash whose final
+    /// round landed partially).
     pub fn agg_crash(&self, rank: usize) -> Option<u64> {
         self.rules
             .iter()
             .filter_map(|r| match r {
                 FaultRule::AggregatorCrash { rank: x, at_round } if *x == rank => Some(*at_round),
+                FaultRule::TornWrite { rank: x, at_round } if *x == rank => Some(*at_round),
                 _ => None,
             })
             .min()
+    }
+
+    /// True when `rank`'s earliest crash is a torn write: its final round
+    /// (`agg_crash(rank) - 1`) left a partial window on the OSTs.
+    pub fn torn_crash(&self, rank: usize) -> bool {
+        let Some(k) = self.agg_crash(rank) else {
+            return false;
+        };
+        self.rules.iter().any(|r| {
+            matches!(r, FaultRule::TornWrite { rank: x, at_round } if *x == rank && *at_round == k)
+        })
+    }
+
+    /// Every [`FaultRule::OstRot`] extent as `(rule index, offset, len)`,
+    /// in rule order. The rule index keys the seeded flip draw.
+    pub fn ost_rot_regions(&self) -> Vec<(usize, u64, u64)> {
+        self.rules
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| match r {
+                FaultRule::OstRot { offset, len } => Some((i, *offset, *len)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The seeded flip a rot rule plants: `(absolute byte offset, XOR
+    /// mask)`, pure in the plan seed and rule index. `None` when `rule`
+    /// is not an [`FaultRule::OstRot`].
+    pub fn rot_flip(&self, rule: usize) -> Option<(u64, u8)> {
+        match self.rules.get(rule) {
+            Some(FaultRule::OstRot { offset, len }) => {
+                let mut rng = SplitMix64::new(stream_seed(self.seed, 5, rule as u64, 0, 0, 0));
+                let token = rng.next_u64() | 1;
+                let byte = offset + (token >> 8) % len;
+                Some((byte, (token & 0xff) as u8))
+            }
+            _ => None,
+        }
     }
 
     /// Service-time multiplier for a request arriving at `at` on `ost`
@@ -338,6 +463,18 @@ impl FaultPlan {
                     ));
                     if rng.next_f64() < *prob {
                         out.delay_factor *= rng.jitter(*cv).max(1.0);
+                    }
+                }
+                FaultRule::MsgCorrupt { prob, src: s, dst: d }
+                    if s.is_none_or(|x| x == src) && d.is_none_or(|x| x == dst) =>
+                {
+                    let mut rng = SplitMix64::new(stream_seed(
+                        self.seed, 4, i as u64, src as u64, dst as u64, seq,
+                    ));
+                    if rng.next_f64() < *prob {
+                        // `| 1` keeps the token (and its XOR mask byte)
+                        // nonzero, so 0 can mean "clean" everywhere.
+                        out.corrupt = rng.next_u64() | 1;
                     }
                 }
                 _ => {}
@@ -399,6 +536,15 @@ pub struct FaultState {
     /// members of a subgroup advance it in lock step, which is what makes
     /// communication-free symmetric crash detection possible.
     rounds: Cell<u64>,
+    /// Per-(source rank, tag) FIFO of received corruption tokens, pushed
+    /// by the endpoint at packet arrival (one entry per packet, zero for
+    /// clean) and popped by the protocol layer as it consumes payloads.
+    /// Keeping zeros preserves push/pop alignment across mixed traffic.
+    corrupt_events: RefCell<BTreeMap<(usize, i32), VecDeque<u64>>>,
+    /// The corruption token of this rank's most recent *send* draw — lets
+    /// a sender know (purely, from its own draw) that the copy in flight
+    /// is doomed and proactively post repair copies.
+    last_corrupt: Cell<u64>,
 }
 
 impl FaultState {
@@ -411,6 +557,8 @@ impl FaultState {
             stall_used: RefCell::new(vec![false; nrules]),
             dead: RefCell::new(BTreeSet::new()),
             rounds: Cell::new(0),
+            corrupt_events: RefCell::new(BTreeMap::new()),
+            last_corrupt: Cell::new(0),
         }
     }
 
@@ -425,7 +573,37 @@ impl FaultState {
         let mut seqs = self.send_seq.borrow_mut();
         let seq = seqs[dst];
         seqs[dst] += 1;
-        self.plan.msg_fault(src, dst, seq)
+        let fault = self.plan.msg_fault(src, dst, seq);
+        self.last_corrupt.set(fault.corrupt);
+        fault
+    }
+
+    /// The corruption token of the most recent send draw (0 = clean).
+    /// A sender inspects this right after posting a payload to decide
+    /// whether to follow up with proactive repair copies.
+    pub fn last_send_corrupt(&self) -> u64 {
+        self.last_corrupt.get()
+    }
+
+    /// Record the corruption token of a packet arriving from `src` on
+    /// `tag` (0 for clean packets — pushed anyway to keep FIFO alignment).
+    pub fn push_corrupt(&self, src: usize, tag: i32, token: u64) {
+        self.corrupt_events
+            .borrow_mut()
+            .entry((src, tag))
+            .or_default()
+            .push_back(token);
+    }
+
+    /// Pop the corruption token for the next consumed payload from `src`
+    /// on `tag`; 0 when no event was recorded (clean, or no corrupt rules
+    /// installed).
+    pub fn take_corrupt(&self, src: usize, tag: i32) -> u64 {
+        self.corrupt_events
+            .borrow_mut()
+            .get_mut(&(src, tag))
+            .and_then(|q| q.pop_front())
+            .unwrap_or(0)
     }
 
     /// Consume the one-shot stall for `(rank, phase)` if one is configured
@@ -616,5 +794,86 @@ mod tests {
         assert_eq!(st.next_write_round(), 0);
         assert_eq!(st.next_write_round(), 1);
         assert_eq!(st.write_round(), 2);
+    }
+
+    #[test]
+    fn msg_corrupt_draws_are_deterministic_and_filtered() {
+        let plan = FaultPlan::new(11).msg_corrupt(1.0, Some(2), None);
+        let f = plan.msg_fault(2, 5, 0);
+        assert_ne!(f.corrupt, 0, "prob=1.0 must corrupt");
+        assert_eq!(f, plan.msg_fault(2, 5, 0), "pure in coordinates");
+        assert_eq!(plan.msg_fault(3, 5, 0).corrupt, 0, "src filter");
+        let sparse = FaultPlan::new(11).msg_corrupt(0.1, None, None);
+        let hits = (0..1000).filter(|&s| sparse.msg_fault(0, 1, s).corrupt != 0).count();
+        assert!((50..200).contains(&hits), "~10% corruption rate, got {hits}");
+    }
+
+    #[test]
+    fn corrupt_flip_is_self_inverse_and_visible() {
+        let orig: Vec<u8> = (0..97u8).collect();
+        let mut buf = orig.clone();
+        let token = FaultPlan::new(1).msg_corrupt(1.0, None, None).msg_fault(0, 1, 0).corrupt;
+        corrupt_flip(&mut buf, token);
+        assert_ne!(buf, orig, "a nonzero token must change a byte");
+        corrupt_flip(&mut buf, token);
+        assert_eq!(buf, orig, "XOR flip is self-inverse");
+        corrupt_flip(&mut buf, 0);
+        assert_eq!(buf, orig, "token 0 is a no-op");
+        corrupt_flip(&mut [], token);
+    }
+
+    #[test]
+    fn torn_write_counts_as_crash() {
+        let plan = FaultPlan::new(0).torn_write(3, 2);
+        assert!(plan.has_crash_rules());
+        assert_eq!(plan.agg_crash(3), Some(2));
+        assert!(plan.torn_crash(3));
+        assert!(!plan.torn_crash(1));
+        // A clean crash at an earlier round shadows the torn one.
+        let mixed = FaultPlan::new(0).torn_write(3, 2).aggregator_crash(3, 1);
+        assert_eq!(mixed.agg_crash(3), Some(1));
+        assert!(!mixed.torn_crash(3));
+    }
+
+    #[test]
+    fn rot_regions_and_flip_are_in_bounds() {
+        let plan = FaultPlan::new(5)
+            .ost_rot(1000, 64)
+            .msg_drop(0.1, None, None)
+            .ost_rot(4096, 1);
+        let regions = plan.ost_rot_regions();
+        assert_eq!(regions, vec![(0, 1000, 64), (2, 4096, 1)]);
+        for &(rule, off, len) in &regions {
+            let (byte, xor) = plan.rot_flip(rule).unwrap();
+            assert!((off..off + len).contains(&byte));
+            assert_ne!(xor, 0, "the planted flip must change the byte");
+            assert_eq!(plan.rot_flip(rule), Some((byte, xor)), "pure draw");
+        }
+        assert_eq!(plan.rot_flip(1), None, "not a rot rule");
+    }
+
+    #[test]
+    fn corrupt_event_queue_is_fifo_per_src_tag() {
+        let st = FaultState::new(Arc::new(FaultPlan::new(0)), 4);
+        st.push_corrupt(1, 7, 0);
+        st.push_corrupt(1, 7, 99);
+        st.push_corrupt(2, 7, 5);
+        assert_eq!(st.take_corrupt(1, 7), 0);
+        assert_eq!(st.take_corrupt(1, 7), 99);
+        assert_eq!(st.take_corrupt(1, 7), 0, "drained queue reads clean");
+        assert_eq!(st.take_corrupt(2, 7), 5);
+        assert_eq!(st.take_corrupt(3, 8), 0, "unknown key reads clean");
+    }
+
+    #[test]
+    fn last_send_corrupt_tracks_draw() {
+        let plan = Arc::new(FaultPlan::new(1).msg_corrupt(1.0, None, Some(1)));
+        let st = FaultState::new(Arc::clone(&plan), 4);
+        assert_eq!(st.last_send_corrupt(), 0);
+        let f = st.draw_msg(0, 1);
+        assert_eq!(st.last_send_corrupt(), f.corrupt);
+        assert_ne!(st.last_send_corrupt(), 0);
+        st.draw_msg(0, 2);
+        assert_eq!(st.last_send_corrupt(), 0, "clean draw resets the cell");
     }
 }

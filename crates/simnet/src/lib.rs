@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod cksum;
 pub mod clock;
 pub mod endpoint;
 pub mod error;
@@ -57,7 +58,8 @@ pub use buffer::{buffer_pooling, set_buffer_pooling, IoBuffer};
 pub use clock::Clock;
 pub use endpoint::{Endpoint, RecvInfo};
 pub use error::{SimError, SimResult};
-pub use fault::{FaultPlan, FaultRule, FaultState, MsgFault};
+pub use cksum::{fnv1a, Fnv1a};
+pub use fault::{corrupt_flip, FaultPlan, FaultRule, FaultState, MsgFault};
 pub use fiber::{executor, set_executor, set_workers, workers, Executor};
 pub use model::{CollectiveAlg, MachineModel, NetworkModel};
 pub use noise::SplitMix64;

@@ -51,6 +51,11 @@ pub struct Packet {
     pub fault_drops: u32,
     /// Fault-injected multiplier on the wire transfer time (1.0 = clean).
     pub fault_delay: f64,
+    /// Fault-injected silent-corruption token (0 = clean). Like drops,
+    /// corruption is virtual-state-pure: the payload bytes delivered are
+    /// untouched, and the *consumer* applies the seeded flip (or, with
+    /// checksums on, detects and repairs it) when it unpacks the payload.
+    pub fault_corrupt: u64,
 }
 
 /// Within a shard the source is fixed; queues are keyed by the remaining
@@ -246,6 +251,7 @@ mod tests {
             sent_clock: SimTime::ZERO,
             fault_drops: 0,
             fault_delay: 1.0,
+            fault_corrupt: 0,
         }
     }
 

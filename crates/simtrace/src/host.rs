@@ -119,10 +119,16 @@ pub enum Site {
     TraceRecord,
     /// Streaming-sink chunk spill to disk.
     TraceSpill,
+    /// Integrity checksum computation: FNV-1a over packed piece payloads
+    /// (sender side) and at-rest page sums on the simfs write path.
+    CksumCompute,
+    /// Integrity checksum verification: trailer checks at unpack and
+    /// stored-sum checks on the simfs read/scrub path.
+    CksumVerify,
 }
 
 /// Number of probe sites in the registry.
-pub const SITE_COUNT: usize = 14;
+pub const SITE_COUNT: usize = 16;
 
 /// Static description of one site.
 struct SiteInfo {
@@ -145,6 +151,8 @@ const SITES: [SiteInfo; SITE_COUNT] = [
     SiteInfo { name: "ost_serve", subsystem: "simfs" },
     SiteInfo { name: "trace_record", subsystem: "simtrace" },
     SiteInfo { name: "trace_spill", subsystem: "simtrace" },
+    SiteInfo { name: "cksum_compute", subsystem: "integrity" },
+    SiteInfo { name: "cksum_verify", subsystem: "integrity" },
 ];
 
 impl Site {
@@ -177,6 +185,8 @@ impl Site {
                 11 => Site::OstServe,
                 12 => Site::TraceRecord,
                 13 => Site::TraceSpill,
+                14 => Site::CksumCompute,
+                15 => Site::CksumVerify,
                 _ => unreachable!(),
             })
         } else {

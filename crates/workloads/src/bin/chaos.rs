@@ -11,11 +11,14 @@
 //! 3. **Observability** — crash plans surface `recovery` spans in the
 //!    trace so critical-path attribution can price the failover.
 //!
-//! Usage: `chaos [--quick] [--plan ost_slow|msg_chaos|agg_crash] [--trace-out DIR]`
+//! Usage: `chaos [--quick] [--corrupt] [--plan NAME] [--trace-out DIR]`
 //!
 //! `--quick` shrinks the cluster and skips the ParColl pass (CI smoke);
-//! `--trace-out DIR` writes each plan's Perfetto-loadable trace JSON.
-//! Exits nonzero when any contract is violated.
+//! `--corrupt` runs the data-integrity plans instead (checksummed pieces
+//! under silent corruption, a torn aggregator crash, at-rest rot) and
+//! additionally requires repair evidence in the trace; `--trace-out DIR`
+//! writes each plan's Perfetto-loadable trace JSON. Exits nonzero when
+//! any contract is violated.
 
 use simnet::{FaultPlan, SimTime};
 use simtrace::{chrome_trace_json, metrics_json, TraceSink};
@@ -27,6 +30,11 @@ use workloads::tileio::TileIo;
 struct PlanSpec {
     name: &'static str,
     expects_recovery: bool,
+    /// Require `piece_repair` evidence in the trace (the plan corrupts
+    /// exchange pieces and checksums are on).
+    expects_repair: bool,
+    /// Run with end-to-end checksums (`integrity_checksums` + fs sums).
+    integrity: bool,
     build: fn() -> FaultPlan,
 }
 
@@ -34,17 +42,48 @@ const PLANS: &[PlanSpec] = &[
     PlanSpec {
         name: "ost_slow",
         expects_recovery: false,
+        expects_repair: false,
+        integrity: false,
         build: ost_slow_plan,
     },
     PlanSpec {
         name: "msg_chaos",
         expects_recovery: false,
+        expects_repair: false,
+        integrity: false,
         build: msg_chaos_plan,
     },
     PlanSpec {
         name: "agg_crash",
         expects_recovery: true,
+        expects_repair: false,
+        integrity: false,
         build: agg_crash_plan,
+    },
+];
+
+/// The integrity plans behind `--corrupt`.
+const CORRUPT_PLANS: &[PlanSpec] = &[
+    PlanSpec {
+        name: "msg_corrupt",
+        expects_recovery: false,
+        expects_repair: true,
+        integrity: true,
+        build: msg_corrupt_plan,
+    },
+    PlanSpec {
+        name: "torn_write",
+        expects_recovery: true,
+        expects_repair: false,
+        integrity: true,
+        build: torn_write_plan,
+    },
+    PlanSpec {
+        name: "ost_rot",
+        expects_recovery: false,
+        expects_repair: false,
+        integrity: true,
+        build: ost_rot_plan,
     },
 ];
 
@@ -71,6 +110,25 @@ fn agg_crash_plan() -> FaultPlan {
     FaultPlan::new(0xDEAD).aggregator_crash(0, 1)
 }
 
+/// Heavy silent corruption on the wire: a third of all exchange pieces
+/// arrive flipped, and the checksummed protocol must detect and repair
+/// every one before a byte reaches the staging buffer.
+fn msg_corrupt_plan() -> FaultPlan {
+    FaultPlan::new(0x5117).msg_corrupt(0.3, None, None)
+}
+
+/// Rank 0 dies mid-OST-write: its final window lands half-applied and
+/// the failover must replay one extra round to heal the tear.
+fn torn_write_plan() -> FaultPlan {
+    FaultPlan::new(0x7040).torn_write(0, 2)
+}
+
+/// At-rest decay: two file extents rot on the platters; the first
+/// integrity-checked read repairs them from the durable-copy journal.
+fn ost_rot_plan() -> FaultPlan {
+    FaultPlan::new(0x0511).ost_rot(100, 64).ost_rot(4000, 128)
+}
+
 /// A small collective buffer so even the tiny workload runs several
 /// exchange rounds per call — mid-call faults need rounds to land in.
 fn apply_common_hints(cfg: &mut RunConfig) {
@@ -78,10 +136,18 @@ fn apply_common_hints(cfg: &mut RunConfig) {
     cfg.info.set("cb_buffer_size", 128i64);
 }
 
-fn traced(mode: IoMode, ranks: usize, plan: FaultPlan) -> (String, String) {
+fn traced(mode: IoMode, ranks: usize, plan: FaultPlan, integrity: bool) -> (String, String) {
     let sink = TraceSink::enabled();
-    let mut cfg = RunConfig::paper(mode);
+    // Integrity plans run over real bytes even on the traced pass —
+    // synthetic pieces carry no platter image for rot to flip or
+    // checksums to cover.
+    let mut cfg = if integrity {
+        RunConfig::verify(mode)
+    } else {
+        RunConfig::paper(mode)
+    };
     apply_common_hints(&mut cfg);
+    cfg.integrity = integrity;
     cfg.trace = sink.clone();
     cfg.faults = Some(Arc::new(plan));
     run_workload(TileIo::tiny(ranks), cfg);
@@ -89,22 +155,33 @@ fn traced(mode: IoMode, ranks: usize, plan: FaultPlan) -> (String, String) {
     (chrome_trace_json(&trace), metrics_json(&trace))
 }
 
-fn verified(mode: IoMode, ranks: usize, plan: FaultPlan) {
+/// Returns the scrub report so integrity plans can assert the image is
+/// clean at rest after the verified read-back.
+fn verified(
+    mode: IoMode,
+    ranks: usize,
+    plan: FaultPlan,
+    integrity: bool,
+) -> Option<simfs::ScrubReport> {
     let mut cfg = RunConfig::verify(mode);
     apply_common_hints(&mut cfg);
+    cfg.integrity = integrity;
+    cfg.scrub = integrity;
     cfg.faults = Some(Arc::new(plan));
-    run_workload(TileIo::tiny(ranks), cfg);
+    run_workload(TileIo::tiny(ranks), cfg).scrub
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
+    let mut corrupt = false;
     let mut only: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => quick = true,
+            "--corrupt" => corrupt = true,
             "--plan" => {
                 i += 1;
                 only = Some(args.get(i).cloned().unwrap_or_default());
@@ -115,29 +192,33 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: chaos [--quick] [--plan NAME] [--trace-out DIR]");
+                eprintln!("usage: chaos [--quick] [--corrupt] [--plan NAME] [--trace-out DIR]");
                 return ExitCode::from(2);
             }
         }
         i += 1;
     }
+    let plans = if corrupt { CORRUPT_PLANS } else { PLANS };
     if let Some(name) = &only {
-        if !PLANS.iter().any(|s| s.name == name) {
-            eprintln!("unknown plan {name:?} (have: ost_slow, msg_chaos, agg_crash)");
+        if !plans.iter().any(|s| s.name == name) {
+            let have: Vec<&str> = plans.iter().map(|s| s.name).collect();
+            eprintln!("unknown plan {name:?} (have: {})", have.join(", "));
             return ExitCode::from(2);
         }
     }
 
     let ranks = if quick { 8 } else { 16 };
     let mut failures = 0u32;
-    for spec in PLANS {
+    for spec in plans {
         if only.as_ref().is_some_and(|o| o != spec.name) {
             continue;
         }
         println!("== plan {} ({ranks} ranks) ==", spec.name);
 
-        let (trace_a, metrics_a) = traced(IoMode::Collective, ranks, (spec.build)());
-        let (trace_b, metrics_b) = traced(IoMode::Collective, ranks, (spec.build)());
+        let (trace_a, metrics_a) =
+            traced(IoMode::Collective, ranks, (spec.build)(), spec.integrity);
+        let (trace_b, metrics_b) =
+            traced(IoMode::Collective, ranks, (spec.build)(), spec.integrity);
         if trace_a == trace_b && metrics_a == metrics_b {
             println!(
                 "   determinism: {} trace bytes, byte-identical across runs",
@@ -152,14 +233,31 @@ fn main() -> ExitCode {
             eprintln!("FAIL {}: no recovery span in the trace", spec.name);
             failures += 1;
         }
+        if spec.expects_repair && !trace_a.contains("\"piece_repair\"") {
+            eprintln!("FAIL {}: no piece_repair span in the trace", spec.name);
+            failures += 1;
+        }
 
         // Byte correctness through the degraded path: the runner panics
         // (aborting with nonzero status) on any read-back mismatch.
-        verified(IoMode::Collective, ranks, (spec.build)());
+        let scrub = verified(IoMode::Collective, ranks, (spec.build)(), spec.integrity);
         if !quick {
-            verified(IoMode::Parcoll { groups: 4 }, ranks, (spec.build)());
+            verified(IoMode::Parcoll { groups: 4 }, ranks, (spec.build)(), spec.integrity);
         }
         println!("   verify: collective read-back byte-exact");
+        if let Some(report) = scrub {
+            // The read-back already repaired anything the plan planted,
+            // so the at-rest image must scrub clean.
+            if report.is_clean() {
+                println!(
+                    "   scrub: {} file(s), {} bytes clean at rest",
+                    report.files_scanned, report.bytes_scanned
+                );
+            } else {
+                eprintln!("FAIL {}: post-run scrub found damage: {report:?}", spec.name);
+                failures += 1;
+            }
+        }
 
         if let Some(dir) = &trace_out {
             std::fs::create_dir_all(dir).expect("create trace-out dir");

@@ -63,6 +63,15 @@ pub struct RunConfig {
     /// OST. `None` (the default) leaves all paths bitwise identical to a
     /// fault-free build.
     pub faults: Option<Arc<simnet::FaultPlan>>,
+    /// End-to-end integrity: per-page checksums in the file system (read
+    /// verification, scrubbing) plus the `integrity_checksums` MPI-IO
+    /// hint (checksummed exchange pieces with detect-and-repair). Off by
+    /// default — runs are bitwise identical to a build without the layer.
+    pub integrity: bool,
+    /// Run an at-rest scrub pass after the workload completes (requires
+    /// [`RunConfig::integrity`]); the report lands in
+    /// [`RunResult::scrub`].
+    pub scrub: bool,
     /// Online autotuning: `Some(cache)` sets the `parcoll_autotune` hint
     /// (leaving the subgroup count to the tuner, so `mode` should be
     /// [`IoMode::Collective`]) and threads the policy cache through every
@@ -85,6 +94,8 @@ impl RunConfig {
             read_back: false,
             trace: simtrace::TraceSink::disabled(),
             faults: None,
+            integrity: false,
+            scrub: false,
             autotune: None,
         }
     }
@@ -100,6 +111,8 @@ impl RunConfig {
             read_back: true,
             trace: simtrace::TraceSink::disabled(),
             faults: None,
+            integrity: false,
+            scrub: false,
             autotune: None,
         }
     }
@@ -130,6 +143,8 @@ pub struct RunResult {
     /// File-system statistics at the end of the run (request counts,
     /// per-OST load, imbalance diagnostics).
     pub fs_stats: simfs::FsStats,
+    /// At-rest scrub report, when [`RunConfig::scrub`] was set.
+    pub scrub: Option<simfs::ScrubReport>,
 }
 
 /// Execute `workload` under `cfg` and collect the aggregate result.
@@ -146,7 +161,11 @@ where
 {
     let nprocs = workload.nprocs();
     let total_bytes = workload.total_bytes();
-    let fs = FileSystem::new(cfg.fs.clone());
+    let mut fs_cfg = cfg.fs.clone();
+    if cfg.integrity {
+        fs_cfg.integrity = true;
+    }
+    let fs = FileSystem::new(fs_cfg);
     fs.attach_trace(&cfg.trace);
     if let Some(plan) = &cfg.faults {
         fs.install_faults(plan);
@@ -189,6 +208,9 @@ where
         let rank = comm.rank();
         let w = Arc::clone(&workload);
         let mut info = cfg2.info.clone();
+        if cfg2.integrity {
+            info.set("integrity_checksums", "enable");
+        }
         if cfg2.autotune.is_some() {
             // Tuned run: leave the ParColl defaults in force and let the
             // controller move the knobs from there.
@@ -309,6 +331,10 @@ where
             .first()
             .map(|o| o.tune_log.clone())
             .unwrap_or_default(),
+        scrub: cfg.scrub.then(|| {
+            let (report, _done) = fs_for_stats.scrub(fs_for_stats.drain_time());
+            report
+        }),
         fs_stats: fs_for_stats.stats(),
     }
 }

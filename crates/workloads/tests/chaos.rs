@@ -156,3 +156,84 @@ proptest! {
         prop_assert_eq!(img, expected_image());
     }
 }
+
+// ---------------------------------------------------------------------
+// Compound failures: crashes during recovery, crashes during repair.
+// ---------------------------------------------------------------------
+
+/// Like [`file_image`] but with an arbitrary plan and optional piece
+/// checksums.
+fn file_image_plan(plan: FaultPlan, checksums: bool) -> Vec<u8> {
+    let mut fs_cfg = FsConfig::tiny();
+    fs_cfg.integrity = checksums;
+    let fs = FileSystem::new(fs_cfg);
+    let fs2 = fs.clone();
+    let mut cluster = ClusterConfig::cray_xt(RANKS, Mapping::Block);
+    let plan = Arc::new(plan);
+    fs.install_faults(&plan);
+    cluster.faults = Some(plan);
+    let outs = run_cluster(cluster, move |ep| {
+        let comm = Communicator::world(&ep);
+        let mut info = Info::new().with("cb_nodes", 4).with("cb_buffer_size", 256);
+        if checksums {
+            info = info.with("integrity_checksums", "enable");
+        }
+        let mut fh = File::open(&comm, &fs2, "/img", &info);
+        for call in 0..CALLS {
+            let off = ((call * RANKS + comm.rank()) * PER_CALL) as u64;
+            fh.write_at_all(off, &IoBuffer::from_vec(fill(comm.rank(), call, PER_CALL)));
+        }
+        comm.barrier();
+        let img = (comm.rank() == 0).then(|| {
+            let (buf, _) = fh.handle().read_at(0, CALLS * RANKS * PER_CALL, ep.now());
+            buf.as_slice().unwrap().to_vec()
+        });
+        fh.close();
+        img
+    });
+    outs.into_iter().flatten().next().expect("rank 0 image")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Crash an aggregator, then crash the rank that adopted its domain
+    /// (the next surviving aggregator, wrapping). The adopted domain
+    /// must re-home onto a third rank with its replay cursors intact.
+    /// `gap == 0` is the simultaneous case: both die in one detection
+    /// round and successor selection must skip the fresh corpse.
+    #[test]
+    fn successor_crash_during_recovery_preserves_file_image(
+        agg in 0usize..4,
+        round in 0u64..7,
+        gap in 0u64..3,
+    ) {
+        let successor = (agg + 1) % 4;
+        let plan = FaultPlan::new(0xFEED)
+            .aggregator_crash(agg * 2, round)
+            .aggregator_crash(successor * 2, round + gap);
+        let img = file_image_plan(plan, false);
+        prop_assert_eq!(img, expected_image());
+    }
+
+    /// Aggregator crashes while the exchange is also repairing corrupted
+    /// pieces: the failover re-dissemination, the adopted-window
+    /// exchanges, and the torn-write heal all run under the checksum
+    /// protocol, over every (crash round, corruption seed) pair.
+    #[test]
+    fn crash_while_repairing_preserves_file_image(
+        agg in 0usize..4,
+        round in 0u64..9,
+        torn in any::<bool>(),
+        seed in 0u64..1u64 << 40,
+    ) {
+        let plan = FaultPlan::new(seed).msg_corrupt(0.4, None, None);
+        let plan = if torn && round >= 1 {
+            plan.torn_write(agg * 2, round)
+        } else {
+            plan.aggregator_crash(agg * 2, round)
+        };
+        let img = file_image_plan(plan, true);
+        prop_assert_eq!(img, expected_image());
+    }
+}
