@@ -17,6 +17,12 @@
 //! the knob used to demonstrate (and test) that a real regression is
 //! named correctly. Exits 1 when a diff was requested and produced
 //! findings, so scripts can chain on it.
+//!
+//! The scenario is a collective *write*; drifts in the read suites
+//! (`read_sweep`, the §15 sieving/list-I/O path) are caught by the same
+//! `regress` row gate over `bench_results/quick/read_sweep.json` and
+//! explained by the generic OST/rank findings — the read path records
+//! the same spans the diff aligns on.
 
 use bench::explain::{explain_dirs, parse_fault, run_scenario, write_outputs, write_report};
 use std::path::PathBuf;

@@ -15,6 +15,12 @@
 //! Every row is a fully deterministic virtual-time measurement: the same
 //! seeded plan always yields the same bandwidth, so these rows are
 //! regression-gateable like any figure.
+//!
+//! The sweep prices the *write* path under faults; the read path's
+//! degraded-mode contract — an aggregator crash mid-restart must still
+//! deliver byte-exact data through the sieving/list-I/O machinery
+//! (DESIGN.md §15) — is pinned by `workloads/tests/read_parity.rs`, and
+//! the healthy-machine read bandwidth by the `read_sweep` figure.
 
 use bench::figures::{tileio_at, BASELINE};
 use bench::{emit_json, print_table, Row, Scale};

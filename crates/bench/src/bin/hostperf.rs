@@ -57,7 +57,7 @@
 //! single-core runners `workers>1` legitimately costs scheduling
 //! overhead instead of gaining parallelism.
 
-use bench::figures::{collective_wall, tileio_group_sweep, tileio_scalability};
+use bench::figures::{collective_wall, restart_read_sweep, tileio_group_sweep, tileio_scalability};
 use bench::regress::Tolerance;
 use bench::{emit_json, print_table, rows_from_json, rows_to_json, Row, Scale};
 use std::time::Instant;
@@ -95,6 +95,9 @@ fn check_tolerance(series: &str, overrides: &[(String, Tolerance)]) -> Tolerance
     }
     match figure {
         "fig7_tileio_groups" => Tolerance { rel: 0.20, abs: 0.002 },
+        // The read sweep runs every point twice (sieving off/on), so it
+        // gets a slightly higher absolute floor; still one-sided.
+        "read_sweep" => Tolerance { rel: 0.25, abs: 0.003 },
         _ => Tolerance { rel: 0.25, abs: 0.002 },
     }
 }
@@ -248,6 +251,20 @@ fn tracked(scale: Scale) -> Vec<bench::hostprof::Scenario> {
             Box::new(move || {
                 let procs: &[usize] = if full { &[64, 128, 256, 512, 1024] } else { &[8, 16] };
                 std::hint::black_box(tileio_scalability(procs, |p| (p / 8).min(64), full));
+            }),
+        ),
+        (
+            // The read path: the restart read sweep exercises the sieve
+            // decision, the list-I/O coalescer, and the collective read
+            // exchange — this row prices the read machinery in host time.
+            "read_sweep",
+            Box::new(move || {
+                let (procs, groups): (usize, &[usize]) = if full {
+                    (256, &[1, 2, 4, 8, 16, 32])
+                } else {
+                    (16, &[1, 2, 4])
+                };
+                std::hint::black_box(restart_read_sweep(procs, groups, full, 4));
             }),
         ),
         (

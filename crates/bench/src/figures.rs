@@ -134,6 +134,50 @@ pub fn tileio_group_sweep(nprocs: usize, group_counts: &[usize], full: bool) -> 
     rows
 }
 
+/// The read sweep (fig6-style counterpart for `read_at_all`, DESIGN.md
+/// §15): restart read bandwidth of the hole-dense checkpoint-restart
+/// pattern vs subgroup count, baseline vs ParColl-N, each with and
+/// without collective data sieving (`cb_ds_read`). `den` is the restart
+/// narrowing denominator — den=4 leaves 75 % holes per covering extent,
+/// past the default cutover, so the sieved series exercise the list-I/O
+/// arm.
+pub fn restart_read_sweep(
+    nprocs: usize,
+    group_counts: &[usize],
+    full: bool,
+    den: usize,
+) -> Vec<Row> {
+    use workloads::restart::{run_restart, Restart};
+    let mut rows = Vec::new();
+    for &g in group_counts {
+        for sieve in [false, true] {
+            let mode = if g <= 1 {
+                IoMode::Collective
+            } else {
+                IoMode::Parcoll { groups: g }
+            };
+            let mut cfg = RunConfig::paper(mode);
+            if sieve {
+                cfg.info.set("cb_ds_read", "enable");
+            }
+            let r = run_restart(Restart::with_den(tileio_at(nprocs, full), den), cfg);
+            let series = match (g <= 1, sieve) {
+                (true, false) => BASELINE.to_string(),
+                (true, true) => format!("{BASELINE} +sieve"),
+                (false, false) => format!("ParColl-{g}"),
+                (false, true) => format!("ParColl-{g} +sieve"),
+            };
+            rows.push(
+                Row::new(series, g as f64, r.read_mbps, "MB/s")
+                    .with("write_mbps", r.write_mbps)
+                    .with("read_s", r.read_seconds)
+                    .with("ost_bytes", r.fs_stats.total_bytes as f64),
+            );
+        }
+    }
+    rows
+}
+
 /// Figure 9: MPI-Tile-IO collective-write scalability, baseline vs
 /// ParColl at its best group count per process count.
 pub fn tileio_scalability(
@@ -262,6 +306,19 @@ mod tests {
         assert_eq!(rows[0].series, BASELINE);
         assert_eq!(rows[1].series, "ParColl-2");
         assert!(rows.iter().all(|r| r.extra.contains_key("read_mbps")));
+    }
+
+    #[test]
+    fn read_sweep_covers_sieved_and_unsieved_series() {
+        let rows = restart_read_sweep(8, &[1, 2], false, 4);
+        assert_eq!(rows.len(), 4);
+        let y = |s: &str| rows.iter().find(|r| r.series == s).unwrap().y;
+        assert!(y("ParColl-2 +sieve") > y(BASELINE), "sieved partitioned read must win");
+        let bytes = |s: &str| rows.iter().find(|r| r.series == s).unwrap().extra["ost_bytes"];
+        assert!(
+            bytes("ParColl-2 +sieve") < bytes("ParColl-2"),
+            "list I/O must not fetch the holes"
+        );
     }
 
     #[test]

@@ -154,7 +154,18 @@ impl<'ep> File<'ep> {
             cb_buffer_size: self.hints.cb_buffer_size,
             align: self.hints.cb_align,
             checksums: self.hints.integrity,
+            sieve_read: self.hints.cb_ds_read,
+            sieve_hole_pct: self.hints.cb_ds_hole_pct,
         }
+    }
+
+    /// Override the collective-read sieving decision after open (the
+    /// ParColl autotuner flips this at read-epoch boundaries when the
+    /// agreed profile is I/O-dominated; the threshold keeps its hinted
+    /// value). Purely a hint-level change: takes effect on the next
+    /// collective read.
+    pub fn set_sieve_read(&mut self, on: bool) {
+        self.hints.cb_ds_read = on;
     }
 
     /// Build the access plan for `[offset, offset + nbytes)` of the view.

@@ -24,6 +24,28 @@ pub trait FileSpace: Sync {
     /// Read `len` bytes at `offset` of the space.
     fn read(&self, fh: &FileHandle, offset: u64, len: u64, now: SimTime)
         -> (IoBuffer, SimTime);
+
+    /// Read a batch of discontiguous runs of the space — the list-I/O
+    /// arm of collective data sieving (DESIGN.md §15). The default
+    /// issues the runs back-to-back; spaces backed directly by the file
+    /// override this with the file system's vectored request, which
+    /// shares one RPC round-trip and one queue admission per OST across
+    /// the whole list.
+    fn read_list(
+        &self,
+        fh: &FileHandle,
+        runs: &[(u64, u64)],
+        now: SimTime,
+    ) -> (Vec<IoBuffer>, SimTime) {
+        let mut bufs = Vec::with_capacity(runs.len());
+        let mut now = now;
+        for &(off, len) in runs {
+            let (buf, done) = self.read(fh, off, len, now);
+            bufs.push(buf);
+            now = done;
+        }
+        (bufs, now)
+    }
 }
 
 /// The identity space: offsets are physical file offsets.
@@ -43,6 +65,15 @@ impl FileSpace for DirectSpace {
         now: SimTime,
     ) -> (IoBuffer, SimTime) {
         fh.read_at(offset, len as usize, now)
+    }
+
+    fn read_list(
+        &self,
+        fh: &FileHandle,
+        runs: &[(u64, u64)],
+        now: SimTime,
+    ) -> (Vec<IoBuffer>, SimTime) {
+        fh.read_list(runs, now)
     }
 }
 

@@ -73,6 +73,17 @@ pub struct CollConfig {
     /// on mismatch. Off is bitwise identical to a build without the
     /// integrity layer.
     pub checksums: bool,
+    /// Data sieving in the read aggregators (`cb_ds_read` hint): measure
+    /// each round window's hole density and cut over from the single
+    /// covering read to coalesced per-run reads when holes dominate. Off
+    /// always issues the covering read — bitwise identical to the
+    /// pre-sieving protocol.
+    pub sieve_read: bool,
+    /// Hole-density cutover percent for [`CollConfig::sieve_read`]
+    /// (`cb_ds_hole_threshold` hint): list I/O wins once
+    /// `holes × 100 > span × pct`. Integer arithmetic, so every rank
+    /// takes the same branch.
+    pub sieve_hole_pct: u8,
 }
 
 impl CollConfig {
@@ -533,6 +544,8 @@ fn fault_entry(
         cb_buffer_size: cfg.cb_buffer_size,
         align: cfg.align,
         checksums: cfg.checksums,
+        sieve_read: cfg.sieve_read,
+        sieve_hole_pct: cfg.sieve_hole_pct,
     }
 }
 
@@ -1167,8 +1180,41 @@ fn write_window(
     }
 }
 
+/// Coalesce a round window's clipped pieces (per-source sorted lists)
+/// into maximal covered `(offset, len)` runs: adjacent and overlapping
+/// requests from any mix of sources merge into one contiguous extent, so
+/// list-I/O mode issues the minimum number of OST reads and every clipped
+/// piece falls wholly inside exactly one run.
+fn coalesce_runs(in_window: &[Vec<Piece>]) -> Vec<(u64, u64)> {
+    let mut ivs: Vec<(u64, u64)> = in_window
+        .iter()
+        .flatten()
+        .map(|p| (p.file_off, p.end()))
+        .collect();
+    ivs.sort_unstable();
+    let mut runs: Vec<(u64, u64)> = Vec::new();
+    for (s, e) in ivs {
+        match runs.last_mut() {
+            Some(last) if s <= last.0 + last.1 => {
+                let end = (last.0 + last.1).max(e);
+                last.1 = end - last.0;
+            }
+            _ => runs.push((s, e - s)),
+        }
+    }
+    runs
+}
+
 /// Collective read: mirror image of [`write_all`]. Returns this rank's
 /// `plan.total` bytes in plan order.
+///
+/// With [`CollConfig::sieve_read`] on, each aggregator round is data-
+/// sieved: the window's pieces are coalesced into maximal runs, and the
+/// deterministic hole-density threshold picks between one covering read
+/// (classic sieving — read holes too, carve what was asked) and one read
+/// per coalesced run (list I/O, when holes dominate the span). Off, the
+/// covering read is issued unconditionally — bitwise identical to the
+/// protocol before sieving existed.
 pub fn read_all(
     comm: &Communicator<'_>,
     fh: &FileHandle,
@@ -1226,10 +1272,53 @@ pub fn read_all(
             let read_lo = in_window.iter().flatten().map(|p| p.file_off).min();
             if let Some(read_lo) = read_lo {
                 let read_hi = in_window.iter().flatten().map(Piece::end).max().unwrap();
+                let span = read_hi - read_lo;
+                // Sieve decision. Coalescing and the density test are
+                // pure functions of the agreed piece lists, so every
+                // rank that reaches this window takes the same branch.
+                let runs: Vec<(u64, u64)> = if cfg.sieve_read {
+                    let hp = simtrace::host::scope(simtrace::host::Site::RunCoalesce);
+                    let runs = coalesce_runs(&in_window);
+                    drop(hp);
+                    let covered: u64 = runs.iter().map(|&(_, l)| l).sum();
+                    let holes = span - covered;
+                    if holes * 100 > span * u64::from(cfg.sieve_hole_pct) {
+                        runs // holes dominate: list I/O, one read per run
+                    } else {
+                        vec![(read_lo, span)] // sieve: one covering read
+                    }
+                } else {
+                    vec![(read_lo, span)]
+                };
                 let t = PhaseTimer::start(Phase::Io, ep.now());
-                let (window_buf, done) = space.read(fh, read_lo, read_hi - read_lo, ep.now());
-                ep.clock().advance_to(done);
+                // Multiple runs go out as one vectored list-I/O request;
+                // a single run (covering read, sieving on or off) stays
+                // on the plain read so the off path is bitwise identical
+                // to the pre-sieving protocol.
+                let bufs: Vec<IoBuffer> = if runs.len() > 1 {
+                    let (bufs, done) = space.read_list(fh, &runs, ep.now());
+                    ep.clock().advance_to(done);
+                    bufs
+                } else {
+                    let mut bufs = Vec::with_capacity(runs.len());
+                    let mut now = ep.now();
+                    for &(off, len) in &runs {
+                        let (buf, done) = space.read(fh, off, len, now);
+                        bufs.push(buf);
+                        now = done;
+                    }
+                    ep.clock().advance_to(now);
+                    bufs
+                };
                 t.stop_traced(ep.now(), prof, ep.trace());
+                let rec = ep.trace();
+                if cfg.sieve_read && rec.enabled() {
+                    if runs.len() > 1 {
+                        rec.count("sieve_list_reads", runs.len() as u64);
+                    } else {
+                        rec.count("sieve_covering_reads", 1);
+                    }
+                }
 
                 for src in 0..p {
                     let n: u64 = in_window[src].iter().map(|p| p.len).sum();
@@ -1238,13 +1327,20 @@ pub fn read_all(
                     }
                     let t = PhaseTimer::start(Phase::Local, ep.now());
                     let hp = simtrace::host::scope(simtrace::host::Site::Pack);
+                    let hp_sieve = cfg
+                        .sieve_read
+                        .then(|| simtrace::host::scope(simtrace::host::Site::SieveRead));
                     let mut payload = BufferBuilder::with_capacity(n as usize);
                     cursors[src].consume(n, |piece| {
+                        // Runs are maximal covered intervals, so each
+                        // clipped piece lies wholly inside one of them.
+                        let i = runs.partition_point(|&(off, _)| off <= piece.file_off) - 1;
                         payload.push(
-                            &window_buf
-                                .sub((piece.file_off - read_lo) as usize, piece.len as usize),
+                            &bufs[i]
+                                .sub((piece.file_off - runs[i].0) as usize, piece.len as usize),
                         );
                     });
+                    drop(hp_sieve);
                     ep.charge_memcpy(n as usize);
                     let payload = seal(payload.finish(), cfg.checksums);
                     drop(hp);

@@ -22,8 +22,8 @@
 use crate::adaptive::AdaptiveGroups;
 use crate::aggdist::distribute_aggregators;
 use crate::autotune::{
-    pattern_signature, shape_signature, AutoTuner, DecisionRecord, EpochFeedback, FaStrategy,
-    ModeClass, PolicyCache, TuneKnobs,
+    direction_signature, pattern_signature, shape_signature, AutoTuner, DecisionRecord,
+    EpochFeedback, FaStrategy, ModeClass, PolicyCache, TuneKnobs,
 };
 use crate::config::ParcollConfig;
 use crate::fa::{partition_file_areas, partition_file_areas_by, Grouping};
@@ -307,7 +307,8 @@ fn run_partitioned<'ep>(
                     let delta = plan.start().unwrap_or(*base_start) as i64 - *base_start as i64;
                     let logical_plan = shift_plan(logical_plan, delta);
                     let data = if *scatter {
-                        let space = MappedSpace::with_delta(Arc::clone(map), delta);
+                        let space = MappedSpace::with_delta(Arc::clone(map), delta)
+                            .coalesce(pcfg.iview_coalesce);
                         // Scatter mode keeps logical offsets unshifted for
                         // the map; rebuild the unshifted plan.
                         let unshifted = shift_plan(&logical_plan, -delta);
@@ -442,7 +443,7 @@ fn run_partitioned<'ep>(
             // instead materializes at the original physical offsets — an
             // ablation that demonstrates the cost of doing so.
             let data = if pcfg.iview_scatter {
-                let space = MappedSpace::new(map);
+                let space = MappedSpace::new(map).coalesce(pcfg.iview_coalesce);
                 dispatch(&sub, &fh, &space, &logical_plan, write_buf, &subcfg, file)
             } else {
                 dispatch(&sub, &fh, &DirectSpace, &logical_plan, write_buf, &subcfg, file)
@@ -570,6 +571,8 @@ fn subgroup_setup<'ep>(
         cb_buffer_size: parent_cfg.cb_buffer_size,
         align: parent_cfg.align,
         checksums: parent_cfg.checksums,
+        sieve_read: parent_cfg.sieve_read,
+        sieve_hole_pct: parent_cfg.sieve_hole_pct,
     };
 
     let splits = cache.as_ref().map_or(0, |c| c.splits) + 1;
@@ -648,8 +651,19 @@ struct TuneRuntime {
     cache: PolicyCache,
     calls_per_epoch: u64,
     tuner: Option<AutoTuner>,
-    /// (path, signature) key the tuner was loaded under / stores to.
+    /// (path, signature) key the tuner was loaded under / stores to. The
+    /// signature is direction-namespaced ([`direction_signature`]), so a
+    /// policy learned while writing a checkpoint is never replayed onto
+    /// the restart's reads.
     sig: u64,
+    /// Direction the running tuner was built for (`true` = reads). A
+    /// switch flushes the old tuner to the cache and rebuilds under the
+    /// other namespace.
+    dir_read: bool,
+    /// All decisions made during this open, both directions — the tuner's
+    /// own log is discarded when a direction switch swaps it out, but an
+    /// open is only in steady state when *neither* direction explored.
+    log: Vec<DecisionRecord>,
     /// Knobs in force for the running epoch (a change invalidates the
     /// subgroup split cache).
     applied: TuneKnobs,
@@ -679,6 +693,8 @@ impl<'ep> ParcollFile<'ep> {
             calls_per_epoch: pcfg.autotune_epoch as u64,
             tuner: None,
             sig: 0,
+            dir_read: false,
+            log: Vec::new(),
             applied: TuneKnobs {
                 groups: pcfg.effective_groups(nprocs),
                 aggs_per_group: pcfg.aggs_per_group,
@@ -751,7 +767,7 @@ impl<'ep> ParcollFile<'ep> {
     /// counts (one global agreement per probe) before committing to the
     /// fastest.
     pub fn write_at_all(&mut self, offset: u64, buf: &IoBuffer) {
-        self.ensure_tuner(offset, buf.len() as u64);
+        self.ensure_tuner(offset, buf.len() as u64, false);
         let pcfg = self.effective_pcfg();
         let ep = self.file.comm().endpoint();
         let t0 = ep.now();
@@ -780,17 +796,26 @@ impl<'ep> ParcollFile<'ep> {
     }
 
     /// Build (or resume from the policy cache) the tuner at the first
-    /// collective write, once the access pattern is in hand: agree on the
-    /// pattern signature (one allgather of per-rank shape hashes), then
-    /// rank 0 consults the cache and broadcasts the snapshot so every
-    /// rank starts from the identical state.
-    fn ensure_tuner(&mut self, offset: u64, nbytes: u64) {
-        let Some(tr) = self.tune.as_mut() else {
-            return;
+    /// collective call of a direction, once the access pattern is in
+    /// hand: agree on the pattern signature (one allgather of per-rank
+    /// shape hashes), then rank 0 consults the cache and broadcasts the
+    /// snapshot so every rank starts from the identical state. The
+    /// signature is namespaced by direction — a direction switch (e.g.
+    /// checkpoint writes followed by restart reads) flushes the old
+    /// tuner to the cache and rebuilds under the other namespace.
+    fn ensure_tuner(&mut self, offset: u64, nbytes: u64, read: bool) {
+        let (built, same_dir) = match self.tune.as_ref() {
+            None => return,
+            Some(tr) => (tr.tuner.is_some(), tr.dir_read == read),
         };
-        if tr.tuner.is_some() {
-            return;
+        if built {
+            if same_dir {
+                return;
+            }
+            self.tune_flush();
+            self.tune.as_mut().expect("tune checked above").tuner = None;
         }
+        let tr = self.tune.as_mut().expect("tune checked above");
         let comm = self.file.comm().clone();
         let ep = comm.endpoint();
         let plan = self.file.plan(offset, nbytes);
@@ -798,7 +823,7 @@ impl<'ep> ParcollFile<'ep> {
 
         let t = PhaseTimer::start(Phase::Sync, ep.now());
         let hashes = comm.allgather_t(my_hash, 8);
-        let sig = pattern_signature(comm.size(), &hashes);
+        let sig = direction_signature(pattern_signature(comm.size(), &hashes), read);
         let words_buf = if comm.rank() == 0 {
             let dead = ep.faults().map_or(0, |f| f.dead_epoch());
             let words = tr.cache.load(&self.path, sig, dead).unwrap_or_default();
@@ -824,7 +849,14 @@ impl<'ep> ParcollFile<'ep> {
                 AutoTuner::new(comm.size(), self.pcfg.min_group_size, start)
             });
         tr.sig = sig;
-        tr.applied = tuner.current();
+        tr.dir_read = read;
+        let applied = tuner.current();
+        if applied != tr.applied {
+            // Direction switch resumed a different policy: the cached
+            // subgroup split no longer matches the knobs in force.
+            self.cache = None;
+        }
+        tr.applied = applied;
         tr.tuner = Some(tuner);
         tr.epoch_calls = 0;
         tr.epoch_t0 = ep.now();
@@ -887,6 +919,8 @@ impl<'ep> ParcollFile<'ep> {
             local_us: agreed[4],
             mode: mode_class(mode),
         });
+        tr.log
+            .push(tuner.log().last().expect("observe just logged").clone());
         let rec = ep.trace();
         if rec.enabled() {
             let d = tuner.log().last().expect("observe just logged");
@@ -929,18 +963,45 @@ impl<'ep> ParcollFile<'ep> {
             tr.applied = after;
             self.cache = None;
         }
+        // Read-direction sieve decision: an I/O-dominated read epoch
+        // (agreed maxima, so every rank decides identically) means hole
+        // traffic — the covering reads are fetching mostly unrequested
+        // bytes — so flip collective-read sieving on. One-way: the
+        // hole-threshold cutover inside the engine still bounds the
+        // downside per round.
+        if tr.dir_read
+            && !self.file.hints().cb_ds_read
+            && agreed[0] > 0
+            && 2 * agreed[3] >= agreed[0]
+        {
+            self.file.set_sieve_read(true);
+            self.cache = None;
+            if rec.enabled() {
+                rec.instant(
+                    "parcoll",
+                    "sieve_on",
+                    ep.now().as_micros(),
+                    vec![
+                        ("wall_us", simtrace::ArgValue::from(agreed[0])),
+                        ("io_us", simtrace::ArgValue::from(agreed[3])),
+                    ],
+                );
+            }
+        }
         tr.epoch_calls = 0;
         tr.epoch_t0 = ep.now();
         tr.mark = *self.file.profile();
     }
 
-    /// The tuner's epoch-by-epoch decisions for this open, if
-    /// `parcoll_autotune` is on and at least one collective write ran.
+    /// The epoch-by-epoch decisions made during this open — both
+    /// directions, in order — if `parcoll_autotune` is on and at least
+    /// one collective call ran. Empty means every epoch (write *and*
+    /// read) resumed settled.
     pub fn autotune_log(&self) -> Option<&[DecisionRecord]> {
         self.tune
             .as_ref()
-            .and_then(|tr| tr.tuner.as_ref())
-            .map(|t| t.log())
+            .filter(|tr| tr.tuner.is_some())
+            .map(|tr| tr.log.as_slice())
     }
 
     /// The knobs currently in force, if tuning.
@@ -981,8 +1042,13 @@ impl<'ep> ParcollFile<'ep> {
         self.adaptive.as_ref()
     }
 
-    /// Partitioned collective read at a view offset.
+    /// Partitioned collective read at a view offset. Reads feed the same
+    /// autotune loop as writes, under a separate direction-namespaced
+    /// policy signature — a learned write policy is never mis-applied to
+    /// the read pattern, and read epochs drive their own group-count and
+    /// sieve decisions.
     pub fn read_at_all(&mut self, offset: u64, nbytes: u64) -> IoBuffer {
+        self.ensure_tuner(offset, nbytes, true);
         let pcfg = self.effective_pcfg();
         let ep = self.file.comm().endpoint();
         let t0 = ep.now();
@@ -990,6 +1056,7 @@ impl<'ep> ParcollFile<'ep> {
             read_at_all(&mut self.file, &pcfg, &mut self.cache, offset, nbytes);
         self.last_mode = Some(mode);
         self.adaptive_record(t0);
+        self.tune_record();
         data
     }
 
@@ -1359,6 +1426,7 @@ mod tests {
                 default_stripe_size: 64 << 10,
                 ost_bandwidth_bps: 10e9,
                 request_overhead: simnet::SimTime::micros(20.0),
+                list_extent_overhead: simnet::SimTime::micros(2.0),
                 rpc_latency: simnet::SimTime::micros(10.0),
                 open_base: simnet::SimTime::micros(100.0),
                 open_per_client: simnet::SimTime::micros(5.0),

@@ -55,6 +55,13 @@ pub struct ParcollConfig {
     /// aggregators per subgroup (`parcoll_aggs_per_group`). Probed by the
     /// autotuner on I/O-dominated profiles.
     pub aggs_per_group: Option<usize>,
+    /// Run coalescing in the intermediate view (`parcoll_iview_coalesce`):
+    /// when an aggregator's logical window translates to adjacent or
+    /// overlapping physical runs, merge them so each becomes a single OST
+    /// request. Off by default so existing traces stay bitwise identical;
+    /// the merged read returns the same bytes (translation preserves
+    /// logical order, and only *touching* runs merge).
+    pub iview_coalesce: bool,
 }
 
 impl Default for ParcollConfig {
@@ -70,6 +77,7 @@ impl Default for ParcollConfig {
             autotune_epoch: 1,
             snap_groups: false,
             aggs_per_group: None,
+            iview_coalesce: false,
         }
     }
 }
@@ -91,6 +99,7 @@ impl ParcollConfig {
             autotune_epoch: info.get_usize("parcoll_autotune_epoch").unwrap_or(1).max(1),
             snap_groups: info.get_bool("parcoll_snap_groups").unwrap_or(false),
             aggs_per_group: info.get_usize("parcoll_aggs_per_group"),
+            iview_coalesce: info.get_bool("parcoll_iview_coalesce").unwrap_or(false),
         }
     }
 
@@ -187,6 +196,13 @@ mod tests {
         let d = ParcollConfig::default();
         assert!(!d.autotune);
         assert_eq!(d.autotune_epoch, 1);
+    }
+
+    #[test]
+    fn parses_iview_coalesce() {
+        assert!(!ParcollConfig::default().iview_coalesce);
+        let c = ParcollConfig::from_info(&Info::new().with("parcoll_iview_coalesce", "true"));
+        assert!(c.iview_coalesce);
     }
 
     #[test]

@@ -24,6 +24,13 @@ pub struct FsConfig {
     /// Fixed service time an OST spends per chunk request (seek, lock,
     /// RAID bookkeeping) regardless of size.
     pub request_overhead: SimTime,
+    /// Per-extent service time inside a batched *list-I/O* read
+    /// ([`crate::FileHandle::read_list`]): the extent list travels in one
+    /// RPC and the extents share the lock acquisition and queue
+    /// admission, so each chunk unit beyond the first costs only this
+    /// (command processing + block-layer scatter-gather) instead of the
+    /// full [`FsConfig::request_overhead`].
+    pub list_extent_overhead: SimTime,
     /// One-way client↔server RPC latency.
     pub rpc_latency: SimTime,
     /// Base cost of a metadata open.
@@ -85,6 +92,7 @@ impl FsConfig {
             default_stripe_size: 4 << 20,
             ost_bandwidth_bps: 650e6,
             request_overhead: SimTime::micros(350.0),
+            list_extent_overhead: SimTime::micros(15.0),
             rpc_latency: SimTime::micros(60.0),
             open_base: SimTime::millis(2.0),
             open_per_client: SimTime::micros(150.0),
@@ -109,6 +117,7 @@ impl FsConfig {
             default_stripe_size: 1024,
             ost_bandwidth_bps: 1e6,
             request_overhead: SimTime::micros(10.0),
+            list_extent_overhead: SimTime::micros(2.0),
             rpc_latency: SimTime::micros(1.0),
             open_base: SimTime::micros(5.0),
             open_per_client: SimTime::micros(1.0),
@@ -135,6 +144,10 @@ impl FsConfig {
         );
         assert!(self.default_stripe_size > 0, "stripe size must be positive");
         assert!(self.ost_bandwidth_bps > 0.0, "bandwidth must be positive");
+        assert!(
+            self.list_extent_overhead <= self.request_overhead,
+            "a batched list extent cannot cost more than a standalone request"
+        );
         assert!(self.jitter_cv >= 0.0, "jitter cv must be non-negative");
         assert!(
             self.contention_per_queued >= 0.0,

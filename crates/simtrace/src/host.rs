@@ -125,10 +125,19 @@ pub enum Site {
     /// Integrity checksum verification: trailer checks at unpack and
     /// stored-sum checks on the simfs read/scrub path.
     CksumVerify,
+    /// Collective-read data sieving: hole-density accounting plus the
+    /// per-run carve-out of requested pieces from sieved read buffers
+    /// (the read-side analogue of [`Site::Pack`], active only when the
+    /// `cb_ds_read` hint is on).
+    SieveRead,
+    /// Run coalescing: merging adjacent/overlapping piece requests into
+    /// maximal contiguous extents, in the read aggregators and in the
+    /// intermediate-view physical-run reader.
+    RunCoalesce,
 }
 
 /// Number of probe sites in the registry.
-pub const SITE_COUNT: usize = 16;
+pub const SITE_COUNT: usize = 18;
 
 /// Static description of one site.
 struct SiteInfo {
@@ -153,6 +162,8 @@ const SITES: [SiteInfo; SITE_COUNT] = [
     SiteInfo { name: "trace_spill", subsystem: "simtrace" },
     SiteInfo { name: "cksum_compute", subsystem: "integrity" },
     SiteInfo { name: "cksum_verify", subsystem: "integrity" },
+    SiteInfo { name: "sieve_read", subsystem: "mpiio" },
+    SiteInfo { name: "run_coalesce", subsystem: "parcoll" },
 ];
 
 impl Site {
@@ -187,6 +198,8 @@ impl Site {
                 13 => Site::TraceSpill,
                 14 => Site::CksumCompute,
                 15 => Site::CksumVerify,
+                16 => Site::SieveRead,
+                17 => Site::RunCoalesce,
                 _ => unreachable!(),
             })
         } else {

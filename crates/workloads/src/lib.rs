@@ -19,6 +19,9 @@
 //!   code; 80 blocks of 32³ cells per process, 24 double-precision
 //!   variables written one dataset at a time (HDF5-style), yielding few,
 //!   large, serial segments per call.
+//! * [`restart`] — checkpoint-restart: write the full tile image, reopen
+//!   and read a hole-dense subset back through a partitioned
+//!   `read_at_all` — the read-path (data sieving / list-I/O) stress.
 //!
 //! [`runner`] executes any workload against the baseline two-phase path,
 //! the ParColl path, or independent I/O, over real (verifiable) or
@@ -31,6 +34,7 @@
 pub mod btio;
 pub mod flashio;
 pub mod ior;
+pub mod restart;
 pub mod runner;
 pub mod tileio;
 

@@ -1,0 +1,300 @@
+//! Checkpoint-restart: write a tiled image, reopen, read a hole-dense
+//! subset back through a partitioned `read_at_all`.
+//!
+//! The restart pattern is the read-path stress the write suites never
+//! exercise: the checkpoint writes whole [`TileIo`] tiles, but the
+//! restarting application re-reads only the first `1/den` columns of
+//! every tile (a downsampled or decomposed restart — common when the
+//! restart runs at different scale or only needs a subset of fields).
+//! Per dataset row the aggregators see one requested run per tile
+//! followed by a `(den-1)/den` hole — exactly the regime where collective
+//! data sieving must choose between one covering read (fetching mostly
+//! unrequested bytes) and list-I/O coalesced runs.
+
+use crate::runner::{DataMode, IoMode, RunConfig};
+use crate::tileio::TileIo;
+use crate::{pattern_buffer, Workload};
+use mpiio::{Datatype, PhaseProfile};
+use parcoll::ParcollFile;
+use simfs::FileSystem;
+use simmpi::Communicator;
+use simnet::{run_cluster, ClusterConfig, IoBuffer};
+use std::sync::Arc;
+
+/// Checkpoint-restart configuration: a full-tile checkpoint plus the
+/// narrow restart view.
+#[derive(Debug, Clone)]
+pub struct Restart {
+    /// The checkpoint image (written in full, one tile per rank).
+    pub tile: TileIo,
+    /// Restart narrowing denominator: the restart reads the first
+    /// `tile_x / den` columns of each tile, leaving `(den-1)/den` of
+    /// every covering extent as holes.
+    pub den: usize,
+}
+
+impl Restart {
+    /// Paper-scale restart: the full 1024×768×64B tile checkpoint, read
+    /// back at quarter width (75 % holes).
+    pub fn paper(nprocs: usize) -> Self {
+        Self::with_den(TileIo::paper(nprocs), 4)
+    }
+
+    /// Miniature configuration for correctness tests.
+    pub fn tiny(nprocs: usize) -> Self {
+        Self::with_den(TileIo::tiny(nprocs), 4)
+    }
+
+    /// Wrap a tile geometry with an explicit narrowing denominator.
+    pub fn with_den(tile: TileIo, den: usize) -> Self {
+        assert!(den >= 1, "denominator must be positive");
+        assert!(
+            tile.tile_x.is_multiple_of(den),
+            "tile_x {} must divide by den {den}",
+            tile.tile_x
+        );
+        Restart { tile, den }
+    }
+
+    /// File path of the checkpoint.
+    pub fn path(&self) -> String {
+        "/restart".to_string()
+    }
+
+    /// The restart read view of `rank`: the same tile origin, `1/den` of
+    /// the columns.
+    pub fn read_view(&self, rank: usize) -> (u64, Datatype) {
+        assert!(rank < self.tile.nprocs());
+        let ty = rank / self.tile.ntx;
+        let tx = rank % self.tile.ntx;
+        let ft = Datatype::tile_2d(
+            self.tile.height(),
+            self.tile.width(),
+            self.tile.tile_y,
+            self.tile.tile_x / self.den,
+            ty * self.tile.tile_y,
+            tx * self.tile.tile_x,
+            self.tile.elem,
+        );
+        (0, ft)
+    }
+
+    /// Bytes each rank reads on restart.
+    pub fn read_bytes(&self) -> u64 {
+        (self.tile.tile_x / self.den) as u64 * self.tile.tile_y as u64 * self.tile.elem
+    }
+
+    /// The bytes `rank` must get back: the per-row prefixes of its
+    /// checkpoint buffer (the write view linearizes tile rows
+    /// consecutively; the narrow view keeps the first `1/den` of each).
+    pub fn expected(&self, rank: usize) -> Vec<u8> {
+        let full = pattern_buffer(rank, 0, self.tile.tile_bytes());
+        let row = self.tile.tile_x * self.tile.elem as usize;
+        let narrow = (self.tile.tile_x / self.den) * self.tile.elem as usize;
+        let mut out = Vec::with_capacity(narrow * self.tile.tile_y);
+        for r in 0..self.tile.tile_y {
+            out.extend_from_slice(&full[r * row..r * row + narrow]);
+        }
+        out
+    }
+}
+
+/// Aggregated measurement of one checkpoint-restart run.
+#[derive(Debug, Clone)]
+pub struct RestartResult {
+    /// Checkpoint elapsed virtual seconds (barrier to barrier).
+    pub write_seconds: f64,
+    /// Checkpoint aggregate bandwidth, decimal MB/s.
+    pub write_mbps: f64,
+    /// Restart read elapsed virtual seconds.
+    pub read_seconds: f64,
+    /// Restart aggregate bandwidth over the bytes actually requested.
+    pub read_mbps: f64,
+    /// Bytes the checkpoint wrote (all ranks).
+    pub write_bytes: u64,
+    /// Bytes the restart read (all ranks).
+    pub read_bytes: u64,
+    /// Per-phase times of the slowest rank, checkpoint + restart.
+    pub profile_max: PhaseProfile,
+    /// File-system statistics at the end of the run.
+    pub fs_stats: simfs::FsStats,
+}
+
+/// Execute a checkpoint-restart cycle under `cfg`: open, write the full
+/// image, close; reopen, set the narrow restart view, partitioned
+/// `read_at_all`, verify (in [`DataMode::Verify`]), close.
+///
+/// `cfg.read_back` is ignored — the restart read *is* the measurement.
+/// [`IoMode::Independent`] is not supported (the restart read is the
+/// collective under test).
+pub fn run_restart(w: Restart, cfg: RunConfig) -> RestartResult {
+    assert!(
+        !matches!(cfg.mode, IoMode::Independent),
+        "restart measures the collective read path"
+    );
+    let nprocs = w.tile.nprocs();
+    let write_bytes = w.tile.total_bytes();
+    let read_bytes = w.read_bytes() * nprocs as u64;
+    let mut fs_cfg = cfg.fs.clone();
+    if cfg.integrity {
+        fs_cfg.integrity = true;
+    }
+    let fs = FileSystem::new(fs_cfg);
+    fs.attach_trace(&cfg.trace);
+    if let Some(plan) = &cfg.faults {
+        fs.install_faults(plan);
+    }
+    let w = Arc::new(w);
+    let placement = match cfg.mode {
+        IoMode::Parcoll { groups } if groups > 1 && simnet::workers() > 1 => Some(Arc::new(
+            parcoll::worker_placement(nprocs, groups, simnet::workers()),
+        )),
+        _ => None,
+    };
+    let cluster = ClusterConfig {
+        topology: simnet::Topology::dual_core(nprocs, cfg.mapping),
+        net: simnet::NetworkModel::cray_xt_seastar(),
+        machine: simnet::MachineModel::catamount(),
+        stack_size: simnet::default_stack_size(),
+        trace: cfg.trace.clone(),
+        faults: cfg.faults.clone(),
+        workers: 0,
+        placement,
+    };
+
+    struct RankOut {
+        write_s: f64,
+        read_s: f64,
+        profile: PhaseProfile,
+    }
+
+    let cfg2 = cfg.clone();
+    let fs_for_stats = fs.clone();
+    let outs: Vec<RankOut> = run_cluster(cluster, move |ep| {
+        let comm = Communicator::world(&ep);
+        let rank = comm.rank();
+        let mut info = cfg2.info.clone();
+        if cfg2.integrity {
+            info.set("integrity_checksums", "enable");
+        }
+        if cfg2.autotune.is_some() {
+            info.set("parcoll_autotune", "enable");
+        } else if let IoMode::Parcoll { groups } = cfg2.mode {
+            info.set("parcoll_groups", groups);
+            info.set("parcoll_min_group", 1);
+        } else {
+            info.set("parcoll_groups", 1);
+        }
+        // A restart reopens the checkpoint under a *different* view, so
+        // the image must stay physically addressed: the intermediate
+        // view's logical re-addressing is only consistent with reads
+        // through the same view. Forbid view switching — patterns whose
+        // cuts fail degenerate to one group instead (and stay correct).
+        info.set("parcoll_force_iview", "false");
+
+        // Checkpoint: the full tile image.
+        let (disp, ft) = w.tile.view(rank);
+        let mut f = ParcollFile::open(&comm, &fs, &w.path(), &info);
+        if let Some(pc) = &cfg2.autotune {
+            f.set_policy_cache(pc.clone());
+        }
+        f.set_view(disp, &ft);
+        comm.barrier();
+        let t0 = ep.now();
+        let buf = match cfg2.data {
+            DataMode::Synthetic => IoBuffer::synthetic(w.tile.tile_bytes() as usize),
+            DataMode::Verify => IoBuffer::from_vec(pattern_buffer(rank, 0, w.tile.tile_bytes())),
+        };
+        f.write_at_all(0, &buf);
+        let t = mpiio::profile::PhaseTimer::start(mpiio::profile::Phase::Io, ep.now());
+        ep.clock().advance_to(fs.drain_time());
+        t.stop_traced(ep.now(), f.inner_mut().profile_mut(), ep.trace());
+        comm.barrier();
+        let write_s = (ep.now() - t0).as_secs();
+        let mut profile = f.close();
+
+        // Restart: reopen and read the narrow view collectively.
+        let mut f = ParcollFile::open(&comm, &fs, &w.path(), &info);
+        if let Some(pc) = &cfg2.autotune {
+            f.set_policy_cache(pc.clone());
+        }
+        let (rdisp, rft) = w.read_view(rank);
+        f.set_view(rdisp, &rft);
+        comm.barrier();
+        let t1 = ep.now();
+        let got = f.read_at_all(0, w.read_bytes());
+        if cfg2.data == DataMode::Verify {
+            assert_eq!(
+                got.as_slice().expect("verify mode reads real data"),
+                w.expected(rank).as_slice(),
+                "rank {rank}: restart read mismatch"
+            );
+        }
+        comm.barrier();
+        let read_s = (ep.now() - t1).as_secs();
+        profile.merge(&f.close());
+        RankOut {
+            write_s,
+            read_s,
+            profile,
+        }
+    });
+
+    let mut profile_max = PhaseProfile::new();
+    for o in &outs {
+        profile_max = PhaseProfile {
+            sync: profile_max.sync.max(o.profile.sync),
+            p2p: profile_max.p2p.max(o.profile.p2p),
+            io: profile_max.io.max(o.profile.io),
+            local: profile_max.local.max(o.profile.local),
+            calls: profile_max.calls.max(o.profile.calls),
+            rounds: profile_max.rounds.max(o.profile.rounds),
+        };
+    }
+    let write_seconds = outs[0].write_s;
+    let read_seconds = outs[0].read_s;
+    RestartResult {
+        write_seconds,
+        write_mbps: write_bytes as f64 / write_seconds / 1e6,
+        read_seconds,
+        read_mbps: read_bytes as f64 / read_seconds / 1e6,
+        write_bytes,
+        read_bytes,
+        profile_max,
+        fs_stats: fs_for_stats.stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simmpi::Info;
+
+    #[test]
+    fn restart_verifies_under_all_collective_modes() {
+        for mode in [IoMode::Collective, IoMode::Parcoll { groups: 2 }] {
+            let r = run_restart(Restart::tiny(4), RunConfig::verify(mode));
+            assert!(r.write_mbps > 0.0, "{mode:?}");
+            assert!(r.read_mbps > 0.0, "{mode:?}");
+            assert_eq!(r.read_bytes * 4, r.write_bytes, "den=4 reads a quarter");
+        }
+    }
+
+    #[test]
+    fn restart_verifies_with_sieving_on() {
+        let mut cfg = RunConfig::verify(IoMode::Parcoll { groups: 2 });
+        cfg.info = Info::new().with("cb_ds_read", "enable");
+        let r = run_restart(Restart::tiny(4), cfg);
+        assert!(r.read_mbps > 0.0);
+    }
+
+    #[test]
+    fn expected_is_per_row_prefixes() {
+        let w = Restart::tiny(4); // 8x4 tiles of 4B elems, den 4 -> 2 cols
+        let e = w.expected(1);
+        let full = pattern_buffer(1, 0, w.tile.tile_bytes());
+        assert_eq!(e.len(), w.read_bytes() as usize);
+        // Row 1's prefix: bytes 32..40 of the full tile buffer.
+        assert_eq!(&e[8..16], &full[32..40]);
+    }
+}
